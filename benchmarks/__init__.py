@@ -1,0 +1,6 @@
+"""Benchmark suite: one timed regeneration per paper table/figure.
+
+A package (not just a directory) so that ``pytest benchmarks/`` can
+resolve the shared constants in :mod:`benchmarks.conftest` regardless of
+how pytest was invoked.
+"""

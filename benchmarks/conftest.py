@@ -1,0 +1,32 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one paper table/figure (or an ablation of a
+DESIGN.md design choice) and records its headline numbers in
+``benchmark.extra_info`` so a benchmark run doubles as a results report.
+
+Traces are shortened relative to the experiment defaults so the whole
+suite completes in a few minutes; the workload and miss-stream caches in
+:mod:`repro.experiments.common` are shared across benchmarks within the
+session.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: Trace length used by all benchmark experiment runs.
+BENCH_TRACE_LENGTH = 40_000
+
+#: Workload subset exercising all three density classes.
+BENCH_WORKLOADS = ("coral", "mp3d", "gcc")
+
+
+@pytest.fixture(scope="session")
+def bench_workloads():
+    """Pre-built workloads at the benchmark trace length."""
+    from repro.experiments.common import get_workload
+
+    return {
+        name: get_workload(name, BENCH_TRACE_LENGTH)
+        for name in BENCH_WORKLOADS + ("kernel",)
+    }

@@ -1,0 +1,143 @@
+"""Ablations of the design choices DESIGN.md §7 calls out.
+
+Each benchmark toggles one design decision and reports both metrics so the
+trade-off the paper describes is visible in the benchmark report:
+
+- packed (16-byte) hashed PTEs vs the standard 24-byte format (§7);
+- page-table traversal order for partial-subblock systems (§6.3);
+- replicate-PTEs vs multiple-page-tables superpage strategies (§4.2);
+- fixed vs variable clustered subblock factors (§3 / [Tall95]).
+"""
+
+from benchmarks.conftest import BENCH_TRACE_LENGTH
+from repro.analysis.metrics import make_table
+from repro.core.clustered import ClusteredPageTable
+from repro.core.variable import VariableClusteredPageTable
+from repro.experiments.common import (
+    get_miss_stream,
+    get_translation_map,
+    get_workload,
+)
+from repro.mmu.simulate import replay_misses
+from repro.os.translation_map import TranslationMap
+from repro.pagetables.hashed import HashedPageTable
+from repro.pagetables.linear import LinearPageTable
+
+
+def test_packed_hashed_pte_ablation(benchmark):
+    """§7: the packed format cuts size 33% without changing access cost."""
+    workload = get_workload("coral", BENCH_TRACE_LENGTH)
+    tmap = get_translation_map(workload, "single")
+    stream = get_miss_stream(workload, "single")
+
+    def run():
+        plain = HashedPageTable(workload.layout)
+        packed = HashedPageTable(workload.layout, packed=True)
+        tmap.populate(plain, base_pages_only=True)
+        tmap.populate(packed, base_pages_only=True)
+        return (
+            plain.size_bytes(), packed.size_bytes(),
+            replay_misses(stream, plain).lines_per_miss,
+            replay_misses(stream, packed).lines_per_miss,
+        )
+
+    plain_size, packed_size, plain_lines, packed_lines = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    benchmark.extra_info["size_saving"] = round(1 - packed_size / plain_size, 3)
+    assert packed_size / plain_size == 16 / 24
+    assert packed_lines == plain_lines  # access pattern unchanged
+
+
+def test_traversal_order_ablation(benchmark):
+    """§6.3: when most misses hit wide PTEs, searching the 64KB table
+    first beats the 4KB-first default."""
+    workload = get_workload("coral", BENCH_TRACE_LENGTH)
+    tmap = get_translation_map(workload, "partial-subblock")
+    stream = get_miss_stream(workload, "partial-subblock")
+
+    def run():
+        forward_order = make_table("hashed-multi")
+        reverse_order = make_table("hashed-multi-reversed")
+        tmap.populate(forward_order)
+        tmap.populate(reverse_order)
+        return (
+            replay_misses(stream, forward_order).lines_per_miss,
+            replay_misses(stream, reverse_order).lines_per_miss,
+        )
+
+    base_first, wide_first = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["base_table_first"] = round(base_first, 3)
+    benchmark.extra_info["wide_table_first"] = round(wide_first, 3)
+    assert wide_first < base_first
+
+
+def test_replicate_vs_multiple_tables_ablation(benchmark):
+    """§4.2: replication keeps the miss penalty flat but forfeits the size
+    savings; multiple tables save memory but pay extra probes."""
+    workload = get_workload("coral", BENCH_TRACE_LENGTH)
+    tmap = get_translation_map(workload, "superpage")
+    stream = get_miss_stream(workload, "superpage")
+
+    def run():
+        replicate = LinearPageTable(workload.layout, structure="ideal")
+        multiple = make_table("hashed-multi")
+        tmap.populate(replicate)
+        tmap.populate(multiple)
+        return (
+            replay_misses(stream, replicate).lines_per_miss,
+            replicate.size_bytes(),
+            replay_misses(stream, multiple).lines_per_miss,
+            multiple.size_bytes(),
+        )
+
+    rep_lines, rep_size, multi_lines, multi_size = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    benchmark.extra_info["replicate_lines"] = round(rep_lines, 3)
+    benchmark.extra_info["multiple_lines"] = round(multi_lines, 3)
+    assert rep_lines < multi_lines      # replication: no penalty
+    assert multi_size < rep_size        # multiple tables: smaller
+
+
+def test_variable_factor_ablation(benchmark):
+    """§3/[Tall95]: variable subblock factors recover the fixed table's
+    losses on sparse blocks while matching it on dense ones."""
+    import random
+
+    from repro.addr.layout import AddressLayout
+    from repro.addr.space import AddressSpace
+
+    dense = get_workload("coral", BENCH_TRACE_LENGTH)
+    # A genuinely sparse 64-bit space: isolated 1-3 page objects scattered
+    # across the address space (the future-workload shape §6.2 predicts).
+    layout = AddressLayout()
+    scattered = AddressSpace(layout, "scattered")
+    rng = random.Random(5)
+    frame = 0
+    for _ in range(500):
+        base = rng.randrange(0, layout.max_vpn - 4)
+        for i in range(rng.randint(1, 3)):
+            if not scattered.is_mapped(base + i):
+                scattered.map(base + i, frame)
+                frame += 1
+
+    def run():
+        out = {}
+        for label, space in (
+            ("sparse", scattered), ("dense", dense.union_space()),
+        ):
+            tmap = TranslationMap.from_space(space)
+            fixed = ClusteredPageTable(space.layout)
+            variable = VariableClusteredPageTable(space.layout)
+            tmap.populate(fixed, base_pages_only=True)
+            tmap.populate(variable, base_pages_only=True)
+            out[label] = (fixed.size_bytes(), variable.size_bytes())
+        return out
+
+    sizes = benchmark.pedantic(run, rounds=1, iterations=1)
+    for label, (fixed, variable) in sizes.items():
+        benchmark.extra_info[f"{label}_fixed"] = fixed
+        benchmark.extra_info[f"{label}_variable"] = variable
+    assert sizes["sparse"][1] < sizes["sparse"][0]
+    assert sizes["dense"][1] <= sizes["dense"][0] * 1.05

@@ -1,0 +1,96 @@
+"""Benchmarks: the §7 extension studies (softTLB, multi-size, ASIDs)."""
+
+from benchmarks.conftest import BENCH_TRACE_LENGTH
+from repro.experiments import multiprog, multisize, softtlb
+
+
+def test_softtlb_frontend(benchmark, bench_workloads):
+    result = benchmark.pedantic(
+        lambda: softtlb.run(
+            workloads=("mp3d", "gcc"), trace_length=BENCH_TRACE_LENGTH
+        ),
+        rounds=1, iterations=1,
+    )
+    for row in result.rows:
+        table = dict(zip(result.headers[1:], row[1:]))
+        # §7: a software TLB makes the forward-mapped table tolerable.
+        bare = row[result.headers.index("forward-mapped")]
+        fronted = row[result.headers.index("forward-mapped") + 1]
+        benchmark.extra_info[f"{row[0]}_forward_bare"] = bare
+        benchmark.extra_info[f"{row[0]}_forward_fronted"] = fronted
+        assert fronted < bare
+        del table
+
+
+def test_multisize_configurations(benchmark):
+    result = benchmark.pedantic(lambda: multisize.run(), rounds=1, iterations=1)
+    rows = result.by_label()
+    clustered = rows["two-clustered (§7)"]
+    hashed = rows["five-hashed (per size)"]
+    benchmark.extra_info["clustered_bytes"] = clustered[1]
+    benchmark.extra_info["hashed_bytes"] = hashed[1]
+    benchmark.extra_info["clustered_lines"] = clustered[2]
+    benchmark.extra_info["hashed_lines"] = hashed[2]
+    # §7: fewer tables, less memory, cheaper walks.
+    assert clustered[0] < hashed[0]
+    assert clustered[1] < hashed[1]
+    assert clustered[2] < hashed[2]
+
+
+def test_multiprog_asid_study(benchmark):
+    result = benchmark.pedantic(
+        lambda: multiprog.run(trace_length=BENCH_TRACE_LENGTH),
+        rounds=1, iterations=1,
+    )
+    rows = result.by_label()
+    # At second-level-TLB sizes, ASID tagging must win clearly.
+    big = rows["compress/1024e"]
+    benchmark.extra_info["compress_1024e_ratio"] = big[3]
+    assert big[3] is not None and big[3] > 2.0
+
+
+def test_guarded_short_circuit(benchmark, bench_workloads):
+    from repro.experiments import guarded
+
+    from benchmarks.conftest import BENCH_TRACE_LENGTH as LENGTH
+
+    result = benchmark.pedantic(
+        lambda: guarded.run(workloads=("mp3d", "gcc"), trace_length=LENGTH),
+        rounds=1, iterations=1,
+    )
+    for row in result.rows:
+        name, forward_lines, guarded_lines, depth, fwd_bytes, g_bytes = row
+        benchmark.extra_info[f"{name}_guarded_lines"] = guarded_lines
+        # §2: partially effective — better than 7, far from 1.
+        assert 1.0 < guarded_lines < forward_lines
+
+
+def test_sasos_sparse_space(benchmark):
+    from repro.experiments import sasos
+
+    result = benchmark.pedantic(
+        lambda: sasos.run(object_counts=(100, 400)), rounds=1, iterations=1
+    )
+    for row in result.rows:
+        data = dict(zip(result.headers[1:], row[1:]))
+        benchmark.extra_info[f"{row[0]}_clustered"] = data["clustered"]
+        # §7: clustered below hashed, trees far above, at every scale.
+        assert data["clustered"] < 1.0
+        assert data["linear-1lvl"] > 2.0
+        assert data["forward-mapped"] > 2.0
+
+
+def test_real_cache_hypothesis(benchmark):
+    from repro.experiments import cachesim
+
+    from benchmarks.conftest import BENCH_TRACE_LENGTH as LENGTH
+
+    result = benchmark.pedantic(
+        lambda: cachesim.run(workloads=("mp3d",), trace_length=LENGTH),
+        rounds=1, iterations=1,
+    )
+    row = dict(zip(result.headers[1:], result.by_label()["mp3d"]))
+    benchmark.extra_info["hashed_missed"] = row["hashed missed"]
+    benchmark.extra_info["clustered_missed"] = row["clustered missed"]
+    # §6.1's prediction, quantified.
+    assert row["clustered missed"] < row["hashed missed"]

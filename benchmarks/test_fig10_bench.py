@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Figure 10 (sizes with superpage/subblock PTEs)."""
+
+from benchmarks.conftest import BENCH_WORKLOADS
+from repro.experiments import fig10
+
+
+def test_fig10_regeneration(benchmark, bench_workloads):
+    result = benchmark.pedantic(
+        lambda: fig10.run(workloads=BENCH_WORKLOADS + ("kernel",)),
+        rounds=1, iterations=1,
+    )
+    for row in result.rows:
+        label, *values = row
+        by_series = dict(zip(result.headers[1:], values))
+        benchmark.extra_info[f"{label}_clustered_subblock"] = (
+            by_series["clustered+subblock"]
+        )
+        # Wide PTEs must shrink clustered tables, monotonically.
+        assert (
+            by_series["clustered+subblock"]
+            <= by_series["clustered+superpage"]
+            < by_series["clustered"]
+        ), label
+        # And clustered+subblock beats hashed+superpage everywhere.
+        assert by_series["clustered+subblock"] < by_series["hashed+superpage"]

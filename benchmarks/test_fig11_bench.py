@@ -1,0 +1,44 @@
+"""Benchmarks: regenerate Figures 11a-d (cache lines per TLB miss)."""
+
+import pytest
+
+from benchmarks.conftest import BENCH_TRACE_LENGTH, BENCH_WORKLOADS
+from repro.experiments import fig11
+
+#: Per-subfigure shape assertions: (series, workload, low, high).
+SHAPE_CHECKS = {
+    "11a": [
+        ("forward-mapped", "mp3d", 6.9, 7.1),
+        ("clustered", "mp3d", 0.9, 1.4),
+        ("hashed", "coral", 1.0, 3.0),
+    ],
+    "11b": [
+        ("hashed-multi", "coral", 1.5, 3.0),
+        ("clustered", "coral", 0.9, 1.3),
+    ],
+    "11c": [
+        ("hashed-multi", "coral", 1.5, 3.0),
+        ("clustered", "coral", 0.9, 1.3),
+    ],
+    "11d": [
+        ("hashed", "mp3d", 10.0, 45.0),
+        ("clustered", "mp3d", 0.9, 1.5),
+        ("linear-1lvl", "mp3d", 0.9, 2.5),
+    ],
+}
+
+
+@pytest.mark.parametrize("figure", sorted(SHAPE_CHECKS))
+def test_fig11_regeneration(benchmark, bench_workloads, figure):
+    result = benchmark.pedantic(
+        lambda: fig11.run_subfigure(
+            figure, workloads=BENCH_WORKLOADS, trace_length=BENCH_TRACE_LENGTH
+        ),
+        rounds=1, iterations=1,
+    )
+    table = {row[0]: dict(zip(result.headers[1:], row[1:]))
+             for row in result.rows}
+    for series, workload, low, high in SHAPE_CHECKS[figure]:
+        value = table[workload][series]
+        benchmark.extra_info[f"{workload}_{series}"] = value
+        assert low <= value <= high, (figure, workload, series, value)

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 9 (single-page-size page table sizes)."""
+
+from benchmarks.conftest import BENCH_WORKLOADS
+from repro.experiments import fig9
+
+
+def test_fig9_regeneration(benchmark, bench_workloads):
+    result = benchmark.pedantic(
+        lambda: fig9.run(workloads=BENCH_WORKLOADS + ("kernel",)),
+        rounds=1, iterations=1,
+    )
+    for row in result.rows:
+        label, *values = row
+        by_series = dict(zip(result.headers[1:], values))
+        benchmark.extra_info[f"{label}_clustered"] = by_series["clustered"]
+        # The paper's headline: clustered smallest for every workload.
+        assert by_series["clustered"] == min(values), label

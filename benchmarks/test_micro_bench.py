@@ -1,0 +1,100 @@
+"""Micro-benchmarks: raw operation throughput of the core structures.
+
+These time the simulator's own primitives (not paper metrics): page-table
+lookups and inserts, TLB probes, and end-to-end MMU translations.  Useful
+for catching performance regressions in the library itself.
+"""
+
+import random
+
+import pytest
+
+from repro.addr.layout import AddressLayout
+from repro.core.clustered import ClusteredPageTable
+from repro.mmu.mmu import MMU
+from repro.mmu.tlb import FullyAssociativeTLB
+from repro.pagetables.forward import ForwardMappedPageTable
+from repro.pagetables.hashed import HashedPageTable
+from repro.pagetables.linear import LinearPageTable
+
+LAYOUT = AddressLayout()
+
+TABLES = {
+    "hashed": lambda: HashedPageTable(LAYOUT),
+    "clustered": lambda: ClusteredPageTable(LAYOUT),
+    "linear": lambda: LinearPageTable(LAYOUT),
+    "forward": lambda: ForwardMappedPageTable(LAYOUT),
+}
+
+
+def populated(factory, pages=2048):
+    table = factory()
+    for vpn in range(pages):
+        table.insert(0x10000 + vpn, 0x400 + vpn)
+    return table
+
+
+@pytest.mark.parametrize("name", sorted(TABLES))
+def test_lookup_throughput(benchmark, name):
+    table = populated(TABLES[name])
+    rng = random.Random(7)
+    probes = [0x10000 + rng.randrange(2048) for _ in range(512)]
+
+    def run():
+        for vpn in probes:
+            table.lookup(vpn)
+
+    benchmark(run)
+    benchmark.extra_info["lookups_per_round"] = len(probes)
+
+
+@pytest.mark.parametrize("name", sorted(TABLES))
+def test_insert_throughput(benchmark, name):
+    counter = [0]
+
+    def run():
+        table = TABLES[name]()
+        base = 0x100000 + counter[0] * 4096
+        counter[0] += 1
+        for vpn in range(base, base + 512):
+            table.insert(vpn, vpn & 0xFFFFF)
+
+    benchmark(run)
+    benchmark.extra_info["inserts_per_round"] = 512
+
+
+def test_tlb_probe_throughput(benchmark):
+    from repro.mmu.fill import build_entry
+    from repro.os.translation_map import LogicalPTE
+    from repro.pagetables.pte import PTEKind
+
+    tlb = FullyAssociativeTLB(64)
+    for vpn in range(64):
+        record = LogicalPTE(
+            kind=PTEKind.BASE, base_vpn=vpn, npages=1, base_ppn=vpn,
+            attrs=0, valid_mask=1,
+        )
+        tlb.fill(build_entry(tlb, record, vpn, vpn))
+    rng = random.Random(3)
+    probes = [rng.randrange(64) for _ in range(1024)]
+
+    def run():
+        for vpn in probes:
+            tlb.lookup(vpn)
+
+    benchmark(run)
+    benchmark.extra_info["probes_per_round"] = len(probes)
+
+
+def test_mmu_translate_throughput(benchmark):
+    table = populated(TABLES["clustered"])
+    mmu = MMU(FullyAssociativeTLB(64), table)
+    rng = random.Random(11)
+    trace = [0x10000 + rng.randrange(2048) for _ in range(1024)]
+
+    def run():
+        for vpn in trace:
+            mmu.translate(vpn)
+
+    benchmark(run)
+    benchmark.extra_info["translations_per_round"] = len(trace)

@@ -1,0 +1,49 @@
+"""Benchmarks: the §6.3/§7 sensitivity sweeps."""
+
+from repro.experiments import sensitivity
+
+
+def test_cache_line_sensitivity(benchmark):
+    result = benchmark.pedantic(
+        lambda: sensitivity.cache_line_sweep(
+            workload_name="coral", probe_count=8_000
+        ),
+        rounds=1, iterations=1,
+    )
+    rows = result.by_label()
+    # §6.3: subblock factor 16 pays ~0.6 extra lines at 64B vs 256B and
+    # ~0.1 at 128B.
+    span_64 = rows["s=16"][0] - rows["s=16"][2]
+    span_128 = rows["s=16"][1] - rows["s=16"][2]
+    benchmark.extra_info["span_penalty_64B"] = round(span_64, 3)
+    benchmark.extra_info["span_penalty_128B"] = round(span_128, 3)
+    assert 0.3 < span_64 < 0.9
+    assert 0.0 <= span_128 < 0.3
+
+
+def test_subblock_factor_sensitivity(benchmark):
+    result = benchmark.pedantic(
+        lambda: sensitivity.subblock_factor_sweep(workload_name="gcc"),
+        rounds=1, iterations=1,
+    )
+    ratios = {row[0]: row[3] for row in result.rows}
+    benchmark.extra_info.update(ratios)
+    # Sparse workload: a mid-range factor beats both extremes.
+    assert min(ratios.values()) < ratios["s=2"]
+    assert min(ratios.values()) < ratios["s=32"]
+
+
+def test_bucket_count_sensitivity(benchmark):
+    result = benchmark.pedantic(
+        lambda: sensitivity.bucket_count_sweep(
+            workload_name="ML", probe_count=8_000
+        ),
+        rounds=1, iterations=1,
+    )
+    first, last = result.rows[0], result.rows[-1]
+    benchmark.extra_info["hashed_lines_small"] = first[2]
+    benchmark.extra_info["hashed_lines_large"] = last[2]
+    # More buckets -> shorter chains (§7), and clustered stays ahead.
+    assert last[2] < first[2]
+    for row in result.rows:
+        assert row[4] <= row[2]

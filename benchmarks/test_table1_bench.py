@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Table 1 (workload characteristics)."""
+
+from benchmarks.conftest import BENCH_TRACE_LENGTH, BENCH_WORKLOADS
+from repro.experiments import table1
+
+
+def test_table1_regeneration(benchmark, bench_workloads):
+    result = benchmark.pedantic(
+        lambda: table1.run(
+            workloads=BENCH_WORKLOADS, trace_length=BENCH_TRACE_LENGTH
+        ),
+        rounds=1, iterations=1,
+    )
+    rows = result.by_label()
+    benchmark.extra_info["workloads"] = len(result.rows)
+    for name in BENCH_WORKLOADS:
+        benchmark.extra_info[f"{name}_misses_per_1k"] = rows[name][2]
+        benchmark.extra_info[f"{name}_hashed_kb"] = rows[name][5]
+    # Table shape: sim footprints near the paper's Table 1 column 5.
+    for name in BENCH_WORKLOADS:
+        sim_kb, paper_kb = rows[name][5], rows[name][6]
+        assert abs(sim_kb - paper_kb) / paper_kb < 0.15

@@ -1,0 +1,21 @@
+"""Benchmark: validate the appendix Table 2 formulae against simulation."""
+
+from benchmarks.conftest import BENCH_WORKLOADS
+from repro.experiments import table2
+
+
+def test_table2_validation(benchmark, bench_workloads):
+    result = benchmark.pedantic(
+        lambda: table2.run(workloads=BENCH_WORKLOADS, probe_count=10_000),
+        rounds=1, iterations=1,
+    )
+    worst_size = 1.0
+    worst_access = 1.0
+    for case, metric, formula, simulated, ratio in result.rows:
+        if metric == "size B":
+            assert ratio == 1.0, case  # size formulae are exact
+        else:
+            worst_access = max(worst_access, abs(ratio - 1.0) + 1.0)
+            assert 0.85 < ratio < 1.15, case
+    benchmark.extra_info["worst_size_ratio"] = worst_size
+    benchmark.extra_info["worst_access_ratio"] = round(worst_access, 4)

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""fork() with copy-on-write over clustered page tables.
+
+The classic OS sequence, end to end on this library's machinery: a parent
+maps its image, forks — every frame shared read-only between two page
+tables — and both processes run.  Reads stay shared; each first write
+takes a protection fault, the COW handler copies the frame, and the pair
+diverge one page at a time.
+
+Run:  python examples/fork_cow.py
+"""
+
+import random
+
+from repro import ClusteredPageTable, FullyAssociativeTLB
+from repro.os.cow import COWManager
+
+
+def main() -> None:
+    cow = COWManager(
+        ClusteredPageTable(), ClusteredPageTable(),
+        lambda: FullyAssociativeTLB(32), frames=1024,
+    )
+    for vpn in range(0x1000, 0x1040):     # a 256 KB parent image
+        cow.map_parent(vpn)
+    shared = cow.fork()
+    print(f"forked: {shared} pages shared read-only "
+          f"(parent table {cow.parent.page_table.size_bytes()} B, "
+          f"child table {cow.child.page_table.size_bytes()} B)\n")
+
+    rng = random.Random(7)
+    for step in range(2_000):
+        who = "parent" if rng.random() < 0.5 else "child"
+        vpn = 0x1000 + rng.randrange(0x40)
+        if rng.random() < 0.1:            # 10% writes
+            cow.write(who, vpn)
+        else:
+            cow.read(who, vpn)
+        if step in (0, 99, 499, 1999):
+            s = cow.stats
+            print(f"after {step + 1:4d} accesses: shared={cow.shared_pages:2d}  "
+                  f"breaks={s.cow_breaks:2d}  frames copied={s.frames_copied:2d}  "
+                  f"protection faults="
+                  f"{cow.parent_mmu.stats.protection_faults + cow.child_mmu.stats.protection_faults}")
+
+    cow.check_consistency()
+    print("\nconsistency verified: every broken page has two frames, "
+          "every shared page one.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Multiprogramming: context-switch flushes vs ASID-tagged TLBs (§7).
+
+The paper's §7 warns that multiprogramming "can increase the number of
+TLB misses and make TLB miss handling more significant".  This example
+schedules two processes round-robin over one TLB and compares flushing at
+every switch (the paper's simulation environment) against ASID tagging
+(what 64-bit processors actually ship), across TLB sizes.
+
+Run:  python examples/multiprogramming.py
+"""
+
+import numpy as np
+
+from repro import AddressSpace, FullyAssociativeTLB, TranslationMap
+from repro.mmu.asid import ASIDTaggedTLB
+from repro.mmu.simulate import collect_misses
+from repro.workloads.trace import Trace
+
+
+def make_process(base_vpn: int, pages: int, refs: int, seed: int) -> Trace:
+    """A process looping over its working set with mild randomness."""
+    rng = np.random.default_rng(seed)
+    vpns = base_vpn + rng.integers(0, pages, size=refs, dtype=np.int64)
+    return Trace(vpns, name=f"proc@{base_vpn:#x}")
+
+
+def main() -> None:
+    space = AddressSpace(name="two-procs")
+    for vpn in range(0x1000, 0x1000 + 48):
+        space.map(vpn, vpn - 0x800)
+    for vpn in range(0x90000, 0x90000 + 48):
+        space.map(vpn, vpn - 0x80000)
+    tmap = TranslationMap.from_space(space)
+
+    schedule = Trace.interleave(
+        [
+            make_process(0x1000, 48, 30_000, seed=1),
+            make_process(0x90000, 48, 30_000, seed=2),
+        ],
+        quantum=2_000,
+    )
+    print(f"schedule: {len(schedule)} refs, "
+          f"{len(schedule.switch_points)} context switches\n")
+
+    print(f"{'TLB entries':>11s} {'flush misses':>13s} {'ASID misses':>12s} "
+          f"{'ratio':>6s}")
+    for entries in (32, 64, 128, 256):
+        flush = collect_misses(schedule, FullyAssociativeTLB(entries), tmap)
+        asid = collect_misses(
+            schedule, ASIDTaggedTLB(FullyAssociativeTLB(entries)), tmap
+        )
+        ratio = flush.misses / asid.misses if asid.misses else float("inf")
+        print(f"{entries:11d} {flush.misses:13d} {asid.misses:12d} "
+              f"{ratio:6.1f}")
+
+    print(
+        "\nBoth working sets total 96 pages: once the TLB holds them "
+        "(128+ entries), flushing pays ~full-working-set reloads per "
+        "switch while ASID tagging misses only compulsorily."
+    )
+
+
+if __name__ == "__main__":
+    main()

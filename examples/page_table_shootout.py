@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Page-table shootout over a paper workload (the §6 methodology, small).
+
+Loads one calibrated workload, builds the full comparison set of page
+tables from the same snapshot, and measures both paper metrics — table
+size and cache lines per TLB miss — under two TLB architectures.  This is
+Figures 9/11a/11d for a single workload, runnable in a few seconds.
+
+Run:  python examples/page_table_shootout.py [workload]
+"""
+
+import sys
+
+from repro import load_workload
+from repro.analysis.metrics import make_table, normalised_sizes
+from repro.experiments.common import get_translation_map
+from repro.mmu.simulate import collect_misses, replay_misses
+from repro.mmu.subblock_tlb import CompleteSubblockTLB
+from repro.mmu.tlb import FullyAssociativeTLB
+from repro.os.translation_map import TranslationMap
+
+SERIES = ("linear-1lvl", "forward-mapped", "hashed", "clustered")
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "mp3d"
+    workload = load_workload(name, trace_length=60_000)
+    print(f"workload {name}: {workload.total_mapped_pages()} mapped pages, "
+          f"{len(workload.trace)} references")
+
+    tmap = TranslationMap.from_space(workload.union_space())
+    tables = {}
+    sizes = {}
+    for series in SERIES:
+        table = make_table(series)
+        tmap.populate(table, base_pages_only=True)
+        tables[series] = table
+        sizes[series] = table.size_bytes()
+    norm = normalised_sizes(sizes, "hashed")
+
+    print(f"\n{'table':16s} {'bytes':>10s} {'vs hashed':>10s}")
+    for series in SERIES:
+        print(f"{series:16s} {sizes[series]:10,d} {norm[series]:10.3f}")
+
+    for label, tlb, complete in [
+        ("single-page-size TLB", FullyAssociativeTLB(64), False),
+        ("complete-subblock TLB + prefetch", CompleteSubblockTLB(64), True),
+    ]:
+        stream = collect_misses(workload.trace, tlb, tmap)
+        print(f"\n{label}: {stream.misses} misses "
+              f"(miss ratio {stream.miss_ratio:.4f})")
+        print(f"{'table':16s} {'lines/miss':>11s}")
+        for series in SERIES:
+            table = make_table(series)
+            tmap.populate(table, base_pages_only=True)
+            replay = replay_misses(stream, table, complete_subblock=complete)
+            print(f"{series:16s} {replay.lines_per_miss:11.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Multiprocessor page tables: shared walks and TLB shootdowns (§3.1).
+
+Section 3.1 discusses page tables under multi-threaded operating systems.
+This example runs a four-CPU system over one shared clustered page table:
+each CPU translates its own reference stream, then the OS unmaps a buffer
+— requiring a TLB shootdown — under both IPI-batching strategies, and
+finally the bucket-lock accounting shows the clustered table's
+once-per-block locking advantage over a hashed table for range
+operations.
+
+Run:  python examples/smp_shootdown.py
+"""
+
+import random
+
+from repro import ClusteredPageTable, FullyAssociativeTLB, HashedPageTable
+from repro.os.shootdown import SMPSystem
+from repro.os.vm import VirtualMemoryManager
+
+
+def run_smp(batch: bool) -> None:
+    table = ClusteredPageTable()
+    for vpn in range(0x1000, 0x1100):
+        table.insert(vpn, vpn + 0x4000)
+    smp = SMPSystem(
+        table, lambda: FullyAssociativeTLB(64), ncpus=4,
+        batch_range_shootdowns=batch,
+    )
+    rng = random.Random(3)
+    for cpu in range(4):
+        for _ in range(5_000):
+            smp.translate(cpu, 0x1000 + rng.randrange(0x100))
+
+    smp.unmap_range(0x1040, 64)  # tear down a 256 KB buffer
+
+    label = "batched" if batch else "per-page"
+    print(f"{label:9s}: shootdown rounds={smp.stats.shootdowns:3d}  "
+          f"IPIs={smp.stats.ipis_sent:4d}  "
+          f"entries invalidated={smp.stats.entries_invalidated:3d}  "
+          f"total TLB misses={smp.total_tlb_misses()}")
+
+
+def lock_comparison() -> None:
+    print("\nbucket-lock acquisitions for a 64-page map+protect+unmap cycle:")
+    for name, table in (
+        ("clustered", ClusteredPageTable()),
+        ("hashed   ", HashedPageTable()),
+    ):
+        vm = VirtualMemoryManager(table)
+        vm.map_range(0x2000, 64)
+        vm.protect_range(0x2000, 64, attrs=0x1)
+        vm.unmap_range(0x2000, 64)
+        print(f"  {name}: {vm.locks.stats.acquisitions:4d} acquisitions "
+              f"({vm.page_table.stats.op_nodes_visited} nodes visited)")
+    print(
+        "\nClustered tables lock once per 16-page block (§3.1); hashed "
+        "tables once per page — a 16x difference on range operations."
+    )
+
+
+def main() -> None:
+    print("4 CPUs, shared clustered page table, 64-page unmap:\n")
+    run_smp(batch=True)
+    run_smp(batch=False)
+    lock_comparison()
+
+
+if __name__ == "__main__":
+    main()

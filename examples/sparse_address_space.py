@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Sparse 64-bit address spaces: where page-table designs diverge (§2–§3).
+
+Emulates the address space the paper says 64-bit programs will have —
+objects "scattered anywhere in the address space", "bursty and not
+arbitrarily sparse" — and sizes every page table over the same snapshot.
+Linear tables pay a 4 KB page per touched 2 MB region; hashed tables pay
+24 bytes per page regardless; clustered tables pay one node per touched
+64 KB block, the sweet spot the paper identifies.
+
+Run:  python examples/sparse_address_space.py
+"""
+
+import random
+
+from repro import (
+    AddressLayout,
+    AddressSpace,
+    ClusteredPageTable,
+    ForwardMappedPageTable,
+    HashedPageTable,
+    LinearPageTable,
+    VariableClusteredPageTable,
+)
+
+
+def build_sparse_space(layout: AddressLayout, objects: int, seed: int = 42
+                       ) -> AddressSpace:
+    """Scatter medium-sized objects across the full 64-bit space."""
+    rng = random.Random(seed)
+    space = AddressSpace(layout, "sparse-64bit")
+    next_frame = 0
+    for _ in range(objects):
+        # Objects are 1-24 pages, placed anywhere in the 52-bit VPN space.
+        npages = rng.randint(1, 24)
+        base = rng.randrange(0, layout.max_vpn - 32)
+        for i in range(npages):
+            if not space.is_mapped(base + i):
+                space.map(base + i, next_frame)
+                next_frame += 1
+    return space
+
+
+def main() -> None:
+    layout = AddressLayout()
+    space = build_sparse_space(layout, objects=400)
+    pages = len(space)
+    blocks = space.nactive(layout.subblock_factor)
+    print(f"sparse space: {pages} pages in {blocks} page blocks "
+          f"({space.nactive(512)} touched 2MB regions), "
+          f"mean block population {space.mean_block_population():.1f}")
+
+    tables = [
+        ("linear-6lvl", LinearPageTable(layout, structure="multilevel")),
+        ("linear-1lvl", LinearPageTable(layout, structure="ideal")),
+        ("linear-hashed", LinearPageTable(layout, structure="hashed")),
+        ("forward-mapped", ForwardMappedPageTable(layout)),
+        ("hashed", HashedPageTable(layout)),
+        ("hashed-packed", HashedPageTable(layout, packed=True)),
+        ("clustered", ClusteredPageTable(layout)),
+        ("variable-clustered", VariableClusteredPageTable(layout)),
+    ]
+    print(f"\n{'page table':20s} {'bytes':>12s} {'bytes/page':>11s}")
+    for name, table in tables:
+        for vpn, mapping in space.items():
+            table.insert(vpn, mapping.ppn, mapping.attrs)
+        size = table.size_bytes()
+        print(f"{name:20s} {size:12,d} {size / pages:11.1f}")
+
+    print(
+        "\nExpect: the 6-level linear tree pays for sparse upper levels; "
+        "hashed is a flat 24 B/page; clustered beats hashed whenever "
+        "blocks average >2.7 pages; the variable-factor table recovers "
+        "the loss on nearly-empty blocks."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+All real metadata lives in ``pyproject.toml``; this file only enables
+``pip install -e . --no-build-isolation --no-use-pep517`` on machines
+where PEP 517 editable builds are unavailable (e.g. offline hosts missing
+the ``wheel`` distribution).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,123 @@
+"""repro — clustered page tables for 64-bit address spaces.
+
+A full reimplementation and simulation study of
+
+    Madhusudhan Talluri, Mark D. Hill, Yousef A. Khalidi.
+    "A New Page Table for 64-bit Address Spaces."  SOSP 1995.
+
+The package provides:
+
+- every page table the paper discusses — linear (multi-level, idealised,
+  hashed-backed), forward-mapped, hashed (plain, packed, superpage-index,
+  multiple-table), inverted, software-TLB, and the paper's contribution,
+  the **clustered page table** with superpage and partial-subblock PTEs;
+- the hardware substrate — fully/set-associative TLBs, superpage TLBs,
+  partial- and complete-subblock TLBs with prefetch, a cache-line cost
+  model, and an MMU miss handler;
+- the operating-system substrate — page-reservation frame allocation,
+  dynamic page-size assignment, a VM manager, and bucket-lock models;
+- calibrated synthetic versions of the paper's ten workloads; and
+- experiment drivers regenerating every table and figure of §6.
+
+Quick start::
+
+    from repro import ClusteredPageTable, FullyAssociativeTLB, MMU
+
+    table = ClusteredPageTable()
+    for vpn in range(32):
+        table.insert(0x1000 + vpn, 0x400 + vpn)
+    mmu = MMU(FullyAssociativeTLB(64), table)
+    mmu.translate(0x1005)
+    print(mmu.stats.lines_per_miss)
+"""
+
+from repro.addr import AddressLayout, AddressSpace, DEFAULT_LAYOUT, Mapping, Segment
+from repro.core import ClusteredPageTable, VariableClusteredPageTable
+from repro.errors import (
+    AddressError,
+    AlignmentError,
+    ConfigurationError,
+    EncodingError,
+    MappingExistsError,
+    OutOfMemoryError,
+    PageFaultError,
+    ProtectionFaultError,
+    ReproError,
+)
+from repro.mmu import (
+    MMU,
+    CacheModel,
+    CompleteSubblockTLB,
+    FullyAssociativeTLB,
+    PartialSubblockTLB,
+    SetAssociativeTLB,
+    SuperpageTLB,
+    TLBEntry,
+)
+from repro.os import (
+    DynamicPageSizePolicy,
+    FrameAllocator,
+    ReservationAllocator,
+    TranslationMap,
+    VirtualMemoryManager,
+)
+from repro.pagetables import (
+    ForwardMappedPageTable,
+    HashedPageTable,
+    InvertedPageTable,
+    LinearPageTable,
+    LookupResult,
+    MultiplePageTables,
+    PTEKind,
+    PageTable,
+    SoftwareTLBTable,
+    SuperpageIndexHashedPageTable,
+)
+from repro.workloads import PAPER_WORKLOADS, Trace, load_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AddressError",
+    "AddressLayout",
+    "AddressSpace",
+    "AlignmentError",
+    "CacheModel",
+    "ClusteredPageTable",
+    "CompleteSubblockTLB",
+    "ConfigurationError",
+    "DEFAULT_LAYOUT",
+    "DynamicPageSizePolicy",
+    "EncodingError",
+    "ForwardMappedPageTable",
+    "FrameAllocator",
+    "FullyAssociativeTLB",
+    "HashedPageTable",
+    "InvertedPageTable",
+    "LinearPageTable",
+    "LookupResult",
+    "MMU",
+    "Mapping",
+    "MappingExistsError",
+    "MultiplePageTables",
+    "OutOfMemoryError",
+    "PAPER_WORKLOADS",
+    "PTEKind",
+    "PageFaultError",
+    "PageTable",
+    "ProtectionFaultError",
+    "PartialSubblockTLB",
+    "ReproError",
+    "ReservationAllocator",
+    "Segment",
+    "SetAssociativeTLB",
+    "SoftwareTLBTable",
+    "SuperpageIndexHashedPageTable",
+    "SuperpageTLB",
+    "TLBEntry",
+    "Trace",
+    "TranslationMap",
+    "VariableClusteredPageTable",
+    "VirtualMemoryManager",
+    "load_workload",
+]

@@ -1,0 +1,35 @@
+"""Address-space substrate: 64-bit virtual address geometry and sparse maps.
+
+This package models the *virtual address* side of the paper:
+
+- :mod:`repro.addr.layout` — page/page-block arithmetic for a 64-bit
+  virtual address space: splitting addresses into virtual page numbers
+  (VPN), virtual page block numbers (VPBN), and block offsets (Boff), plus
+  superpage alignment mathematics.
+- :mod:`repro.addr.space` — a sparse :class:`~repro.addr.space.AddressSpace`
+  holding the set of valid virtual-to-physical mappings for one process,
+  with the density/burstiness statistics the page-table size experiments
+  consume.
+"""
+
+from repro.addr.layout import (
+    AddressLayout,
+    DEFAULT_LAYOUT,
+    KB,
+    MB,
+    GB,
+    TB,
+)
+from repro.addr.space import AddressSpace, Mapping, Segment
+
+__all__ = [
+    "AddressLayout",
+    "AddressSpace",
+    "DEFAULT_LAYOUT",
+    "Mapping",
+    "Segment",
+    "KB",
+    "MB",
+    "GB",
+    "TB",
+]

@@ -1,0 +1,263 @@
+"""64-bit virtual address geometry.
+
+The paper assumes a 64-bit virtual address space with a 4 KB base page and
+page blocks of an aligned group of consecutive base pages (the *subblock
+factor*, typically sixteen, giving 64 KB page blocks).  This module collects
+all the shift-and-mask arithmetic in one place so the page tables, TLBs, and
+workload generators all agree on how an address decomposes:
+
+::
+
+    63                          16 15    12 11         0
+    +-----------------------------+--------+------------+
+    |            VPBN             |  Boff  | page offset|   (s = 16)
+    +-----------------------------+--------+------------+
+    |                VPN                   |
+    +--------------------------------------+
+
+where ``VPN = va >> page_shift``, ``Boff = VPN mod s``, and
+``VPBN = VPN div s``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AddressError, AlignmentError, ConfigurationError
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+TB = 1024 * GB
+
+#: Number of bits in a full virtual address (the paper's subject).
+VA_BITS = 64
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True when ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_exact(value: int) -> int:
+    """Return log2 of a power of two, raising otherwise.
+
+    >>> log2_exact(4096)
+    12
+    """
+    if not is_power_of_two(value):
+        raise ConfigurationError(f"{value} is not a power of two")
+    return value.bit_length() - 1
+
+
+@dataclass(frozen=True)
+class AddressLayout:
+    """Immutable description of how virtual addresses decompose.
+
+    Parameters
+    ----------
+    page_shift:
+        log2 of the base page size.  The paper uses 12 (4 KB pages)
+        throughout.
+    subblock_factor:
+        Number of base pages per page block (the paper's ``s``); must be a
+        power of two.  The paper's default is sixteen (64 KB page blocks).
+    va_bits:
+        Virtual address width.  64 for the paper's subject machines.
+    pa_bits:
+        Physical address width.  The paper's example PTE (Figure 1) assumes
+        a 40-bit physical address, i.e. a 28-bit PPN with 4 KB pages.
+    """
+
+    page_shift: int = 12
+    subblock_factor: int = 16
+    va_bits: int = VA_BITS
+    pa_bits: int = 40
+
+    # Derived fields (computed in __post_init__).
+    block_shift: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.page_shift < 1 or self.page_shift >= self.va_bits:
+            raise ConfigurationError(
+                f"page_shift {self.page_shift} out of range for "
+                f"{self.va_bits}-bit addresses"
+            )
+        if not is_power_of_two(self.subblock_factor):
+            raise ConfigurationError(
+                f"subblock factor must be a power of two, got "
+                f"{self.subblock_factor}"
+            )
+        if self.pa_bits <= self.page_shift:
+            raise ConfigurationError(
+                f"pa_bits {self.pa_bits} must exceed page_shift "
+                f"{self.page_shift}"
+            )
+        object.__setattr__(
+            self,
+            "block_shift",
+            self.page_shift + log2_exact(self.subblock_factor),
+        )
+
+    # ------------------------------------------------------------------
+    # Sizes
+    # ------------------------------------------------------------------
+    @property
+    def page_size(self) -> int:
+        """Base page size in bytes (4096 for the paper)."""
+        return 1 << self.page_shift
+
+    @property
+    def block_size(self) -> int:
+        """Page block size in bytes (64 KB for the paper's defaults)."""
+        return 1 << self.block_shift
+
+    @property
+    def vpn_bits(self) -> int:
+        """Number of bits in a virtual page number."""
+        return self.va_bits - self.page_shift
+
+    @property
+    def ppn_bits(self) -> int:
+        """Number of bits in a physical page number."""
+        return self.pa_bits - self.page_shift
+
+    @property
+    def max_vpn(self) -> int:
+        """Largest representable virtual page number."""
+        return (1 << self.vpn_bits) - 1
+
+    @property
+    def max_ppn(self) -> int:
+        """Largest representable physical page number."""
+        return (1 << self.ppn_bits) - 1
+
+    # ------------------------------------------------------------------
+    # Address decomposition
+    # ------------------------------------------------------------------
+    def vpn(self, va: int) -> int:
+        """Virtual page number of a virtual address."""
+        self.check_va(va)
+        return va >> self.page_shift
+
+    def page_offset(self, va: int) -> int:
+        """Byte offset of a virtual address within its base page."""
+        self.check_va(va)
+        return va & (self.page_size - 1)
+
+    def va_of_vpn(self, vpn: int) -> int:
+        """First virtual address of a virtual page."""
+        self.check_vpn(vpn)
+        return vpn << self.page_shift
+
+    def vpbn(self, vpn: int) -> int:
+        """Virtual page block number of a virtual page (the hash tag)."""
+        self.check_vpn(vpn)
+        return vpn >> log2_exact(self.subblock_factor)
+
+    def boff(self, vpn: int) -> int:
+        """Block offset: index of a virtual page within its page block."""
+        self.check_vpn(vpn)
+        return vpn & (self.subblock_factor - 1)
+
+    def split(self, vpn: int) -> tuple[int, int]:
+        """Split a VPN into ``(VPBN, Boff)`` as the clustered lookup does."""
+        return self.vpbn(vpn), self.boff(vpn)
+
+    def vpn_of_block(self, vpbn: int, boff: int = 0) -> int:
+        """Inverse of :meth:`split`: rebuild a VPN from block coordinates."""
+        if not 0 <= boff < self.subblock_factor:
+            raise AddressError(
+                f"block offset {boff} out of range for subblock factor "
+                f"{self.subblock_factor}"
+            )
+        vpn = (vpbn << log2_exact(self.subblock_factor)) | boff
+        self.check_vpn(vpn)
+        return vpn
+
+    def block_base_vpn(self, vpn: int) -> int:
+        """First VPN of the page block containing ``vpn``."""
+        return vpn & ~(self.subblock_factor - 1)
+
+    def block_vpns(self, vpbn: int) -> range:
+        """All VPNs belonging to one page block, lowest first."""
+        base = self.vpn_of_block(vpbn)
+        return range(base, base + self.subblock_factor)
+
+    # ------------------------------------------------------------------
+    # Superpage arithmetic
+    # ------------------------------------------------------------------
+    def superpage_pages(self, size_bytes: int) -> int:
+        """Number of base pages in a superpage of ``size_bytes`` bytes."""
+        if size_bytes % self.page_size:
+            raise AlignmentError(
+                f"superpage size {size_bytes} is not a multiple of the "
+                f"{self.page_size}-byte base page"
+            )
+        npages = size_bytes // self.page_size
+        if not is_power_of_two(npages):
+            raise AlignmentError(
+                f"superpage size {size_bytes} is not a power-of-two "
+                f"multiple of the base page"
+            )
+        return npages
+
+    def is_superpage_aligned(self, vpn: int, npages: int) -> bool:
+        """True when ``vpn`` is naturally aligned for an ``npages`` superpage.
+
+        The paper (§4.1) requires superpages to be aligned in both virtual
+        and physical memory; this is the virtual half of that check.
+        """
+        if not is_power_of_two(npages):
+            raise AlignmentError(f"superpage page count {npages} not a power of two")
+        return (vpn & (npages - 1)) == 0
+
+    def superpage_base(self, vpn: int, npages: int) -> int:
+        """First VPN of the ``npages``-page superpage containing ``vpn``."""
+        if not is_power_of_two(npages):
+            raise AlignmentError(f"superpage page count {npages} not a power of two")
+        return vpn & ~(npages - 1)
+
+    def properly_placed(self, vpn: int, ppn: int, npages: int) -> bool:
+        """True when a VPN→PPN pair sits at matching offsets in an aligned
+        ``npages`` block on both the virtual and physical side.
+
+        This is the paper's *proper placement* condition (§4.1): a physical
+        page participates in a superpage or partial-subblock PTE only when
+        it occupies the slot in an aligned physical block corresponding to
+        its slot in the aligned virtual block.
+        """
+        if not is_power_of_two(npages):
+            raise AlignmentError(f"block page count {npages} not a power of two")
+        return (vpn & (npages - 1)) == (ppn & (npages - 1))
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def check_va(self, va: int) -> None:
+        """Raise :class:`AddressError` unless ``va`` is representable."""
+        if not 0 <= va < (1 << self.va_bits):
+            raise AddressError(f"virtual address {va:#x} outside {self.va_bits}-bit space")
+
+    def check_vpn(self, vpn: int) -> None:
+        """Raise :class:`AddressError` unless ``vpn`` is representable."""
+        if not 0 <= vpn <= self.max_vpn:
+            raise AddressError(f"VPN {vpn:#x} outside {self.vpn_bits}-bit range")
+
+    def check_ppn(self, ppn: int) -> None:
+        """Raise :class:`AddressError` unless ``ppn`` is representable."""
+        if not 0 <= ppn <= self.max_ppn:
+            raise AddressError(f"PPN {ppn:#x} outside {self.ppn_bits}-bit range")
+
+    def describe(self) -> str:
+        """Human-readable one-line summary of the layout."""
+        return (
+            f"{self.va_bits}-bit VA, {self.page_size // KB} KB pages, "
+            f"subblock factor {self.subblock_factor} "
+            f"({self.block_size // KB} KB page blocks), "
+            f"{self.pa_bits}-bit PA"
+        )
+
+
+#: The paper's base configuration: 64-bit VA, 4 KB pages, subblock factor 16.
+DEFAULT_LAYOUT = AddressLayout()

@@ -1,0 +1,231 @@
+"""Sparse per-process address space model.
+
+The paper's size experiments (§6.1) take "a snapshot of each workload's
+mappings at a point near the program's maximum memory use" and build every
+candidate page table from that snapshot.  :class:`AddressSpace` is that
+snapshot: the set of valid VPN→PPN mappings for one process, organised so
+the experiments can ask the questions the paper's formulae need —
+``Nactive(P)``, page-block population histograms, and density statistics.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.addr.layout import AddressLayout, DEFAULT_LAYOUT
+from repro.errors import AddressError, MappingExistsError, PageFaultError
+
+#: Default attribute bits for a fresh mapping: valid, readable, writable.
+DEFAULT_ATTRS = 0x7
+
+
+@dataclass(frozen=True)
+class Mapping:
+    """One valid virtual-to-physical page mapping.
+
+    ``attrs`` carries the 12 bits of combined software/hardware attributes
+    from the paper's example PTE (Figure 1): protection, reference/modified,
+    cacheability, and software-reserved bits.  The library treats them as an
+    opaque bit field.
+    """
+
+    ppn: int
+    attrs: int = DEFAULT_ATTRS
+
+    def with_attrs(self, attrs: int) -> "Mapping":
+        """Return a copy of this mapping with replaced attribute bits."""
+        return Mapping(self.ppn, attrs)
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A named, contiguous virtual address region (text, heap, a mmap, ...).
+
+    Segments exist for workload modelling and reporting; translation only
+    consults the per-page mappings.
+    """
+
+    name: str
+    base_vpn: int
+    npages: int
+
+    @property
+    def end_vpn(self) -> int:
+        """One past the last VPN of the segment."""
+        return self.base_vpn + self.npages
+
+    def __contains__(self, vpn: int) -> bool:
+        return self.base_vpn <= vpn < self.end_vpn
+
+
+class AddressSpace:
+    """The set of valid mappings for one process.
+
+    This is the ground truth that page tables are built from and validated
+    against.  It deliberately has no page-table structure of its own — a
+    plain dictionary — so that every page table implementation can be
+    cross-checked against it.
+    """
+
+    def __init__(
+        self,
+        layout: AddressLayout = DEFAULT_LAYOUT,
+        name: str = "anonymous",
+    ):
+        self.layout = layout
+        self.name = name
+        self._mappings: Dict[int, Mapping] = {}
+        self._segments: List[Segment] = []
+
+    # ------------------------------------------------------------------
+    # Mapping maintenance
+    # ------------------------------------------------------------------
+    def map(self, vpn: int, ppn: int, attrs: int = DEFAULT_ATTRS) -> None:
+        """Install a mapping; raises if the VPN is already mapped."""
+        self.layout.check_vpn(vpn)
+        self.layout.check_ppn(ppn)
+        if vpn in self._mappings:
+            raise MappingExistsError(vpn)
+        self._mappings[vpn] = Mapping(ppn, attrs)
+
+    def map_range(
+        self,
+        base_vpn: int,
+        ppns: Iterable[int],
+        attrs: int = DEFAULT_ATTRS,
+    ) -> None:
+        """Map consecutive VPNs starting at ``base_vpn`` to given PPNs."""
+        for i, ppn in enumerate(ppns):
+            self.map(base_vpn + i, ppn, attrs)
+
+    def remap(self, vpn: int, ppn: int, attrs: int = DEFAULT_ATTRS) -> None:
+        """Replace the mapping for an already-mapped VPN."""
+        if vpn not in self._mappings:
+            raise PageFaultError(vpn, f"cannot remap unmapped VPN {vpn:#x}")
+        self.layout.check_ppn(ppn)
+        self._mappings[vpn] = Mapping(ppn, attrs)
+
+    def unmap(self, vpn: int) -> Mapping:
+        """Remove and return the mapping for a VPN."""
+        try:
+            return self._mappings.pop(vpn)
+        except KeyError:
+            raise PageFaultError(vpn, f"cannot unmap unmapped VPN {vpn:#x}") from None
+
+    def translate(self, vpn: int) -> Mapping:
+        """Return the mapping for a VPN, raising :class:`PageFaultError`."""
+        try:
+            return self._mappings[vpn]
+        except KeyError:
+            raise PageFaultError(vpn) from None
+
+    def get(self, vpn: int) -> Optional[Mapping]:
+        """Return the mapping for a VPN or None when unmapped."""
+        return self._mappings.get(vpn)
+
+    def is_mapped(self, vpn: int) -> bool:
+        """True when the VPN has a valid mapping."""
+        return vpn in self._mappings
+
+    def protect(self, vpn: int, attrs: int) -> None:
+        """Replace the attribute bits of an existing mapping."""
+        mapping = self.translate(vpn)
+        self._mappings[vpn] = mapping.with_attrs(attrs)
+
+    # ------------------------------------------------------------------
+    # Segments
+    # ------------------------------------------------------------------
+    def add_segment(self, segment: Segment) -> None:
+        """Record a named region (for workload modelling and reports)."""
+        self._segments.append(segment)
+
+    @property
+    def segments(self) -> Tuple[Segment, ...]:
+        """All recorded segments, in insertion order."""
+        return tuple(self._segments)
+
+    # ------------------------------------------------------------------
+    # Introspection used by the experiments
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._mappings)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._mappings)
+
+    def items(self) -> Iterator[Tuple[int, Mapping]]:
+        """Iterate ``(vpn, mapping)`` pairs in arbitrary order."""
+        return iter(self._mappings.items())
+
+    def vpns(self) -> List[int]:
+        """All mapped VPNs, sorted ascending."""
+        return sorted(self._mappings)
+
+    def nactive(self, region_pages: int) -> int:
+        """The paper's ``Nactive(P)``: the number of aligned ``region_pages``
+        -page virtual regions containing at least one valid mapping.
+
+        ``Nactive(1)`` is simply the mapped-page count; ``Nactive(s)`` is the
+        number of populated page blocks; ``Nactive(512)`` is the number of
+        populated 4 KB linear-page-table pages.
+        """
+        if region_pages < 1:
+            raise AddressError(f"region size {region_pages} must be >= 1 page")
+        if region_pages == 1:
+            return len(self._mappings)
+        return len({vpn // region_pages for vpn in self._mappings})
+
+    def block_population(self) -> Counter:
+        """Histogram: populated-slot count per page block → block count.
+
+        Key ``k`` counts page blocks with exactly ``k`` of the layout's
+        ``subblock_factor`` pages mapped.  This is the quantity that decides
+        whether clustering wins (the paper's "six or more pages populated"
+        break-even for subblock factor sixteen).
+        """
+        per_block: Counter = Counter()
+        s = self.layout.subblock_factor
+        for vpn in self._mappings:
+            per_block[vpn // s] += 1
+        histogram: Counter = Counter()
+        for count in per_block.values():
+            histogram[count] += 1
+        return histogram
+
+    def mean_block_population(self) -> float:
+        """Average number of mapped pages per populated page block."""
+        blocks = self.nactive(self.layout.subblock_factor)
+        if blocks == 0:
+            return 0.0
+        return len(self._mappings) / blocks
+
+    def resident_bytes(self) -> int:
+        """Bytes of virtual memory with valid mappings."""
+        return len(self._mappings) * self.layout.page_size
+
+    def density(self, region_pages: int = 512) -> float:
+        """Fraction of pages mapped within populated ``region_pages`` regions.
+
+        1.0 means every touched region is fully populated (dense, linear
+        page tables waste nothing); values near ``1/region_pages`` mean
+        isolated single pages (maximally sparse).
+        """
+        regions = self.nactive(region_pages)
+        if regions == 0:
+            return 0.0
+        return len(self._mappings) / (regions * region_pages)
+
+    def copy(self) -> "AddressSpace":
+        """Deep-enough copy: mappings and segments are duplicated."""
+        clone = AddressSpace(self.layout, self.name)
+        clone._mappings = dict(self._mappings)
+        clone._segments = list(self._segments)
+        return clone
+
+    def __repr__(self) -> str:
+        return (
+            f"AddressSpace(name={self.name!r}, pages={len(self)}, "
+            f"blocks={self.nactive(self.layout.subblock_factor)})"
+        )

@@ -1,0 +1,45 @@
+"""Analysis: the paper's closed-form models, metrics, and report rendering.
+
+- :mod:`repro.analysis.formulae` — Appendix Table 2: page-table size and
+  average-cache-lines-per-miss formulae for every page table type.
+- :mod:`repro.analysis.metrics` — helpers building the standard page-table
+  set over a snapshot and normalising sizes the way Figures 9/10 do.
+- :mod:`repro.analysis.report` — plain-text table rendering for the
+  experiment scripts.
+"""
+
+from repro.analysis.formulae import (
+    clustered_access_lines,
+    clustered_size,
+    clustered_wide_size,
+    forward_mapped_access_lines,
+    forward_mapped_size,
+    hashed_access_lines,
+    hashed_size,
+    linear_access_lines,
+    linear_hashed_size,
+    multilevel_linear_size,
+)
+from repro.analysis.metrics import (
+    build_standard_tables,
+    normalised_sizes,
+    table_sizes,
+)
+from repro.analysis.report import render_table
+
+__all__ = [
+    "build_standard_tables",
+    "clustered_access_lines",
+    "clustered_size",
+    "clustered_wide_size",
+    "forward_mapped_access_lines",
+    "forward_mapped_size",
+    "hashed_access_lines",
+    "hashed_size",
+    "linear_access_lines",
+    "linear_hashed_size",
+    "multilevel_linear_size",
+    "normalised_sizes",
+    "render_table",
+    "table_sizes",
+]

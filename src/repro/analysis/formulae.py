@@ -1,0 +1,128 @@
+"""Appendix Table 2: closed-form size and access-time approximations.
+
+The paper's appendix gives formulae for page-table size and the average
+number of cache lines accessed per TLB miss, under the assumptions of 4 KB
+base pages, 8-byte mapping information, 64-bit virtual addresses, and
+64-bit pointers.  The access formulae for hashed and clustered tables
+assume uniform random hashing ("in practice, spatial locality causes
+non-random insertion and lookup patterns"), which the test suite exploits:
+simulation under uniform-random traffic must agree with these formulae,
+while real traces may deviate.
+
+``nactive`` arguments follow the paper's ``Nactive(P)``: the number of
+aligned ``P``-base-page virtual regions holding at least one valid mapping
+(see :meth:`repro.addr.space.AddressSpace.nactive`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.errors import ConfigurationError
+
+#: Bytes per 4 KB page-table page.
+PAGE_BYTES = 4096
+#: Bytes per hashed PTE (tag + next + mapping).
+HASHED_PTE_BYTES = 24
+#: Bytes of tag + next overhead per clustered node.
+CLUSTERED_OVERHEAD_BYTES = 16
+#: Bytes per mapping word.
+MAPPING_BYTES = 8
+#: Index bits consumed per linear-page-table level (512 PTEs per page).
+LINEAR_LEVEL_BITS = 9
+
+
+# ---------------------------------------------------------------------------
+# Page table size
+# ---------------------------------------------------------------------------
+def hashed_size(nactive_1: int) -> int:
+    """Hashed page table: ``24 × Nactive(1)`` bytes."""
+    return HASHED_PTE_BYTES * nactive_1
+
+
+def clustered_size(nactive_s: int, subblock_factor: int) -> int:
+    """Clustered page table: ``(8s + 16) × Nactive(s)`` bytes."""
+    return (
+        MAPPING_BYTES * subblock_factor + CLUSTERED_OVERHEAD_BYTES
+    ) * nactive_s
+
+
+def clustered_wide_size(
+    nactive_s: int, subblock_factor: int, fss: float
+) -> float:
+    """Clustered table with superpage/partial-subblock PTEs.
+
+    ``fss`` is the fraction of populated page blocks using a 24-byte wide
+    PTE: ``24·Nactive(s)·fss + (8s+16)·Nactive(s)·(1−fss)``.
+    """
+    if not 0.0 <= fss <= 1.0:
+        raise ConfigurationError(f"fss must be within [0, 1], got {fss}")
+    wide = HASHED_PTE_BYTES * nactive_s * fss
+    full = (
+        MAPPING_BYTES * subblock_factor + CLUSTERED_OVERHEAD_BYTES
+    ) * nactive_s * (1.0 - fss)
+    return wide + full
+
+
+def multilevel_linear_size(
+    nactive: Callable[[int], int], nlevels: int = 6
+) -> int:
+    """Multi-level linear table: ``sum_i 4KB × Nactive(2^{9i})``."""
+    total = 0
+    for level in range(1, nlevels + 1):
+        total += PAGE_BYTES * nactive(1 << (LINEAR_LEVEL_BITS * level))
+    return total
+
+
+def linear_hashed_size(nactive_512: int) -> int:
+    """Linear table with hashed nested mappings: ``(4KB + 24) × Nactive(512)``."""
+    return (PAGE_BYTES + HASHED_PTE_BYTES) * nactive_512
+
+
+def forward_mapped_size(
+    nactive: Callable[[int], int], level_bits: Sequence[int]
+) -> int:
+    """Forward-mapped tree: ``sum_i n_i × 8 × Nactive(pb_i)``.
+
+    ``pb_i`` — the pages mapped by a node at level *i* — is the product of
+    the fan-outs *below* that level (``2^{sum_{j>i} bits_j}``).
+    """
+    total = 0
+    below = 0
+    for bits in reversed(list(level_bits)):
+        pb = 1 << below  # pages mapped by one *entry* at this level
+        node_pages = pb << bits  # pages mapped by the whole node
+        fanout = 1 << bits
+        total += fanout * MAPPING_BYTES * nactive(node_pages)
+        below += bits
+    return total
+
+
+# ---------------------------------------------------------------------------
+# Average cache lines per TLB miss
+# ---------------------------------------------------------------------------
+def hashed_access_lines(load_factor: float) -> float:
+    """Hashed table: ``1 + α/2`` with ``α = Nactive(1)/#buckets``."""
+    if load_factor < 0:
+        raise ConfigurationError(f"load factor must be >= 0, got {load_factor}")
+    return 1.0 + load_factor / 2.0
+
+
+def clustered_access_lines(load_factor: float) -> float:
+    """Clustered table: ``1 + α/2`` with ``α = Nactive(s)/#buckets``."""
+    return hashed_access_lines(load_factor)
+
+
+def linear_access_lines(nested_miss_ratio: float, nested_walk_lines: float) -> float:
+    """Linear table: ``1 + r·m`` (r = nested TLB miss ratio, m = average
+    lines per nested walk)."""
+    if nested_miss_ratio < 0 or nested_walk_lines < 0:
+        raise ConfigurationError("nested miss parameters must be >= 0")
+    return 1.0 + nested_miss_ratio * nested_walk_lines
+
+
+def forward_mapped_access_lines(nlevels: int = 7) -> float:
+    """Forward-mapped tree: one line per level."""
+    if nlevels < 1:
+        raise ConfigurationError(f"need at least one level, got {nlevels}")
+    return float(nlevels)

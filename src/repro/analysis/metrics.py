@@ -1,0 +1,138 @@
+"""Builders and size metrics for the standard page-table comparison set.
+
+The figures compare a fixed family of page tables; these helpers construct
+that family over a workload snapshot and compute the normalised sizes the
+way §6.1 prescribes (normalise to hashed; sum per-process tables for
+multiprogrammed workloads).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.addr.layout import AddressLayout, DEFAULT_LAYOUT
+from repro.addr.space import AddressSpace
+from repro.core.clustered import ClusteredPageTable
+from repro.errors import ConfigurationError
+from repro.mmu.cache_model import CacheModel, DEFAULT_CACHE
+from repro.os.promotion import DynamicPageSizePolicy
+from repro.os.translation_map import TranslationMap
+from repro.pagetables.base import PageTable
+from repro.pagetables.forward import ForwardMappedPageTable
+from repro.pagetables.hashed import HashedPageTable
+from repro.pagetables.linear import LinearPageTable
+from repro.pagetables.strategies import MultiplePageTables
+
+#: Bucket count of the paper's base configuration.
+DEFAULT_BUCKETS = 4096
+
+#: The single-page-size comparison set of Figure 9 (factory per name).
+STANDARD_TABLES: Dict[str, Callable[..., PageTable]] = {
+    "linear-6lvl": lambda layout, cache, buckets: LinearPageTable(
+        layout, cache, structure="multilevel"
+    ),
+    "linear-1lvl": lambda layout, cache, buckets: LinearPageTable(
+        layout, cache, structure="ideal"
+    ),
+    "forward-mapped": lambda layout, cache, buckets: ForwardMappedPageTable(
+        layout, cache
+    ),
+    "hashed": lambda layout, cache, buckets: HashedPageTable(
+        layout, cache, num_buckets=buckets
+    ),
+    "clustered": lambda layout, cache, buckets: ClusteredPageTable(
+        layout, cache, num_buckets=buckets
+    ),
+}
+
+
+def make_table(
+    name: str,
+    layout: AddressLayout = DEFAULT_LAYOUT,
+    cache: CacheModel = DEFAULT_CACHE,
+    num_buckets: int = DEFAULT_BUCKETS,
+) -> PageTable:
+    """Instantiate one table of the standard comparison set by name.
+
+    Beyond the Figure 9 set, two composite names are understood:
+    ``hashed-multi`` (the §4.2 multiple-page-table hashed configuration:
+    4 KB table searched first, then the 64 KB-grain table) and
+    ``hashed-multi-reversed`` (the §6.3 suggestion of searching the block
+    table first).
+    """
+    if name in STANDARD_TABLES:
+        return STANDARD_TABLES[name](layout, cache, num_buckets)
+    if name in ("hashed-multi", "hashed-multi-reversed"):
+        base = HashedPageTable(layout, cache, num_buckets=num_buckets)
+        wide = HashedPageTable(
+            layout, cache, num_buckets=num_buckets,
+            grain=layout.subblock_factor,
+        )
+        order = [base, wide] if name == "hashed-multi" else [wide, base]
+        return MultiplePageTables(order, name=name)
+    raise ConfigurationError(
+        f"unknown page table {name!r}; known: "
+        f"{sorted(STANDARD_TABLES) + ['hashed-multi', 'hashed-multi-reversed']}"
+    )
+
+
+def build_standard_tables(
+    tmap: TranslationMap,
+    names: Optional[Sequence[str]] = None,
+    layout: AddressLayout = DEFAULT_LAYOUT,
+    cache: CacheModel = DEFAULT_CACHE,
+    num_buckets: int = DEFAULT_BUCKETS,
+    base_pages_only: bool = True,
+) -> Dict[str, PageTable]:
+    """Build and populate the comparison set from one translation map.
+
+    ``base_pages_only=True`` decomposes wide PTEs into per-page PTEs
+    (single-page-size systems, Figures 9/11a).  When False, linear and
+    forward-mapped tables replicate wide PTEs, hashed-multi routes them to
+    its block-grain table, and clustered stores them natively.
+    """
+    tables: Dict[str, PageTable] = {}
+    for name in names or list(STANDARD_TABLES):
+        table = make_table(name, layout, cache, num_buckets)
+        tmap.populate(table, base_pages_only=base_pages_only)
+        tables[name] = table
+    return tables
+
+
+def table_sizes(
+    spaces: Sequence[AddressSpace],
+    names: Optional[Sequence[str]] = None,
+    policy: Optional[DynamicPageSizePolicy] = None,
+    layout: AddressLayout = DEFAULT_LAYOUT,
+    num_buckets: int = DEFAULT_BUCKETS,
+    base_pages_only: bool = True,
+) -> Dict[str, int]:
+    """Total page-table bytes per organisation, summed over processes.
+
+    Per §6.1, a multiprogrammed workload's page table size is the sum of
+    its constituent processes' (per-process) page tables.
+    """
+    totals: Dict[str, int] = {}
+    for space in spaces:
+        tmap = TranslationMap.from_space(space, policy)
+        tables = build_standard_tables(
+            tmap, names, layout, num_buckets=num_buckets,
+            base_pages_only=base_pages_only,
+        )
+        for name, table in tables.items():
+            totals[name] = totals.get(name, 0) + table.size_bytes()
+    return totals
+
+
+def normalised_sizes(
+    sizes: Dict[str, float], reference: str = "hashed"
+) -> Dict[str, float]:
+    """Normalise a size dict to one organisation (Figure 9/10's y-axis)."""
+    if reference not in sizes:
+        raise ConfigurationError(
+            f"reference table {reference!r} missing from sizes {sorted(sizes)}"
+        )
+    denom = sizes[reference]
+    if denom <= 0:
+        raise ConfigurationError(f"reference size must be positive, got {denom}")
+    return {name: size / denom for name, size in sizes.items()}

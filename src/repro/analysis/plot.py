@@ -1,0 +1,105 @@
+"""Terminal bar charts for the reproduced figures.
+
+The paper's figures are scatter plots of per-workload series; these
+helpers render the same data as grouped horizontal bar charts in plain
+text, so ``python -m repro experiment fig9 --chart`` visually echoes
+Figure 9 without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+#: Bar glyph per series position, echoing the paper's plot markers.
+SERIES_GLYPHS = "▰▱◆◇●○▴▵"
+
+
+def bar_chart(
+    labels: Sequence[str],
+    series: Dict[str, Sequence[float]],
+    title: Optional[str] = None,
+    width: int = 48,
+    clip: Optional[float] = None,
+    reference: Optional[float] = None,
+) -> str:
+    """Render grouped horizontal bars.
+
+    Parameters
+    ----------
+    labels:
+        Group labels (workloads), one group per label.
+    series:
+        Mapping series-name → values (one per label), plotted in order.
+    clip:
+        Values above this are truncated and annotated (the paper clips
+        Figure 9 at 5.0).
+    reference:
+        Draw a tick at this value in every bar row (e.g. 1.0 = hashed).
+    """
+    for name, values in series.items():
+        if len(values) != len(labels):
+            raise ConfigurationError(
+                f"series {name!r} has {len(values)} values for "
+                f"{len(labels)} labels"
+            )
+    peak = max(
+        (min(v, clip) if clip else v)
+        for values in series.values()
+        for v in values
+    )
+    peak = max(peak, reference or 0.0) or 1.0
+    scale = width / peak
+
+    name_width = max(len(name) for name in series)
+    label_width = max(len(label) for label in labels)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    ref_col = int(round((reference or 0) * scale)) if reference else None
+    for i, label in enumerate(labels):
+        lines.append(f"{label}:")
+        for j, (name, values) in enumerate(series.items()):
+            value = values[i]
+            clipped = clip is not None and value > clip
+            shown = min(value, clip) if clip is not None else value
+            length = max(1, int(round(shown * scale)))
+            glyph = SERIES_GLYPHS[j % len(SERIES_GLYPHS)]
+            bar = glyph * length
+            if ref_col and length < ref_col:
+                bar = bar + " " * (ref_col - length - 1) + "|"
+            suffix = f" {value:.2f}" + (" (clipped)" if clipped else "")
+            lines.append(
+                f"  {name.ljust(name_width)} {bar}{suffix}"
+            )
+        lines.append("")
+    legend = "  ".join(
+        f"{SERIES_GLYPHS[j % len(SERIES_GLYPHS)]} {name}"
+        for j, name in enumerate(series)
+    )
+    lines.append(legend)
+    del label_width
+    return "\n".join(lines)
+
+
+def chart_result(result, clip: Optional[float] = None,
+                 reference: Optional[float] = 1.0) -> str:
+    """Chart an :class:`~repro.experiments.common.ExperimentResult`.
+
+    The first column supplies group labels; every numeric column becomes
+    a series.  Non-numeric cells disqualify their column.
+    """
+    labels = [str(row[0]) for row in result.rows]
+    series: Dict[str, List[float]] = {}
+    for index, header in enumerate(result.headers[1:], start=1):
+        values = [row[index] for row in result.rows]
+        if all(isinstance(v, (int, float)) and v is not None for v in values):
+            series[header] = [float(v) for v in values]
+    if not series:
+        raise ConfigurationError("result has no numeric columns to chart")
+    return bar_chart(
+        labels, series, title=result.experiment, clip=clip,
+        reference=reference,
+    )

@@ -1,0 +1,63 @@
+"""Plain-text table rendering for experiment output.
+
+Every experiment script prints its figure or table as an aligned text
+table so results can be eyeballed against the paper in a terminal and
+diffed across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def _format_cell(value: Cell, precision: int) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    title: Optional[str] = None,
+    precision: int = 2,
+) -> str:
+    """Render an aligned text table.
+
+    The first column is left-aligned (row labels); the rest are
+    right-aligned.  Floats are fixed to ``precision`` decimals; ``None``
+    renders as ``-``.
+    """
+    formatted: List[List[str]] = [
+        [_format_cell(cell, precision) for cell in row] for row in rows
+    ]
+    columns = len(headers)
+    for row in formatted:
+        if len(row) != columns:
+            raise ValueError(
+                f"row has {len(row)} cells, expected {columns}: {row}"
+            )
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in formatted))
+        if formatted
+        else len(headers[i])
+        for i in range(columns)
+    ]
+
+    def line(cells: Sequence[str]) -> str:
+        parts = [cells[0].ljust(widths[0])]
+        parts.extend(cell.rjust(widths[i + 1]) for i, cell in enumerate(cells[1:]))
+        return "  ".join(parts)
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(line(list(headers)))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(row) for row in formatted)
+    return "\n".join(out)

@@ -1,0 +1,210 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list-workloads``
+    The calibrated suite with Table 1 characteristics.
+``describe WORKLOAD``
+    Layout, density, and page-table sizes for one workload.
+``experiment ID [--chart]``
+    Regenerate one table/figure or extension study: ``table1``, ``fig9``,
+    ``fig10``, ``fig11a``–``fig11d``, ``table2``, ``sensitivity``,
+    ``softtlb``, ``multisize``, ``multiprog``, ``guarded``, ``sasos``,
+    ``cachesim``, ``pressure``, ``promotion-scan``, or ``all``.
+``compare WORKLOAD``
+    Quick both-metrics shoot-out for one workload.
+``validate``
+    Audit workload calibration against Table 1 (non-zero exit on drift).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.metrics import make_table, normalised_sizes, table_sizes
+from repro.analysis.report import render_table
+from repro.workloads.suite import PAPER_WORKLOADS, load_workload
+
+#: Experiment ids accepted by the ``experiment`` command.
+EXPERIMENT_IDS = (
+    "table1", "fig9", "fig10", "fig11a", "fig11b", "fig11c", "fig11d",
+    "table2", "sensitivity", "softtlb", "multisize", "multiprog",
+    "guarded", "sasos", "cachesim", "pressure", "promotion-scan",
+    "claims", "all",
+)
+
+
+def _cmd_list_workloads(args: argparse.Namespace) -> int:
+    rows = []
+    for name, spec in PAPER_WORKLOADS.items():
+        total, user, misses_k, pct, kb = spec.table1
+        rows.append(
+            [name, spec.density, spec.processes,
+             kb, pct if pct else None, spec.description]
+        )
+    print(render_table(
+        ["workload", "density", "procs", "hashed-PT KB (paper)",
+         "%time TLB (paper)", "description"],
+        rows, title="Calibrated workload suite (Table 1)",
+    ))
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    workload = load_workload(args.workload, with_trace=False)
+    print(f"{workload.name}: {workload.spec.description}")
+    print(f"  processes:     {len(workload.spaces)}")
+    print(f"  mapped pages:  {workload.total_mapped_pages()}")
+    for space in workload.spaces:
+        print(
+            f"  {space.name}: {len(space)} pages, "
+            f"{space.nactive(space.layout.subblock_factor)} blocks, "
+            f"mean block population "
+            f"{space.mean_block_population():.1f}"
+        )
+    sizes = table_sizes(workload.spaces)
+    norm = normalised_sizes(sizes)
+    print("  page-table sizes (vs hashed):")
+    for name, value in sorted(norm.items(), key=lambda kv: kv[1]):
+        print(f"    {name:16s} {sizes[name]:9,d} B   {value:6.3f}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        fig9, fig10, fig11, multiprog, multisize, runner, sensitivity,
+        softtlb, table1, table2,
+    )
+
+    from repro.experiments import cachesim, guarded, pressure, promotion_scan, sasos
+
+    trace_length = 50_000 if args.fast else 200_000
+    exp_id = args.id
+    if exp_id == "all":
+        return runner.main(["--fast"] if args.fast else [])
+    producers = {
+        "table1": lambda: table1.run(trace_length=trace_length),
+        "fig9": lambda: fig9.run(),
+        "fig10": lambda: fig10.run(),
+        "fig11a": lambda: fig11.run_subfigure("11a", trace_length=trace_length),
+        "fig11b": lambda: fig11.run_subfigure("11b", trace_length=trace_length),
+        "fig11c": lambda: fig11.run_subfigure("11c", trace_length=trace_length),
+        "fig11d": lambda: fig11.run_subfigure("11d", trace_length=trace_length),
+        "table2": lambda: table2.run(),
+        "softtlb": lambda: softtlb.run(trace_length=trace_length),
+        "multisize": lambda: multisize.run(),
+        "multiprog": lambda: multiprog.run(trace_length=trace_length),
+        "guarded": lambda: guarded.run(trace_length=trace_length),
+        "sasos": lambda: sasos.run(),
+        "cachesim": lambda: cachesim.run(trace_length=trace_length),
+        "pressure": lambda: pressure.run(),
+        "promotion-scan": lambda: promotion_scan.run(),
+    }
+    if exp_id == "sensitivity":
+        sensitivity.main()
+        return 0
+    if exp_id == "claims":
+        from repro.experiments import claims as claims_module
+
+        verdicts = claims_module.verify(
+            trace_length=30_000 if args.fast else 60_000
+        )
+        print(claims_module.report(verdicts).render())
+        return 0 if all(claim.holds for claim in verdicts) else 1
+    result = producers[exp_id]()
+    if getattr(args, "chart", False):
+        from repro.analysis.plot import chart_result
+
+        clip = 5.0 if exp_id in ("fig9", "fig10") else None
+        print(chart_result(result, clip=clip))
+    else:
+        print(result.render(precision=3))
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.workloads.validation import audit, report
+
+    checks = audit(trace_length=30_000 if args.fast else 100_000)
+    print(report(checks).render(precision=2))
+    return 0 if all(check.ok for check in checks.values()) else 1
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.mmu.simulate import collect_misses, replay_misses
+    from repro.mmu.tlb import FullyAssociativeTLB
+    from repro.os.translation_map import TranslationMap
+
+    workload = load_workload(args.workload, trace_length=60_000)
+    tmap = TranslationMap.from_space(workload.union_space())
+    stream = collect_misses(workload.trace, FullyAssociativeTLB(64), tmap)
+    rows = []
+    for name in ("linear-1lvl", "forward-mapped", "hashed", "clustered"):
+        table = make_table(name)
+        tmap.populate(table, base_pages_only=True)
+        replay = replay_misses(stream, table)
+        rows.append(
+            [name, table.size_bytes(), round(replay.lines_per_miss, 3)]
+        )
+    print(render_table(
+        ["page table", "bytes", "lines/miss"], rows,
+        title=(
+            f"{workload.name}: {stream.misses} TLB misses over "
+            f"{stream.accesses} references"
+        ),
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Clustered page tables for 64-bit address spaces "
+        "(Talluri, Hill & Khalidi, SOSP 1995) — reproduction toolkit.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-workloads", help="show the calibrated suite")
+
+    describe = sub.add_parser("describe", help="inspect one workload")
+    describe.add_argument("workload", choices=sorted(PAPER_WORKLOADS))
+
+    experiment = sub.add_parser("experiment", help="regenerate a table/figure")
+    experiment.add_argument("id", choices=EXPERIMENT_IDS)
+    experiment.add_argument("--fast", action="store_true",
+                            help="shorter traces")
+    experiment.add_argument("--chart", action="store_true",
+                            help="render as a terminal bar chart")
+
+    compare = sub.add_parser("compare", help="quick page-table shoot-out")
+    compare.add_argument(
+        "workload",
+        choices=sorted(set(PAPER_WORKLOADS) - {"kernel"}),
+    )
+
+    validate = sub.add_parser(
+        "validate", help="audit workload calibration vs Table 1"
+    )
+    validate.add_argument("--fast", action="store_true",
+                          help="shorter traces")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list-workloads": _cmd_list_workloads,
+        "describe": _cmd_describe,
+        "experiment": _cmd_experiment,
+        "compare": _cmd_compare,
+        "validate": _cmd_validate,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,24 @@
+"""The paper's central contribution: clustered page tables.
+
+A clustered page table is a hashed page table augmented with subblocking:
+each hash node carries a single virtual page block tag and next pointer but
+mapping slots for every base page of an aligned page block (§3).  The same
+structure natively stores superpage and partial-subblock PTEs (§5), making
+it the only page table in the paper that supports superpage and subblock
+TLBs without increasing the TLB miss penalty.
+"""
+
+from repro.core.clustered import ClusteredNode, ClusteredPageTable
+from repro.core.multisize import (
+    MultiSizeClusteredPageTables,
+    conventional_multisize,
+)
+from repro.core.variable import VariableClusteredPageTable
+
+__all__ = [
+    "ClusteredNode",
+    "ClusteredPageTable",
+    "MultiSizeClusteredPageTables",
+    "VariableClusteredPageTable",
+    "conventional_multisize",
+]

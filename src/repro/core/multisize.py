@@ -1,0 +1,164 @@
+"""Multiple page sizes with two clustered page tables (§7).
+
+The MIPS R4000 supports seven page sizes (4 KB … 16 MB).  Section 7 argues
+clustered page tables handle such ranges with just two tables: "one
+clustered page table stores mappings for page sizes from 4KB to 64KB and
+another for larger page sizes upto 1MB", whereas "conventional page tables
+may require as many page tables as the number of page sizes supported,
+e.g., five in the MIPS R4000".
+
+:class:`MultiSizeClusteredPageTables` implements the two-table clustered
+configuration; :func:`conventional_multisize` builds the five-table hashed
+comparator.  Both present the ordinary :class:`PageTable` interface, so
+the multi-size experiment can measure them with the standard machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+from repro.addr.layout import AddressLayout, DEFAULT_LAYOUT
+from repro.addr.space import DEFAULT_ATTRS
+from repro.core.clustered import ClusteredPageTable
+from repro.errors import AlignmentError, ConfigurationError, PageFaultError
+from repro.mmu.cache_model import CacheModel, DEFAULT_CACHE
+from repro.pagetables.base import PageTable, WalkOutcome
+from repro.pagetables.hashed import HashedPageTable, multiplicative_hash
+from repro.pagetables.strategies import MultiplePageTables
+
+#: Page sizes (in base pages) of the R4000 series the paper cites, up to
+#: 1 MB: 4 KB, 16 KB, 64 KB, 256 KB, 1 MB.
+R4000_PAGE_SIZES: Tuple[int, ...] = (1, 4, 16, 64, 256)
+
+
+class MultiSizeClusteredPageTables(PageTable):
+    """Two clustered tables covering page sizes 4 KB … 1 MB (§7).
+
+    The *fine* table uses the layout's subblock factor (64 KB blocks by
+    default) and natively stores base pages and superpages up to one page
+    block.  The *coarse* table uses ``coarse_factor``-page blocks (1 MB by
+    default) and stores only larger superpages, one 24-byte node each.
+    Misses search fine first, the common case.
+    """
+
+    name = "two-clustered"
+
+    def __init__(
+        self,
+        layout: AddressLayout = DEFAULT_LAYOUT,
+        cache: CacheModel = DEFAULT_CACHE,
+        num_buckets: int = 4096,
+        coarse_factor: int = 256,
+        coarse_buckets: int = 256,
+        hash_fn: Callable[[int, int], int] = multiplicative_hash,
+    ):
+        super().__init__(layout, cache)
+        if coarse_factor <= layout.subblock_factor:
+            raise ConfigurationError(
+                f"coarse factor {coarse_factor} must exceed the fine "
+                f"subblock factor {layout.subblock_factor}"
+            )
+        self.fine = ClusteredPageTable(
+            layout, cache, num_buckets=num_buckets, hash_fn=hash_fn
+        )
+        self._coarse_layout = AddressLayout(
+            page_shift=layout.page_shift,
+            subblock_factor=coarse_factor,
+            va_bits=layout.va_bits,
+            pa_bits=layout.pa_bits,
+        )
+        self.coarse = ClusteredPageTable(
+            self._coarse_layout, cache, num_buckets=coarse_buckets,
+            hash_fn=hash_fn,
+        )
+        self.coarse_factor = coarse_factor
+
+    # ------------------------------------------------------------------
+    def _walk(self, vpn: int) -> WalkOutcome:
+        result, lines, probes = self.fine._walk(vpn)
+        if result is not None:
+            return result, lines, probes
+        coarse_result, coarse_lines, coarse_probes = self.coarse._walk(vpn)
+        lines += coarse_lines
+        probes += coarse_probes
+        if coarse_result is None:
+            return None, lines, probes
+        from repro.pagetables.base import LookupResult
+
+        final = LookupResult(
+            vpn=coarse_result.vpn, ppn=coarse_result.ppn,
+            attrs=coarse_result.attrs, kind=coarse_result.kind,
+            base_vpn=coarse_result.base_vpn, npages=coarse_result.npages,
+            base_ppn=coarse_result.base_ppn,
+            valid_mask=coarse_result.valid_mask,
+            cache_lines=lines, probes=probes,
+        )
+        return final, lines, probes
+
+    # ------------------------------------------------------------------
+    def insert(self, vpn: int, ppn: int, attrs: int = DEFAULT_ATTRS) -> None:
+        """Base pages always live in the fine table."""
+        self.fine.insert(vpn, ppn, attrs)
+        self.stats.inserts += 1
+
+    def insert_superpage(
+        self, base_vpn: int, npages: int, base_ppn: int, attrs: int = DEFAULT_ATTRS
+    ) -> None:
+        """Route a superpage by size: fine up to one page block, coarse up
+        to one coarse block; larger sizes are rejected (§7 stops at 1MB)."""
+        if npages <= self.layout.subblock_factor:
+            self.fine.insert_superpage(base_vpn, npages, base_ppn, attrs)
+        elif npages <= self.coarse_factor:
+            self.coarse.insert_superpage(base_vpn, npages, base_ppn, attrs)
+        else:
+            raise AlignmentError(
+                f"{npages}-page superpage exceeds the coarse block "
+                f"({self.coarse_factor} pages)"
+            )
+        self.stats.inserts += 1
+
+    def insert_partial_subblock(
+        self, vpbn: int, valid_mask: int, base_ppn: int, attrs: int = DEFAULT_ATTRS
+    ) -> None:
+        """Partial-subblock PTEs use the fine table's block size."""
+        self.fine.insert_partial_subblock(vpbn, valid_mask, base_ppn, attrs)
+        self.stats.inserts += 1
+
+    def remove(self, vpn: int) -> None:
+        """Remove from whichever table holds the covering PTE."""
+        try:
+            self.fine.remove(vpn)
+        except PageFaultError:
+            self.coarse.remove(vpn)
+        self.stats.removes += 1
+
+    # ------------------------------------------------------------------
+    def size_bytes(self) -> int:
+        """Both tables' node memory."""
+        return self.fine.size_bytes() + self.coarse.size_bytes()
+
+    def describe(self) -> str:
+        return (
+            f"{self.name} (fine s={self.layout.subblock_factor}, "
+            f"coarse s={self.coarse_factor})"
+        )
+
+
+def conventional_multisize(
+    layout: AddressLayout = DEFAULT_LAYOUT,
+    cache: CacheModel = DEFAULT_CACHE,
+    num_buckets: int = 4096,
+    page_sizes: Tuple[int, ...] = R4000_PAGE_SIZES,
+) -> MultiplePageTables:
+    """The §7 comparator: one hashed page table per supported page size.
+
+    Searched smallest-size-first, the ordering §4.2 recommends when most
+    misses go to base pages.
+    """
+    tables: List[HashedPageTable] = []
+    for size in page_sizes:
+        buckets = max(64, num_buckets // max(1, size))
+        tables.append(
+            HashedPageTable(layout, cache, num_buckets=buckets, grain=size)
+        )
+    return MultiplePageTables(tables, name="five-hashed")

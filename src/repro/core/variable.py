@@ -1,0 +1,270 @@
+"""Clustered page tables with *varying* subblock factors.
+
+Section 3 of the paper notes that "to support address spaces with varying
+degree of sparseness, clustered page tables generalize to include PTEs with
+varying subblock factors with only a small increase in page table access
+time (a few extra instructions in the TLB miss handler) but with better
+memory utilization [Tall95]".  This module implements that generalisation.
+
+Nodes cover aligned *sub-ranges* of a page block whose width is drawn from
+a configurable set of factors (e.g. ``(16, 4, 1)``).  A sparse block holding
+one page pays for a one-slot node (24 bytes) instead of a full
+``16 + 8·16``-byte clustered node; a dense block is coalesced up to a single
+full-width node.  Lookup still hashes on the full VPBN, so the miss
+handler's chain walk is unchanged — matching a node additionally compares
+the sub-range, the paper's "few extra instructions".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.addr.layout import AddressLayout, DEFAULT_LAYOUT
+from repro.addr.space import DEFAULT_ATTRS, Mapping
+from repro.errors import ConfigurationError, MappingExistsError, PageFaultError
+from repro.mmu.cache_model import CacheModel, DEFAULT_CACHE
+from repro.pagetables.base import (
+    BlockLookupResult,
+    LookupResult,
+    PageTable,
+    WalkOutcome,
+)
+from repro.pagetables.hashed import multiplicative_hash
+from repro.pagetables.pte import PTEKind
+from repro.core.clustered import MAPPING_BYTES, NODE_OVERHEAD_BYTES
+
+
+class _VarNode:
+    """A node covering ``width`` consecutive pages at ``start_vpn``."""
+
+    __slots__ = ("vpbn", "start_vpn", "width", "slots")
+
+    def __init__(self, vpbn: int, start_vpn: int, width: int):
+        self.vpbn = vpbn
+        self.start_vpn = start_vpn
+        self.width = width
+        self.slots: List[Optional[Mapping]] = [None] * width
+
+    def covers(self, vpn: int) -> bool:
+        return self.start_vpn <= vpn < self.start_vpn + self.width
+
+    def population(self) -> int:
+        return sum(1 for slot in self.slots if slot is not None)
+
+    def size_bytes(self) -> int:
+        return NODE_OVERHEAD_BYTES + MAPPING_BYTES * self.width
+
+
+class VariableClusteredPageTable(PageTable):
+    """Clustered page table whose nodes have varying subblock factors.
+
+    Parameters
+    ----------
+    factors:
+        Allowed node widths in pages, each a power of two dividing the
+        layout's subblock factor.  New mappings allocate the smallest
+        factor; when every slot of a node is full and a sibling node
+        exists (or the node itself fills), nodes are coalesced into the
+        next larger factor.
+    """
+
+    name = "variable-clustered"
+
+    def __init__(
+        self,
+        layout: AddressLayout = DEFAULT_LAYOUT,
+        cache: CacheModel = DEFAULT_CACHE,
+        num_buckets: int = 4096,
+        factors: tuple = (16, 4, 1),
+        hash_fn: Callable[[int, int], int] = multiplicative_hash,
+    ):
+        super().__init__(layout, cache)
+        s = layout.subblock_factor
+        sorted_factors = tuple(sorted(set(factors), reverse=True))
+        for factor in sorted_factors:
+            if factor < 1 or factor & (factor - 1) or s % factor:
+                raise ConfigurationError(
+                    f"factor {factor} must be a power of two dividing the "
+                    f"subblock factor {s}"
+                )
+        if not sorted_factors or sorted_factors[0] != s:
+            raise ConfigurationError(
+                f"largest factor must equal the subblock factor {s}"
+            )
+        self.factors = sorted_factors
+        self.num_buckets = num_buckets
+        self.hash_fn = hash_fn
+        self._buckets: Dict[int, List[_VarNode]] = {}
+        self._node_count = 0
+
+    # ------------------------------------------------------------------
+    def _bucket_of(self, vpbn: int) -> int:
+        return self.hash_fn(vpbn, self.num_buckets)
+
+    def _chain(self, vpbn: int) -> List[_VarNode]:
+        return self._buckets.get(self._bucket_of(vpbn), [])
+
+    def _node_lines(self, node: _VarNode, offset_in_node: Optional[int]) -> int:
+        reads = [(0, NODE_OVERHEAD_BYTES)]
+        if offset_in_node is not None:
+            reads.append(
+                (NODE_OVERHEAD_BYTES + MAPPING_BYTES * offset_in_node, MAPPING_BYTES)
+            )
+        return self.cache.lines_touched(reads)
+
+    # ------------------------------------------------------------------
+    def _walk(self, vpn: int) -> WalkOutcome:
+        vpbn = self.layout.vpbn(vpn)
+        chain = self._chain(vpbn)
+        if not chain:
+            return None, 1, 1
+        lines = 0
+        probes = 0
+        for node in chain:
+            probes += 1
+            if node.vpbn != vpbn or not node.covers(vpn):
+                lines += self._node_lines(node, None)
+                continue
+            offset = vpn - node.start_vpn
+            lines += self._node_lines(node, offset)
+            mapping = node.slots[offset]
+            if mapping is None:
+                continue
+            return (
+                LookupResult(
+                    vpn=vpn, ppn=mapping.ppn, attrs=mapping.attrs,
+                    kind=PTEKind.BASE, base_vpn=vpn, npages=1,
+                    base_ppn=mapping.ppn, valid_mask=1,
+                    cache_lines=lines, probes=probes,
+                ),
+                lines,
+                probes,
+            )
+        return None, lines, probes
+
+    def lookup_block(self, vpbn: int) -> BlockLookupResult:
+        """Single-walk block fetch: all of a block's nodes share one chain."""
+        chain = self._chain(vpbn)
+        s = self.layout.subblock_factor
+        mappings: List[Optional[Mapping]] = [None] * s
+        if not chain:
+            self.stats.record_walk(1, 1, fault=True)
+            return BlockLookupResult(vpbn, tuple(mappings), 1, 1)
+        block_base = self.layout.vpn_of_block(vpbn)
+        lines = 0
+        probes = 0
+        found = False
+        for node in chain:
+            probes += 1
+            if node.vpbn != vpbn:
+                lines += self._node_lines(node, None)
+                continue
+            found = True
+            lines += self.cache.lines_for_node(node.size_bytes())
+            for i, slot in enumerate(node.slots):
+                if slot is not None:
+                    mappings[node.start_vpn - block_base + i] = slot
+        self.stats.record_walk(lines, probes, fault=not found)
+        return BlockLookupResult(vpbn, tuple(mappings), lines, probes)
+
+    # ------------------------------------------------------------------
+    def insert(self, vpn: int, ppn: int, attrs: int = DEFAULT_ATTRS) -> None:
+        """Add a mapping, allocating the smallest node that can hold it and
+        coalescing siblings upward when sub-ranges fill."""
+        self.layout.check_vpn(vpn)
+        self.layout.check_ppn(ppn)
+        vpbn = self.layout.vpbn(vpn)
+        self.stats.inserts += 1
+        for node in self._chain(vpbn):
+            if node.vpbn == vpbn and node.covers(vpn):
+                offset = vpn - node.start_vpn
+                if node.slots[offset] is not None:
+                    raise MappingExistsError(vpn)
+                node.slots[offset] = Mapping(ppn, attrs)
+                self._maybe_coalesce(node)
+                return
+        width = self.factors[-1]
+        start = vpn - (vpn % width)
+        node = _VarNode(vpbn, start, width)
+        node.slots[vpn - start] = Mapping(ppn, attrs)
+        self._attach(node)
+        self._maybe_coalesce(node)
+
+    def _attach(self, node: _VarNode) -> None:
+        chain = self._buckets.setdefault(self._bucket_of(node.vpbn), [])
+        self.stats.op_nodes_visited += max(1, len(chain))
+        chain.append(node)
+        self._node_count += 1
+        self.stats.op_nodes_allocated += 1
+
+    def _detach(self, node: _VarNode) -> None:
+        bucket = self._bucket_of(node.vpbn)
+        chain = self._buckets[bucket]
+        chain.remove(node)
+        if not chain:
+            del self._buckets[bucket]
+        self._node_count -= 1
+
+    def _maybe_coalesce(self, node: _VarNode) -> None:
+        """Merge full sibling nodes into the next-larger factor."""
+        if node.population() < node.width:
+            return
+        larger = self._next_factor(node.width)
+        if larger is None:
+            return
+        start = node.start_vpn - (node.start_vpn % larger)
+        siblings = [
+            other
+            for other in self._chain(node.vpbn)
+            if other.vpbn == node.vpbn
+            and start <= other.start_vpn < start + larger
+        ]
+        covered = sum(other.width for other in siblings)
+        populated = sum(other.population() for other in siblings)
+        if covered < larger or populated < larger:
+            return
+        merged = _VarNode(node.vpbn, start, larger)
+        for other in siblings:
+            for i, slot in enumerate(other.slots):
+                merged.slots[other.start_vpn - start + i] = slot
+            self._detach(other)
+        self._attach(merged)
+        self._maybe_coalesce(merged)
+
+    def _next_factor(self, width: int) -> Optional[int]:
+        bigger = [factor for factor in self.factors if factor > width]
+        return min(bigger) if bigger else None
+
+    def remove(self, vpn: int) -> None:
+        """Remove one mapping; frees the node when it empties."""
+        vpbn = self.layout.vpbn(vpn)
+        self.stats.removes += 1
+        for node in self._chain(vpbn):
+            if node.vpbn == vpbn and node.covers(vpn):
+                offset = vpn - node.start_vpn
+                if node.slots[offset] is None:
+                    break
+                node.slots[offset] = None
+                if node.population() == 0:
+                    self._detach(node)
+                return
+        raise PageFaultError(vpn, f"no mapping for VPN {vpn:#x}")
+
+    # ------------------------------------------------------------------
+    @property
+    def node_count(self) -> int:
+        """Nodes currently allocated."""
+        return self._node_count
+
+    def size_bytes(self) -> int:
+        """Table memory: each node pays 16 bytes overhead + 8 per slot."""
+        return sum(
+            node.size_bytes()
+            for chain in self._buckets.values()
+            for node in chain
+        )
+
+    def describe(self) -> str:
+        return (
+            f"{self.name} page table (factors {'/'.join(map(str, self.factors))})"
+        )

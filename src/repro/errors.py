@@ -1,0 +1,69 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still being able to discriminate the common failure modes (bad addresses,
+translation faults, allocation failures, configuration mistakes).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed with inconsistent or invalid parameters."""
+
+
+class AddressError(ReproError, ValueError):
+    """An address, VPN, or PPN is outside the range a component supports."""
+
+
+class PageFaultError(ReproError):
+    """A translation was requested for a virtual page with no valid mapping.
+
+    This models the ``pagefault()`` call at the end of the paper's TLB miss
+    handler pseudo-code: the page table walk completed without finding a
+    matching PTE.
+    """
+
+    def __init__(self, vpn: int, message: str = ""):
+        self.vpn = vpn
+        super().__init__(message or f"page fault: no mapping for VPN {vpn:#x}")
+
+
+class ProtectionFaultError(ReproError):
+    """An access violated a mapping's protection attributes.
+
+    Raised by the MMU when protection enforcement is enabled and a write
+    hits a page whose PTE lacks the write permission — the hardware trap
+    that copy-on-write and mprotect-based schemes are built on.
+    """
+
+    def __init__(self, vpn: int, write: bool = True):
+        self.vpn = vpn
+        self.write = write
+        kind = "write" if write else "read"
+        super().__init__(f"protection fault: {kind} to VPN {vpn:#x}")
+
+
+class MappingExistsError(ReproError):
+    """An attempt was made to map a virtual page that is already mapped."""
+
+    def __init__(self, vpn: int):
+        self.vpn = vpn
+        super().__init__(f"VPN {vpn:#x} is already mapped")
+
+
+class AlignmentError(ReproError, ValueError):
+    """A superpage or page block violated its natural alignment constraint."""
+
+
+class OutOfMemoryError(ReproError):
+    """The physical memory allocator could not satisfy a request."""
+
+
+class EncodingError(ReproError, ValueError):
+    """A value does not fit in its PTE bit field."""

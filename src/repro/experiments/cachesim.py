@@ -1,0 +1,124 @@
+"""Real-cache study: do smaller page tables actually cache better? (§6.1)
+
+The paper's metric counts lines *touched*, conceding that it "ignores
+that some page table data may still be in cache, particularly for page
+tables that are smaller", and predicting clustered tables "to be better
+than the results we report".  This experiment tests that prediction with
+a real set-associative L2 simulator over the byte-exact memory images:
+
+1. build hashed and clustered memory images of a workload;
+2. replay the single-page-size TLB miss stream through each image,
+   feeding every byte read into the cache simulator;
+3. between consecutive misses, stream a configurable amount of unrelated
+   application data through the cache (the traffic that evicts PTEs);
+4. report lines **missed** per TLB miss — the quantity the paper could
+   not measure — alongside the lines-touched metric it did.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.clustered import ClusteredPageTable
+from repro.experiments.common import (
+    ExperimentResult,
+    get_miss_stream,
+    get_translation_map,
+    get_workload,
+)
+from repro.mmu.cache_sim import CacheSim
+from repro.pagetables.hashed import HashedPageTable
+from repro.pagetables.memimage import MemoryImage
+
+DEFAULT_WORKLOADS = ("coral", "mp3d", "ML", "gcc")
+
+
+def _replay_through_cache(
+    image: MemoryImage,
+    miss_vpns,
+    cache: CacheSim,
+    pollution_bytes: int,
+) -> tuple:
+    """Replay a miss stream; returns (lines_touched, lines_missed)."""
+    touched = 0
+    missed = 0
+    for vpn in miss_vpns:
+        if pollution_bytes:
+            cache.pollute(pollution_bytes)
+        _, reads = image.walk_reads(int(vpn))
+        seen_lines = set()
+        for address, nbytes in reads:
+            first = address // image.node_bytes  # probes, not lines; keep lines:
+            del first
+            start = address // cache.line_size
+            end = (address + nbytes - 1) // cache.line_size
+            seen_lines.update(range(start, end + 1))
+            missed += cache.access(address, nbytes)
+        touched += len(seen_lines)
+    return touched, missed
+
+
+def run(
+    workloads: Optional[Sequence[str]] = None,
+    trace_length: int = 200_000,
+    cache_kb: int = 1024,
+    pollution_bytes: int = 16 * 1024,
+    num_buckets: int = 4096,
+) -> ExperimentResult:
+    """Lines touched (paper metric) vs lines missed (real cache)."""
+    rows: List[List] = []
+    for name in workloads or DEFAULT_WORKLOADS:
+        workload = get_workload(name, trace_length)
+        tmap = get_translation_map(workload, "single")
+        stream = get_miss_stream(workload, "single")
+        miss_vpns = stream.vpns.tolist()[: min(20_000, len(stream.vpns))]
+
+        row: List = [name]
+        for label, table in (
+            ("hashed", HashedPageTable(workload.layout, num_buckets=num_buckets)),
+            ("clustered", ClusteredPageTable(workload.layout, num_buckets=num_buckets)),
+        ):
+            tmap.populate(table, base_pages_only=True)
+            image = (
+                MemoryImage.of_hashed(table)
+                if label == "hashed"
+                else MemoryImage.of_clustered(table)
+            )
+            cache = CacheSim(size_bytes=cache_kb << 10, line_size=256)
+            touched, missed = _replay_through_cache(
+                image, miss_vpns, cache, pollution_bytes
+            )
+            row.extend(
+                [
+                    round(touched / len(miss_vpns), 3),
+                    round(missed / len(miss_vpns), 3),
+                ]
+            )
+        # Relative advantage: clustered misses vs hashed misses.
+        row.append(round(row[4] / row[2], 3) if row[2] else None)
+        rows.append(row)
+    return ExperimentResult(
+        experiment=(
+            f"Real cache ({cache_kb} KB L2, {pollution_bytes >> 10} KB "
+            "pollution between misses): lines touched vs missed per TLB miss"
+        ),
+        headers=[
+            "workload", "hashed touched", "hashed missed",
+            "clustered touched", "clustered missed", "clustered/hashed missed",
+        ],
+        rows=rows,
+        notes=(
+            "§6.1 predicted clustered tables would beat their "
+            "lines-touched numbers because smaller tables stay cached; "
+            "the 'missed' columns measure exactly that."
+        ),
+    )
+
+
+def main() -> None:
+    """Print the study."""
+    print(run().render(precision=3))
+
+
+if __name__ == "__main__":
+    main()

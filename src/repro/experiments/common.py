@@ -1,0 +1,166 @@
+"""Shared experiment infrastructure: caching, TLB factories, normalisation.
+
+Workload construction and phase-1 TLB simulation dominate experiment run
+time, and several figures need the same artefacts; this module memoises
+both behind small keyed caches so ``runner.run_all`` pays for each
+(workload, TLB configuration) pair once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.report import render_table
+from repro.mmu.simulate import MissStream, collect_misses
+from repro.mmu.subblock_tlb import CompleteSubblockTLB, PartialSubblockTLB
+from repro.mmu.superpage_tlb import SuperpageTLB
+from repro.mmu.tlb import BaseTLB, FullyAssociativeTLB
+from repro.os.promotion import DynamicPageSizePolicy
+from repro.os.translation_map import TranslationMap
+from repro.workloads.suite import Workload, load_workload
+
+#: The paper's base TLB size, and the linear-table variant that reserves
+#: eight entries for nested translations (§6.1).
+TLB_ENTRIES = 64
+RESERVED_ENTRIES = 8
+LINEAR_TLB_ENTRIES = TLB_ENTRIES - RESERVED_ENTRIES
+
+#: Workloads with reference traces (kernel is size-only).
+TRACED_WORKLOADS = (
+    "coral", "nasa7", "compress", "fftpde", "wave5", "mp3d", "spice",
+    "pthor", "ML", "gcc",
+)
+#: Workloads appearing in the size figures.
+SIZE_WORKLOADS = TRACED_WORKLOADS + ("kernel",)
+
+
+@dataclass
+class ExperimentResult:
+    """A reproduced table or figure, ready for rendering and assertions."""
+
+    experiment: str
+    headers: List[str]
+    rows: List[List]
+    notes: str = ""
+
+    def render(self, precision: int = 2) -> str:
+        """Paper-style text rendering."""
+        text = render_table(self.headers, self.rows, title=self.experiment,
+                            precision=precision)
+        if self.notes:
+            text += f"\n\n{self.notes}"
+        return text
+
+    def by_label(self) -> Dict[str, List]:
+        """Rows keyed by their first column."""
+        return {row[0]: row[1:] for row in self.rows}
+
+    def column(self, header: str) -> Dict[str, object]:
+        """One column keyed by row label."""
+        index = self.headers.index(header)
+        return {row[0]: row[index] for row in self.rows}
+
+
+# ---------------------------------------------------------------------------
+# TLB factories (fresh instance per simulation run)
+# ---------------------------------------------------------------------------
+def single_page_tlb(entries: int = TLB_ENTRIES) -> FullyAssociativeTLB:
+    """Figure 11a hardware: single-page-size, fully associative."""
+    return FullyAssociativeTLB(entries)
+
+
+def superpage_tlb(entries: int = TLB_ENTRIES) -> SuperpageTLB:
+    """Figure 11b hardware: 4 KB + 64 KB page sizes."""
+    return SuperpageTLB(entries, page_sizes=(1, 16))
+
+
+def partial_subblock_tlb(entries: int = TLB_ENTRIES) -> PartialSubblockTLB:
+    """Figure 11c hardware: subblock factor 16, single PPN per entry."""
+    return PartialSubblockTLB(entries, subblock_factor=16)
+
+
+def complete_subblock_tlb(entries: int = TLB_ENTRIES) -> CompleteSubblockTLB:
+    """Figure 11d hardware: subblock factor 16, PPN per subblock."""
+    return CompleteSubblockTLB(entries, subblock_factor=16)
+
+
+TLB_FACTORIES: Dict[str, Callable[[int], BaseTLB]] = {
+    "single": single_page_tlb,
+    "superpage": superpage_tlb,
+    "partial-subblock": partial_subblock_tlb,
+    "complete-subblock": complete_subblock_tlb,
+}
+
+
+# ---------------------------------------------------------------------------
+# Policies per figure
+# ---------------------------------------------------------------------------
+def policy_for(tlb_kind: str) -> Optional[DynamicPageSizePolicy]:
+    """Page-size policy matching each TLB architecture.
+
+    Single-page-size and complete-subblock systems need no page-table
+    support (base PTEs only); superpage TLBs get superpage PTEs; partial-
+    subblock TLBs get both wide formats.
+    """
+    if tlb_kind in ("single", "complete-subblock"):
+        return None
+    if tlb_kind == "superpage":
+        return DynamicPageSizePolicy(enable_subblocks=False)
+    return DynamicPageSizePolicy()
+
+
+# ---------------------------------------------------------------------------
+# Cached artefacts
+# ---------------------------------------------------------------------------
+_WORKLOADS: Dict[Tuple[str, int, int], Workload] = {}
+# Keyed by id(workload); each value keeps a strong reference to its
+# workload so the id can never be recycled while the cache entry lives.
+_TMAPS: Dict[Tuple[int, str], Tuple[Workload, TranslationMap]] = {}
+_STREAMS: Dict[Tuple[int, str, int], Tuple[Workload, MissStream]] = {}
+
+
+def get_workload(
+    name: str, trace_length: int = 200_000, seed: int = 1234
+) -> Workload:
+    """Memoised workload construction."""
+    key = (name, trace_length, seed)
+    if key not in _WORKLOADS:
+        _WORKLOADS[key] = load_workload(
+            name, trace_length=trace_length, seed=seed
+        )
+    return _WORKLOADS[key]
+
+
+def get_translation_map(workload: Workload, tlb_kind: str) -> TranslationMap:
+    """Memoised logical PTEs for a workload under a TLB's matching policy.
+
+    Uses the union space (processes occupy disjoint VA slices), which is
+    what the shared page table sees during access-time simulation.
+    """
+    key = (id(workload), tlb_kind)
+    if key not in _TMAPS:
+        tmap = TranslationMap.from_space(
+            workload.union_space(), policy_for(tlb_kind)
+        )
+        _TMAPS[key] = (workload, tmap)
+    return _TMAPS[key][1]
+
+
+def get_miss_stream(
+    workload: Workload, tlb_kind: str, entries: int = TLB_ENTRIES
+) -> MissStream:
+    """Memoised phase-1 simulation: the miss stream of one TLB config."""
+    key = (id(workload), tlb_kind, entries)
+    if key not in _STREAMS:
+        tmap = get_translation_map(workload, tlb_kind)
+        tlb = TLB_FACTORIES[tlb_kind](entries)
+        _STREAMS[key] = (workload, collect_misses(workload.trace, tlb, tmap))
+    return _STREAMS[key][1]
+
+
+def clear_caches() -> None:
+    """Drop all memoised artefacts (tests use this for isolation)."""
+    _WORKLOADS.clear()
+    _TMAPS.clear()
+    _STREAMS.clear()

@@ -1,0 +1,78 @@
+"""Guarded page table study: how effective is level short-circuiting (§2)?
+
+Section 2 dismisses forward-mapped tables for 64-bit addresses (≈7
+accesses per miss) and says guard-based short-circuiting ([Lied95]) is
+"partially effective but still require[s] many levels".  This experiment
+measures exactly that: average and maximum walk depth of a guarded page
+table versus the fixed 7 of the forward-mapped tree, across dense and
+sparse workloads — plus the size cost of its wider entries.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.experiments.common import (
+    ExperimentResult,
+    get_miss_stream,
+    get_translation_map,
+    get_workload,
+)
+from repro.mmu.simulate import replay_misses
+from repro.pagetables.forward import ForwardMappedPageTable
+from repro.pagetables.guarded import GuardedPageTable
+
+GUARDED_WORKLOADS = ("coral", "mp3d", "compress", "gcc")
+
+
+def run(
+    workloads: Optional[Sequence[str]] = None,
+    trace_length: int = 200_000,
+) -> ExperimentResult:
+    """Walk depth and size: guarded vs forward-mapped."""
+    rows: List[List] = []
+    for name in workloads or GUARDED_WORKLOADS:
+        workload = get_workload(name, trace_length)
+        tmap = get_translation_map(workload, "single")
+        stream = get_miss_stream(workload, "single")
+
+        forward = ForwardMappedPageTable(workload.layout)
+        guarded = GuardedPageTable(workload.layout)
+        tmap.populate(forward, base_pages_only=True)
+        tmap.populate(guarded, base_pages_only=True)
+
+        forward_lines = replay_misses(stream, forward).lines_per_miss
+        guarded_lines = replay_misses(stream, guarded).lines_per_miss
+        rows.append(
+            [
+                name,
+                round(forward_lines, 3),
+                round(guarded_lines, 3),
+                guarded.max_depth(),
+                forward.size_bytes(),
+                guarded.size_bytes(),
+            ]
+        )
+    return ExperimentResult(
+        experiment="Guarded page tables: short-circuiting the tree (§2)",
+        headers=[
+            "workload", "forward lines/miss", "guarded lines/miss",
+            "guarded max depth", "forward bytes", "guarded bytes",
+        ],
+        rows=rows,
+        notes=(
+            "Guards collapse single-child paths, cutting the 7-access walk "
+            "to a few — 'partially effective' per §2: depth stays well "
+            "above the ~1 of hashed/clustered tables, and grows with "
+            "address-space density."
+        ),
+    )
+
+
+def main() -> None:
+    """Print the study."""
+    print(run().render(precision=3))
+
+
+if __name__ == "__main__":
+    main()

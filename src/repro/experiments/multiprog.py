@@ -1,0 +1,102 @@
+"""Multiprogramming study: flush-on-switch vs ASID-tagged TLBs (§7).
+
+Section 7 flags a limitation: "Multiprogramming can increase the number
+of TLB misses and make TLB miss handling more significant [Agar88]."  The
+paper's trap-driven setup flushed on context switches; 64-bit processors
+tag entries with ASIDs instead.  This experiment quantifies the gap on
+the two multiprogrammed workloads (compress, gcc) across scheduling
+quantum lengths: flushing converts every switch into a burst of
+compulsory misses; ASID tagging leaves only capacity competition.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.experiments.common import ExperimentResult, get_workload
+from repro.mmu.asid import ASIDTaggedTLB
+from repro.mmu.simulate import collect_misses
+from repro.mmu.tlb import FullyAssociativeTLB
+from repro.os.translation_map import TranslationMap
+from repro.workloads.trace import Trace
+
+MULTIPROG_WORKLOADS = ("compress", "gcc")
+
+
+def _requantise(trace: Trace, quantum: int) -> Trace:
+    """Re-slice a multiprocess trace's existing segments to a quantum.
+
+    The suite's traces interleave per-process streams; to sweep quantum
+    lengths we re-interleave the per-owner sub-streams.
+    """
+    per_owner: dict = {}
+    for owner, _, segment in trace.segments_with_owner():
+        per_owner.setdefault(owner, []).append(segment)
+    import numpy as np
+
+    parts = [
+        Trace(np.concatenate(chunks), name=f"p{owner}",
+              subblock_factor=trace.subblock_factor)
+        for owner, chunks in sorted(per_owner.items())
+    ]
+    return Trace.interleave(parts, quantum=quantum, name=trace.name)
+
+
+def run(
+    workloads: Optional[Sequence[str]] = None,
+    trace_length: int = 200_000,
+    quantum: int = 5_000,
+    tlb_sizes: Sequence[int] = (64, 256, 1024),
+) -> ExperimentResult:
+    """Misses per 1k references: flushing vs ASID tagging per TLB size.
+
+    At the paper's 64 entries both processes' working sets exceed TLB
+    reach, so capacity eviction hides the flush penalty; larger (second-
+    level-sized) TLBs expose it — which is exactly why ASIDs matter more
+    as TLBs grow.
+    """
+    rows: List[List] = []
+    for name in workloads or MULTIPROG_WORKLOADS:
+        workload = get_workload(name, trace_length)
+        tmap = TranslationMap.from_space(workload.union_space())
+        trace = _requantise(workload.trace, quantum)
+        for entries in tlb_sizes:
+            flush = collect_misses(trace, FullyAssociativeTLB(entries), tmap)
+            asid = collect_misses(
+                trace, ASIDTaggedTLB(FullyAssociativeTLB(entries)), tmap
+            )
+            rows.append(
+                [
+                    f"{name}/{entries}e",
+                    len(trace.switch_points),
+                    round(1000.0 * flush.miss_ratio, 2),
+                    round(1000.0 * asid.miss_ratio, 2),
+                    round(flush.misses / asid.misses, 2)
+                    if asid.misses else None,
+                ]
+            )
+    return ExperimentResult(
+        experiment=(
+            f"Multiprogramming (quantum {quantum}): flush-on-switch vs "
+            "ASID-tagged TLB"
+        ),
+        headers=[
+            "workload/TLB", "switches", "flush misses/1k",
+            "ASID misses/1k", "flush/ASID",
+        ],
+        rows=rows,
+        notes=(
+            "The §7 multiprogramming penalty under flushing grows with "
+            "TLB size: once a process's working set fits, every flushed "
+            "entry is a future compulsory miss that ASID tagging avoids."
+        ),
+    )
+
+
+def main() -> None:
+    """Print the study."""
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

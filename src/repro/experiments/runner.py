@@ -1,0 +1,100 @@
+"""Run every experiment and emit a combined report.
+
+``python -m repro.experiments.runner`` regenerates all reproduced tables
+and figures in one pass (sharing the memoised workloads and miss streams)
+and prints them in paper order.  Pass ``--fast`` for shorter traces.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Dict, List
+
+from repro.experiments import (
+    cachesim,
+    fig9,
+    fig10,
+    fig11,
+    guarded,
+    multiprog,
+    multisize,
+    pressure,
+    promotion_scan,
+    sasos,
+    sensitivity,
+    softtlb,
+    table1,
+    table2,
+)
+from repro.experiments.common import ExperimentResult
+
+
+def run_all(trace_length: int = 200_000) -> Dict[str, ExperimentResult]:
+    """Regenerate every table and figure; returns results keyed by id."""
+    results: Dict[str, ExperimentResult] = {}
+    results["table1"] = table1.run(trace_length=trace_length)
+    results["fig9"] = fig9.run()
+    results["fig10"] = fig10.run()
+    for figure, result in fig11.run_all(trace_length=trace_length).items():
+        results[f"fig{figure}"] = result
+    results["table2"] = table2.run()
+    results["sens_cacheline"] = sensitivity.cache_line_sweep()
+    results["sens_subblock"] = sensitivity.subblock_factor_sweep()
+    results["sens_buckets"] = sensitivity.bucket_count_sweep()
+    results["sens_tlb_geometry"] = sensitivity.tlb_geometry_sweep()
+    results["sens_hash_quality"] = sensitivity.hash_quality_sweep()
+    results["sens_shared_private"] = sensitivity.shared_vs_private_tables()
+    # §2/§7 extension studies.
+    results["softtlb"] = softtlb.run(trace_length=trace_length)
+    results["multisize"] = multisize.run()
+    results["multiprog"] = multiprog.run(trace_length=trace_length)
+    results["guarded"] = guarded.run(trace_length=trace_length)
+    results["sasos"] = sasos.run()
+    results["cachesim"] = cachesim.run(trace_length=trace_length)
+    results["pressure"] = pressure.run()
+    results["promotion_scan"] = promotion_scan.run()
+    return results
+
+
+def main(argv: List[str] = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        description="Reproduce every table and figure of the paper."
+    )
+    parser.add_argument(
+        "--fast", action="store_true",
+        help="use shorter traces (50k references) for a quick pass",
+    )
+    parser.add_argument(
+        "--json", metavar="FILE",
+        help="additionally export every result to one JSON file",
+    )
+    parser.add_argument(
+        "--csv", metavar="DIR",
+        help="additionally export one CSV per experiment into DIR",
+    )
+    args = parser.parse_args(argv)
+    trace_length = 50_000 if args.fast else 200_000
+
+    started = time.time()
+    results = run_all(trace_length)
+    for key, result in results.items():
+        print(result.render(precision=3))
+        print()
+    if args.json:
+        from repro.analysis.export import write_json
+
+        print(f"[results written to {write_json(results, args.json)}]")
+    if args.csv:
+        from repro.analysis.export import write_csv
+
+        paths = write_csv(results, args.csv)
+        print(f"[{len(paths)} CSV files written to {args.csv}/]")
+    print(f"[all experiments regenerated in {time.time() - started:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

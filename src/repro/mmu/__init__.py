@@ -1,0 +1,36 @@
+"""Hardware substrate: TLBs, the MMU miss handler, and the cache model.
+
+- :mod:`repro.mmu.cache_model` — counts cache-line touches for page-table
+  walks (the paper's §6 access-time metric).
+- :mod:`repro.mmu.tlb` — fully- and set-associative single-page-size TLBs.
+- :mod:`repro.mmu.superpage_tlb` — TLBs whose entries map power-of-two
+  superpages.
+- :mod:`repro.mmu.subblock_tlb` — partial-subblock and complete-subblock
+  TLBs, including block/subblock miss accounting and prefetch.
+- :mod:`repro.mmu.mmu` — the software TLB-miss handler tying a TLB to a
+  page table and recording the paper's metrics.
+"""
+
+from repro.mmu.cache_model import CacheModel, DEFAULT_CACHE
+from repro.mmu.tlb import FullyAssociativeTLB, SetAssociativeTLB, TLBEntry, TLBStats
+from repro.mmu.superpage_tlb import SuperpageTLB
+from repro.mmu.subblock_tlb import CompleteSubblockTLB, PartialSubblockTLB
+from repro.mmu.asid import ASIDTaggedTLB
+from repro.mmu.two_level import TwoLevelTLB
+from repro.mmu.mmu import MMU, MMUStats
+
+__all__ = [
+    "ASIDTaggedTLB",
+    "CacheModel",
+    "CompleteSubblockTLB",
+    "DEFAULT_CACHE",
+    "FullyAssociativeTLB",
+    "MMU",
+    "MMUStats",
+    "PartialSubblockTLB",
+    "SetAssociativeTLB",
+    "SuperpageTLB",
+    "TLBEntry",
+    "TLBStats",
+    "TwoLevelTLB",
+]

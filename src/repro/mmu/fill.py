@@ -1,0 +1,147 @@
+"""TLB entry construction — the policy half of the TLB miss handler.
+
+Given what a page-table walk found (a base PTE, a superpage PTE, or a
+partial-subblock PTE) and what the hardware TLB can hold, build the entry
+to fill.  Capability mismatches *downgrade* gracefully, exactly as a real
+handler must:
+
+- a superpage PTE fills a single-page TLB with just the faulting page;
+- a superpage larger than any supported size fills the largest supported
+  aligned sub-range containing the faulting page;
+- a partial-subblock PTE fills a superpage TLB (which has no valid bit
+  vector) with just the faulting page, unless the block is fully valid —
+  in which case it is equivalent to a block-sized superpage;
+- anything fills a complete-subblock TLB, since its per-page PPN array
+  makes no placement assumptions.
+
+The source records only need the attribute names shared by
+:class:`~repro.pagetables.base.LookupResult` and the OS's logical PTEs:
+``kind``, ``base_vpn``, ``npages``, ``base_ppn``, ``attrs``,
+``valid_mask``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.mmu.subblock_tlb import CompleteSubblockTLB, PartialSubblockTLB
+from repro.mmu.superpage_tlb import SuperpageTLB
+from repro.mmu.tlb import BaseTLB, TLBEntry
+from repro.pagetables.pte import PTEKind
+
+
+def _single_page_entry(vpn: int, ppn: int, attrs: int) -> TLBEntry:
+    return TLBEntry(
+        base_vpn=vpn, npages=1, base_ppn=ppn, attrs=attrs, valid_mask=1,
+        kind=PTEKind.BASE,
+    )
+
+
+def _supported_sizes(tlb: BaseTLB) -> Tuple[int, ...]:
+    explicit = getattr(tlb, "supported_sizes", None)
+    if explicit is not None:
+        return tuple(explicit)
+    if isinstance(tlb, SuperpageTLB):
+        return tlb.page_sizes
+    if isinstance(tlb, (PartialSubblockTLB, CompleteSubblockTLB)):
+        return (1, tlb.subblock_factor)
+    return (1,)
+
+
+def build_entry(tlb: BaseTLB, record, vpn: int, ppn: int) -> TLBEntry:
+    """Build the TLB entry the miss handler should fill for ``vpn``.
+
+    ``record`` describes the PTE found by the walk; ``ppn`` is the resolved
+    translation of the faulting page itself (used for downgrades).
+    """
+    kind: PTEKind = record.kind
+    npages: int = record.npages
+
+    if isinstance(tlb, CompleteSubblockTLB):
+        return _complete_subblock_entry(tlb, record, vpn, ppn)
+
+    if kind is PTEKind.SUPERPAGE and npages > 1:
+        for size in sorted(_supported_sizes(tlb), reverse=True):
+            if size > npages or not tlb.accepts(PTEKind.SUPERPAGE, size):
+                continue
+            base = vpn & ~(size - 1)
+            return TLBEntry(
+                base_vpn=base, npages=size,
+                base_ppn=record.base_ppn + (base - record.base_vpn),
+                attrs=record.attrs, valid_mask=(1 << size) - 1,
+                kind=PTEKind.SUPERPAGE if size > 1 else PTEKind.BASE,
+            )
+        return _single_page_entry(vpn, ppn, record.attrs)
+
+    if kind is PTEKind.PARTIAL_SUBBLOCK and npages > 1:
+        if tlb.accepts(PTEKind.PARTIAL_SUBBLOCK, npages):
+            return TLBEntry(
+                base_vpn=record.base_vpn, npages=npages,
+                base_ppn=record.base_ppn, attrs=record.attrs,
+                valid_mask=record.valid_mask, kind=PTEKind.PARTIAL_SUBBLOCK,
+            )
+        full_mask = (1 << npages) - 1
+        if record.valid_mask == full_mask and tlb.accepts(
+            PTEKind.SUPERPAGE, npages
+        ):
+            # A fully-valid, properly-placed block is a superpage in all
+            # but name; a superpage TLB can hold it natively.
+            return TLBEntry(
+                base_vpn=record.base_vpn, npages=npages,
+                base_ppn=record.base_ppn, attrs=record.attrs,
+                valid_mask=full_mask, kind=PTEKind.SUPERPAGE,
+            )
+        return _single_page_entry(vpn, ppn, record.attrs)
+
+    return _single_page_entry(vpn, ppn, record.attrs)
+
+
+def _complete_subblock_entry(
+    tlb: CompleteSubblockTLB, record, vpn: int, ppn: int
+) -> TLBEntry:
+    """Complete-subblock fill of a single walk result (no prefetch)."""
+    s = tlb.subblock_factor
+    base_vpn = vpn & ~(s - 1)
+    ppns: list = [None] * s
+    boff = vpn - base_vpn
+    ppns[boff] = ppn
+    mask = 1 << boff
+    if record.npages > 1:
+        # The walk found a wide PTE: expose every page it validates, since
+        # the handler has the information in hand at no extra cost.
+        for i in range(s):
+            page = base_vpn + i
+            if record.base_vpn <= page < record.base_vpn + record.npages:
+                off = page - record.base_vpn
+                if (record.valid_mask >> off) & 1:
+                    ppns[i] = record.base_ppn + off
+                    mask |= 1 << i
+    return TLBEntry(
+        base_vpn=base_vpn, npages=s, base_ppn=record.base_ppn,
+        attrs=record.attrs, valid_mask=mask, kind=record.kind,
+        ppns=tuple(ppns),
+    )
+
+
+def block_entry(
+    tlb: CompleteSubblockTLB,
+    base_vpn: int,
+    mappings: Sequence[Optional[object]],
+    default_attrs: int = 0,
+) -> TLBEntry:
+    """Complete-subblock fill from a prefetched block of mappings (§4.4)."""
+    s = tlb.subblock_factor
+    ppns: list = [None] * s
+    mask = 0
+    attrs = default_attrs
+    for i, mapping in enumerate(mappings):
+        if mapping is None:
+            continue
+        ppns[i] = mapping.ppn
+        attrs = mapping.attrs
+        mask |= 1 << i
+    first = next((p for p in ppns if p is not None), 0)
+    return TLBEntry(
+        base_vpn=base_vpn, npages=s, base_ppn=first, attrs=attrs,
+        valid_mask=mask, kind=PTEKind.BASE, ppns=tuple(ppns),
+    )

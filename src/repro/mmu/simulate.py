@@ -1,0 +1,194 @@
+"""Decoupled two-phase TLB/page-table simulation.
+
+The paper's access-time metric normalises cache-line counts by "the number
+of TLB misses incurred by a 64-entry TLB, which is independent of the page
+table type" (§6.1).  That independence is an algorithmic gift: the TLB
+*miss stream* depends only on the reference trace, the TLB configuration,
+and the logical PTE contents — not on how a page table organises them.  So
+the experiments run in two phases:
+
+1. :func:`collect_misses` — run the trace through a TLB once, filling
+   entries from the :class:`~repro.os.translation_map.TranslationMap`
+   oracle, recording every miss.
+2. :func:`replay_misses` — walk each page table organisation once per
+   recorded miss, accumulating its cache-line costs.
+
+Phase 1 (the expensive part) is paid once per TLB configuration; phase 2
+is cheap and repeated per page table.  The integrated
+:class:`~repro.mmu.mmu.MMU` produces identical numbers and is used to
+cross-validate this fast path in the test suite.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import PageFaultError
+from repro.mmu.fill import block_entry, build_entry
+from repro.mmu.subblock_tlb import CompleteSubblockTLB
+from repro.mmu.tlb import BaseTLB
+from repro.os.translation_map import TranslationMap
+from repro.pagetables.pte import PTEKind
+from repro.workloads.trace import Trace
+
+
+@dataclass
+class MissStream:
+    """Every TLB miss of one (trace, TLB) run, in order.
+
+    ``block_miss[i]`` is True when miss *i* allocated a new tag (relevant
+    for complete-subblock TLBs, whose subblock misses are serviced by a
+    single-PTE walk instead of a block prefetch).
+    """
+
+    trace_name: str
+    tlb_description: str
+    vpns: np.ndarray
+    block_miss: np.ndarray
+    accesses: int
+    misses: int
+    tlb_block_misses: int
+    tlb_subblock_misses: int
+    misses_by_kind: Counter = field(default_factory=Counter)
+
+    @property
+    def miss_ratio(self) -> float:
+        """Misses per reference."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+def collect_misses(
+    trace: Trace,
+    tlb: BaseTLB,
+    tmap: TranslationMap,
+    prefetch_subblocks: bool = True,
+) -> MissStream:
+    """Phase 1: run a trace through a TLB, filling from the logical PTEs.
+
+    References to unmapped pages raise: traces are generated from mapped
+    pages, so a fault here means the trace and map disagree.
+    """
+    from repro.mmu.asid import ASIDTaggedTLB
+
+    vpns_out: List[int] = []
+    block_out: List[bool] = []
+    by_kind: Counter = Counter()
+    complete = isinstance(tlb, CompleteSubblockTLB) and prefetch_subblocks
+    asid_tagged = isinstance(tlb, ASIDTaggedTLB)
+    layout = tmap.layout
+
+    for owner, flush_first, segment in trace.segments_with_owner():
+        if asid_tagged:
+            # ASID-tagged hardware switches address spaces without
+            # flushing — the §7 multiprogramming comparison.
+            tlb.switch_to(owner)
+        elif flush_first:
+            tlb.flush()
+        for raw in segment:
+            vpn = int(raw)
+            if tlb.lookup(vpn) is not None:
+                continue
+            pte = tmap.query(vpn)
+            if pte is None:
+                raise PageFaultError(vpn, f"trace references unmapped VPN {vpn:#x}")
+            vpns_out.append(vpn)
+            by_kind[pte.kind] += 1
+            if complete:
+                resident = tlb.current_entry(vpn)
+                if resident is None:
+                    block_out.append(True)
+                    vpbn = layout.vpbn(vpn)
+                    tlb.fill(
+                        block_entry(
+                            tlb, layout.vpn_of_block(vpbn),
+                            tmap.block_mappings(vpbn),
+                        )
+                    )
+                else:
+                    block_out.append(False)
+                    tlb.merge_fill(vpn, pte.ppn_for(vpn), pte.attrs)
+            else:
+                block_out.append(True)
+                tlb.fill(build_entry(tlb, pte, vpn, pte.ppn_for(vpn)))
+
+    return MissStream(
+        trace_name=trace.name,
+        tlb_description=tlb.describe(),
+        vpns=np.asarray(vpns_out, dtype=np.int64),
+        block_miss=np.asarray(block_out, dtype=bool),
+        accesses=tlb.stats.accesses,
+        misses=tlb.stats.misses,
+        tlb_block_misses=tlb.stats.block_misses,
+        tlb_subblock_misses=tlb.stats.subblock_misses,
+        misses_by_kind=by_kind,
+    )
+
+
+@dataclass
+class ReplayResult:
+    """Phase 2 outcome: one page table's cost over a miss stream."""
+
+    table_description: str
+    misses: int
+    cache_lines: int
+    probes: int
+    faults: int
+    by_kind: Counter = field(default_factory=Counter)
+
+    @property
+    def lines_per_miss(self) -> float:
+        """Average cache lines per TLB miss — the Figure 11 metric."""
+        return self.cache_lines / self.misses if self.misses else 0.0
+
+
+def replay_misses(
+    stream: MissStream,
+    table,
+    complete_subblock: bool = False,
+) -> ReplayResult:
+    """Phase 2: charge one page table for every miss in the stream.
+
+    ``complete_subblock`` replays block misses as §4.4 prefetching block
+    walks (``lookup_block``) and subblock misses as single-PTE walks.
+    """
+    lines = 0
+    probes = 0
+    faults = 0
+    by_kind: Counter = Counter()
+    layout = table.layout
+    if complete_subblock:
+        for vpn, is_block in zip(stream.vpns.tolist(), stream.block_miss.tolist()):
+            if is_block:
+                block = table.lookup_block(layout.vpbn(vpn))
+                lines += block.cache_lines
+                probes += block.probes
+                if block.mappings[layout.boff(vpn)] is None:
+                    faults += 1
+                by_kind[PTEKind.BASE] += 1
+            else:
+                result = table.lookup(vpn)
+                lines += result.cache_lines
+                probes += result.probes
+                by_kind[result.kind] += 1
+    else:
+        for vpn in stream.vpns.tolist():
+            try:
+                result = table.lookup(vpn)
+            except PageFaultError:
+                faults += 1
+                continue
+            lines += result.cache_lines
+            probes += result.probes
+            by_kind[result.kind] += 1
+    return ReplayResult(
+        table_description=table.describe(),
+        misses=int(stream.vpns.shape[0]),
+        cache_lines=lines,
+        probes=probes,
+        faults=faults,
+        by_kind=by_kind,
+    )

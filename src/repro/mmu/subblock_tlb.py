@@ -1,0 +1,146 @@
+"""Partial- and complete-subblock TLBs (§4.1, §4.4).
+
+Subblocking associates multiple base pages with one TLB tag:
+
+- A **complete-subblock** entry has one tag and a subblock-factor's worth
+  of independent PPN/attribute fields — pages need not be properly placed.
+  Misses decompose into *block* misses (no matching tag: allocate an
+  entry, possibly evicting) and *subblock* misses (tag present, valid bit
+  clear: just add a mapping).  Prefetching all of a tag's mappings on a
+  block miss eliminates subblock misses without polluting the TLB (§4.4).
+- A **partial-subblock** entry stores a single PPN plus a valid bit
+  vector and requires the valid pages to be *properly placed* in one
+  aligned physical block.  Pages that are not properly placed fall back to
+  occupying an entry alone, exactly like a base-page entry.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.errors import ConfigurationError
+from repro.mmu.tlb import BaseTLB, TLBEntry
+from repro.pagetables.pte import PTEKind
+
+
+class _BlockTaggedTLB(BaseTLB):
+    """Shared machinery for TLBs whose primary tag is the page block."""
+
+    def __init__(self, entries: int = 64, subblock_factor: int = 16):
+        super().__init__(entries)
+        if subblock_factor < 2 or subblock_factor & (subblock_factor - 1):
+            raise ConfigurationError(
+                f"subblock factor must be a power of two >= 2, got "
+                f"{subblock_factor}"
+            )
+        self.subblock_factor = subblock_factor
+
+    def _block_of(self, vpn: int) -> int:
+        return vpn & ~(self.subblock_factor - 1)
+
+    def _classify_miss(self, vpn: int) -> None:
+        block_key = ("block", self._block_of(vpn))
+        if block_key in self._entries:
+            self.stats.subblock_misses += 1
+        else:
+            self.stats.block_misses += 1
+
+
+class PartialSubblockTLB(_BlockTaggedTLB):
+    """Partial-subblock TLB: one PPN + valid bit vector per entry.
+
+    Properly-placed blocks (superpage or partial-subblock PTEs) share one
+    entry; other pages occupy single-page entries of their own ("pages not
+    properly placed use multiple TLB entries").
+    """
+
+    name = "partial-subblock"
+
+    def _candidate_keys(self, vpn: int) -> Iterable[tuple]:
+        return (("block", self._block_of(vpn)), ("page", vpn))
+
+    def _key_of(self, entry: TLBEntry) -> tuple:
+        if entry.npages == 1:
+            return ("page", entry.base_vpn)
+        if entry.npages != self.subblock_factor:
+            raise ConfigurationError(
+                f"partial-subblock TLB holds 1- or "
+                f"{self.subblock_factor}-page entries, got {entry.npages}"
+            )
+        if entry.base_vpn % self.subblock_factor:
+            raise ConfigurationError(
+                f"block entry at VPN {entry.base_vpn:#x} not block-aligned"
+            )
+        if entry.ppns is not None:
+            raise ConfigurationError(
+                "partial-subblock entries store a single PPN, not a PPN "
+                "array; use CompleteSubblockTLB for unplaced blocks"
+            )
+        return ("block", entry.base_vpn)
+
+    def accepts(self, kind: PTEKind, npages: int) -> bool:
+        if npages == 1:
+            return True
+        return npages == self.subblock_factor
+
+
+class CompleteSubblockTLB(_BlockTaggedTLB):
+    """Complete-subblock TLB: per-page PPNs under one tag (§4.4).
+
+    ``merge_fill`` (subblock-miss servicing) adds one page's mapping to an
+    existing entry without a replacement; a plain :meth:`fill` models the
+    block-miss path.  The MMU decides between them and whether to prefetch.
+    """
+
+    name = "complete-subblock"
+
+    def _candidate_keys(self, vpn: int) -> Iterable[tuple]:
+        return (("block", self._block_of(vpn)),)
+
+    def _key_of(self, entry: TLBEntry) -> tuple:
+        if entry.npages != self.subblock_factor:
+            raise ConfigurationError(
+                f"complete-subblock entries cover exactly "
+                f"{self.subblock_factor} pages, got {entry.npages}"
+            )
+        if entry.base_vpn % self.subblock_factor:
+            raise ConfigurationError(
+                f"block entry at VPN {entry.base_vpn:#x} not block-aligned"
+            )
+        if entry.ppns is None:
+            raise ConfigurationError(
+                "complete-subblock entries need a per-page PPN array"
+            )
+        return ("block", entry.base_vpn)
+
+    def accepts(self, kind: PTEKind, npages: int) -> bool:
+        return True  # everything converts to a per-page PPN array
+
+    def current_entry(self, vpn: int) -> Optional[TLBEntry]:
+        """The entry tagged with ``vpn``'s block, if any (no LRU effect)."""
+        return self._entries.get(("block", self._block_of(vpn)))
+
+    def merge_fill(self, vpn: int, ppn: int, attrs: int) -> bool:
+        """Service a subblock miss: set one page's mapping in an existing
+        entry.  Returns False when no entry holds the block's tag (the
+        caller should then do a block fill)."""
+        key = ("block", self._block_of(vpn))
+        entry = self._entries.get(key)
+        if entry is None:
+            return False
+        boff = vpn - entry.base_vpn
+        ppns = list(entry.ppns)
+        ppns[boff] = ppn
+        merged = TLBEntry(
+            base_vpn=entry.base_vpn,
+            npages=entry.npages,
+            base_ppn=entry.base_ppn,
+            attrs=entry.attrs,
+            valid_mask=entry.valid_mask | (1 << boff),
+            kind=entry.kind,
+            ppns=tuple(ppns),
+        )
+        self._entries[key] = merged
+        self._entries.move_to_end(key)
+        self.stats.fills += 1
+        return True

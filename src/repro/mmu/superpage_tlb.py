@@ -1,0 +1,66 @@
+"""Superpage TLBs (§4.1).
+
+A superpage TLB entry maps a power-of-two multiple of the base page size,
+naturally aligned in both virtual and physical memory.  The paper's
+experiments use two page sizes — 4 KB base pages and 64 KB superpages —
+matching its dynamic page-size assignment policy; this model accepts any
+configured set of sizes (e.g. the MIPS R4000's 4 KB–16 MB series).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.mmu.tlb import BaseTLB, TLBEntry
+from repro.pagetables.pte import PTEKind
+
+
+class SuperpageTLB(BaseTLB):
+    """Fully-associative TLB whose entries map any configured page size.
+
+    Parameters
+    ----------
+    entries:
+        Total entry count (shared by all page sizes, as in real designs).
+    page_sizes:
+        Allowed entry coverages in base pages; each a power of two.  The
+        paper's base configuration is ``(1, 16)`` — 4 KB and 64 KB.
+    """
+
+    name = "superpage"
+
+    def __init__(self, entries: int = 64, page_sizes: Sequence[int] = (1, 16)):
+        super().__init__(entries)
+        sizes = tuple(sorted(set(page_sizes)))
+        if not sizes:
+            raise ConfigurationError("need at least one page size")
+        for size in sizes:
+            if size < 1 or size & (size - 1):
+                raise ConfigurationError(
+                    f"page size {size} (pages) is not a power of two"
+                )
+        self.page_sizes: Tuple[int, ...] = sizes
+
+    def _candidate_keys(self, vpn: int) -> Iterable[tuple]:
+        # One probe per supported size, as set-associative superpage TLB
+        # hardware would do in parallel.
+        return ((size, vpn & ~(size - 1)) for size in self.page_sizes)
+
+    def _key_of(self, entry: TLBEntry) -> tuple:
+        if entry.npages not in self.page_sizes:
+            raise ConfigurationError(
+                f"TLB supports page sizes {self.page_sizes} (pages), "
+                f"got {entry.npages}"
+            )
+        if entry.base_vpn % entry.npages:
+            raise ConfigurationError(
+                f"superpage entry at VPN {entry.base_vpn:#x} not "
+                f"{entry.npages}-page aligned"
+            )
+        return (entry.npages, entry.base_vpn)
+
+    def accepts(self, kind: PTEKind, npages: int) -> bool:
+        if kind is PTEKind.PARTIAL_SUBBLOCK:
+            return False
+        return npages in self.page_sizes

@@ -1,0 +1,303 @@
+"""TLB models: entries, statistics, and the conventional TLBs.
+
+The paper's base configuration is a 64-entry fully-associative TLB with
+LRU replacement and a single 4 KB page size (§6.1).  This module provides
+that TLB plus a set-associative variant; the superpage and subblock TLBs
+of §4.1 build on the same machinery in sibling modules.
+
+A :class:`TLBEntry` deliberately mirrors the page-table
+:class:`~repro.pagetables.base.LookupResult`: the TLB miss handler's whole
+job is converting one into the other.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.pagetables.pte import PTEKind
+
+
+@dataclass(frozen=True)
+class TLBEntry:
+    """One TLB entry, general enough for every TLB design in the paper.
+
+    Attributes
+    ----------
+    base_vpn, npages:
+        Virtual range covered by the tag.
+    base_ppn:
+        Physical base for properly-placed ranges (superpage and
+        partial-subblock entries); page ``i`` maps to ``base_ppn + i``.
+    valid_mask:
+        Bit *i* validates page ``base_vpn + i`` (subblock entries); full
+        for base pages and superpages.
+    kind:
+        The PTE format the entry was loaded from.
+    ppns:
+        Per-page physical page numbers for complete-subblock entries,
+        which, uniquely, map pages that need not be properly placed.
+    """
+
+    base_vpn: int
+    npages: int
+    base_ppn: int
+    attrs: int
+    valid_mask: int
+    kind: PTEKind
+    ppns: Optional[Tuple[Optional[int], ...]] = None
+
+    def covers(self, vpn: int) -> bool:
+        """True when ``vpn`` falls inside this entry's tag range."""
+        return self.base_vpn <= vpn < self.base_vpn + self.npages
+
+    def translates(self, vpn: int) -> bool:
+        """True when this entry supplies a valid translation for ``vpn``."""
+        if not self.covers(vpn):
+            return False
+        boff = vpn - self.base_vpn
+        if not (self.valid_mask >> boff) & 1:
+            return False
+        return self.ppns is None or self.ppns[boff] is not None
+
+    def ppn_for(self, vpn: int) -> int:
+        """Physical page number for a VPN this entry translates."""
+        boff = vpn - self.base_vpn
+        if self.ppns is not None:
+            ppn = self.ppns[boff]
+            if ppn is None:
+                raise ConfigurationError(
+                    f"entry holds no PPN for offset {boff}"
+                )
+            return ppn
+        return self.base_ppn + boff
+
+
+@dataclass
+class TLBStats:
+    """TLB activity counters.
+
+    ``block_misses`` and ``subblock_misses`` decompose misses for subblock
+    TLBs (§4.4): a block miss allocates a new entry; a subblock miss finds
+    the tag but a clear valid bit.
+    """
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    block_misses: int = 0
+    subblock_misses: int = 0
+    fills: int = 0
+    evictions: int = 0
+    flushes: int = 0
+
+    @property
+    def miss_ratio(self) -> float:
+        """Misses per access."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.accesses = 0
+        self.hits = 0
+        self.misses = 0
+        self.block_misses = 0
+        self.subblock_misses = 0
+        self.fills = 0
+        self.evictions = 0
+        self.flushes = 0
+
+
+class BaseTLB:
+    """Shared LRU machinery for every TLB design.
+
+    Subclasses define how a VPN maps to candidate tags
+    (:meth:`_candidate_keys`) and how an entry is keyed (:meth:`_key_of`).
+    Storage is a single ordered dict in LRU order (least recent first),
+    giving O(1) lookups for every design, including range-tagged entries.
+    """
+
+    name = "tlb"
+
+    def __init__(self, entries: int = 64):
+        if entries < 1:
+            raise ConfigurationError(f"TLB needs at least one entry, got {entries}")
+        self.capacity = entries
+        self._entries: "OrderedDict[tuple, TLBEntry]" = OrderedDict()
+        self.stats = TLBStats()
+
+    # ------------------------------------------------------------------
+    # Keying (overridden per design)
+    # ------------------------------------------------------------------
+    def _candidate_keys(self, vpn: int) -> Iterable[tuple]:
+        """Keys that could hold an entry translating ``vpn``."""
+        raise NotImplementedError
+
+    def _key_of(self, entry: TLBEntry) -> tuple:
+        """Storage key for an entry being filled."""
+        raise NotImplementedError
+
+    def accepts(self, kind: PTEKind, npages: int) -> bool:
+        """Whether the hardware can hold an entry of this format/size."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def lookup(self, vpn: int) -> Optional[TLBEntry]:
+        """Probe the TLB; returns the hit entry (refreshing LRU) or None."""
+        self.stats.accesses += 1
+        for key in self._candidate_keys(vpn):
+            entry = self._entries.get(key)
+            if entry is not None and entry.translates(vpn):
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return entry
+        self.stats.misses += 1
+        self._classify_miss(vpn)
+        return None
+
+    def peek(self, vpn: int) -> Optional[TLBEntry]:
+        """Inspect the TLB without touching statistics or LRU order."""
+        for key in self._candidate_keys(vpn):
+            entry = self._entries.get(key)
+            if entry is not None and entry.translates(vpn):
+                return entry
+        return None
+
+    def _classify_miss(self, vpn: int) -> None:
+        """Hook for subblock TLBs to split block vs subblock misses."""
+        self.stats.block_misses += 1
+
+    def fill(self, entry: TLBEntry) -> None:
+        """Install an entry, replacing a same-tag entry or evicting LRU."""
+        key = self._key_of(entry)
+        if key in self._entries:
+            del self._entries[key]
+        elif len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        self._entries[key] = entry
+        self.stats.fills += 1
+
+    def invalidate(self, vpn: int) -> int:
+        """Drop entries translating ``vpn`` (TLB shootdown); returns count."""
+        dropped = 0
+        for key in list(self._entries):
+            if self._entries[key].covers(vpn):
+                del self._entries[key]
+                dropped += 1
+        return dropped
+
+    def flush(self) -> None:
+        """Drop every entry (context switch without ASIDs)."""
+        self._entries.clear()
+        self.stats.flushes += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> Tuple[TLBEntry, ...]:
+        """Current entries in LRU order (least recent first)."""
+        return tuple(self._entries.values())
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        return f"{self.name} ({self.capacity} entries)"
+
+
+class FullyAssociativeTLB(BaseTLB):
+    """The paper's base TLB: fully associative, single page size, LRU."""
+
+    name = "fully-associative"
+
+    def _candidate_keys(self, vpn: int) -> Iterable[tuple]:
+        return ((vpn,),)
+
+    def _key_of(self, entry: TLBEntry) -> tuple:
+        if entry.npages != 1:
+            raise ConfigurationError(
+                "single-page-size TLB cannot hold a "
+                f"{entry.npages}-page entry"
+            )
+        return (entry.base_vpn,)
+
+    def accepts(self, kind: PTEKind, npages: int) -> bool:
+        return npages == 1
+
+
+class SetAssociativeTLB(BaseTLB):
+    """Set-associative single-page-size TLB (per-set LRU).
+
+    Provided for sensitivity studies; the paper's experiments all use the
+    fully-associative model.
+    """
+
+    name = "set-associative"
+
+    def __init__(self, num_sets: int = 16, ways: int = 4):
+        super().__init__(entries=num_sets * ways)
+        if num_sets < 1 or ways < 1:
+            raise ConfigurationError(
+                f"invalid geometry: {num_sets} sets x {ways} ways"
+            )
+        self.num_sets = num_sets
+        self.ways = ways
+        self._sets = [OrderedDict() for _ in range(num_sets)]
+
+    def lookup(self, vpn: int) -> Optional[TLBEntry]:
+        self.stats.accesses += 1
+        ways = self._sets[vpn % self.num_sets]
+        entry = ways.get(vpn)
+        if entry is not None and entry.translates(vpn):
+            ways.move_to_end(vpn)
+            self.stats.hits += 1
+            return entry
+        self.stats.misses += 1
+        self.stats.block_misses += 1
+        return None
+
+    def fill(self, entry: TLBEntry) -> None:
+        if entry.npages != 1:
+            raise ConfigurationError(
+                "single-page-size TLB cannot hold a "
+                f"{entry.npages}-page entry"
+            )
+        ways = self._sets[entry.base_vpn % self.num_sets]
+        if entry.base_vpn in ways:
+            del ways[entry.base_vpn]
+        elif len(ways) >= self.ways:
+            ways.popitem(last=False)
+            self.stats.evictions += 1
+        ways[entry.base_vpn] = entry
+        self.stats.fills += 1
+
+    def peek(self, vpn: int) -> Optional[TLBEntry]:
+        """Inspect the TLB without touching statistics or LRU order."""
+        entry = self._sets[vpn % self.num_sets].get(vpn)
+        if entry is not None and entry.translates(vpn):
+            return entry
+        return None
+
+    def invalidate(self, vpn: int) -> int:
+        ways = self._sets[vpn % self.num_sets]
+        if vpn in ways:
+            del ways[vpn]
+            return 1
+        return 0
+
+    def flush(self) -> None:
+        for ways in self._sets:
+            ways.clear()
+        self.stats.flushes += 1
+
+    def __len__(self) -> int:
+        return sum(len(ways) for ways in self._sets)
+
+    def accepts(self, kind: PTEKind, npages: int) -> bool:
+        return npages == 1
+
+    def describe(self) -> str:
+        return f"{self.name} ({self.num_sets} sets x {self.ways} ways)"

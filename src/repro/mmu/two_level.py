@@ -1,0 +1,137 @@
+"""Two-level hardware TLB hierarchies.
+
+The paper's era had single-level TLBs plus optional software TLBs in
+memory (§2, §7); later processors moved the second level into hardware —
+a small fast L1 backed by a large slower L2, filled by the same software
+miss handler.  :class:`TwoLevelTLB` composes any two TLB models from this
+package into that hierarchy while presenting the ordinary ``BaseTLB``
+interface, so the MMU, the simulator, and the experiments work unchanged.
+
+Semantics: an L1 hit is a hit; an L1 miss that hits L2 promotes the entry
+into L1 (no page-table walk — but the L2 probe is the hardware analogue
+of the software TLB's one memory access); a miss in both is a TLB miss
+that the handler services, filling both levels.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.errors import ConfigurationError
+from repro.mmu.tlb import BaseTLB, TLBEntry
+from repro.pagetables.pte import PTEKind
+
+
+class TwoLevelTLB(BaseTLB):
+    """An L1/L2 hardware TLB hierarchy behind the ``BaseTLB`` interface.
+
+    Parameters
+    ----------
+    level1, level2:
+        Any TLB models; the L2 should be larger.  Entry formats the L1
+        cannot hold (e.g. superpage entries over a single-page L1) stay
+        L2-only and hit there.
+    """
+
+    def __init__(self, level1: BaseTLB, level2: BaseTLB):
+        from repro.mmu.subblock_tlb import CompleteSubblockTLB
+
+        if level2.capacity < level1.capacity:
+            raise ConfigurationError(
+                "the second level should be at least as large as the first"
+            )
+        if isinstance(level2, CompleteSubblockTLB) or isinstance(
+            level1, CompleteSubblockTLB
+        ):
+            raise ConfigurationError(
+                "complete-subblock TLBs use the MMU's block-prefetch path "
+                "and cannot sit inside a two-level hierarchy"
+            )
+        super().__init__(level1.capacity + level2.capacity)
+        self.level1 = level1
+        self.level2 = level2
+        self.name = f"two-level({level1.name}/{level2.name})"
+        self.l2_promotions = 0
+
+    # ------------------------------------------------------------------
+    def lookup(self, vpn: int) -> Optional[TLBEntry]:
+        """L1 probe, then L2 with promotion; stats count the hierarchy."""
+        self.stats.accesses += 1
+        entry = self.level1.lookup(vpn)
+        if entry is not None:
+            self.stats.hits += 1
+            return entry
+        entry = self.level2.lookup(vpn)
+        if entry is not None:
+            self.stats.hits += 1
+            self.l2_promotions += 1
+            self._fill_level1(entry, vpn)
+            return entry
+        self.stats.misses += 1
+        self._classify_miss(vpn)
+        return None
+
+    def peek(self, vpn: int) -> Optional[TLBEntry]:
+        """Inspect both levels without statistics or LRU effects."""
+        return self.level1.peek(vpn) or self.level2.peek(vpn)
+
+    def _classify_miss(self, vpn: int) -> None:
+        block_of = getattr(self.level2, "_block_of", None)
+        if block_of is not None and self.level2.peek(
+            block_of(vpn)
+        ) is not None:
+            self.stats.subblock_misses += 1
+        else:
+            self.stats.block_misses += 1
+
+    # ------------------------------------------------------------------
+    def _fill_level1(self, entry: TLBEntry, vpn: int) -> None:
+        """Install into L1, downgrading formats it cannot hold."""
+        if self.level1.accepts(entry.kind, entry.npages):
+            self.level1.fill(entry)
+            return
+        # Downgrade to the faulting page (e.g. superpage into a
+        # single-page-size L1, as real micro-TLBs do).
+        if entry.translates(vpn):
+            self.level1.fill(
+                TLBEntry(
+                    base_vpn=vpn, npages=1, base_ppn=entry.ppn_for(vpn),
+                    attrs=entry.attrs, valid_mask=1, kind=PTEKind.BASE,
+                )
+            )
+
+    def fill(self, entry: TLBEntry) -> None:
+        """Miss handler fill: both levels receive the entry."""
+        self.stats.fills += 1
+        self.level2.fill(entry)
+        if self.level1.accepts(entry.kind, entry.npages):
+            self.level1.fill(entry)
+
+    def accepts(self, kind: PTEKind, npages: int) -> bool:
+        return self.level2.accepts(kind, npages)
+
+    @property
+    def supported_sizes(self):
+        """Entry coverages the hierarchy can hold (the L2's, since every
+        fill lands there; the L1 downgrades what it cannot keep)."""
+        from repro.mmu.fill import _supported_sizes
+
+        return _supported_sizes(self.level2)
+
+    def invalidate(self, vpn: int) -> int:
+        """Shootdowns must reach both levels."""
+        return self.level1.invalidate(vpn) + self.level2.invalidate(vpn)
+
+    def flush(self) -> None:
+        self.level1.flush()
+        self.level2.flush()
+        self.stats.flushes += 1
+
+    def __len__(self) -> int:
+        return len(self.level1) + len(self.level2)
+
+    def describe(self) -> str:
+        return (
+            f"{self.level1.describe()} + {self.level2.describe()} "
+            f"({self.l2_promotions} L2 promotions)"
+        )

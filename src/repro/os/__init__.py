@@ -1,0 +1,47 @@
+"""Operating-system substrate: memory allocation, page-size policy, VM.
+
+The paper's TLB techniques are "completely ineffective" without operating
+system support (§4.1).  This package provides that support:
+
+- :mod:`repro.os.physmem` — a physical frame allocator implementing *page
+  reservation*: aligned physical blocks are reserved per virtual page
+  block so that pages land properly placed, enabling superpage and
+  partial-subblock PTEs.
+- :mod:`repro.os.promotion` — the dynamic page-size assignment policy
+  choosing between base pages (4 KB), partial-subblock PTEs, and
+  superpages (64 KB) per page block.
+- :mod:`repro.os.translation_map` — the logical contents of a process's
+  page tables: the canonical set of PTEs that every page table
+  organisation stores, used to populate tables and to drive TLB
+  simulation.
+- :mod:`repro.os.vm` — a small VM manager tying an address space, the
+  frame allocator, the policy, and a page table together, with the §3.1
+  range operations.
+- :mod:`repro.os.locks` — instrumented bucket-lock models for the §3.1
+  synchronisation comparisons.
+"""
+
+from repro.os.physmem import FrameAllocator, ReservationAllocator
+from repro.os.promotion import BlockFormat, DynamicPageSizePolicy, PolicyDecision
+from repro.os.translation_map import LogicalPTE, TranslationMap
+from repro.os.vm import VirtualMemoryManager
+from repro.os.locks import BucketLockManager, ReadersWriterLockManager
+from repro.os.cow import COWManager
+from repro.os.paging import ClockPager
+from repro.os.shootdown import SMPSystem
+
+__all__ = [
+    "BlockFormat",
+    "BucketLockManager",
+    "COWManager",
+    "ClockPager",
+    "DynamicPageSizePolicy",
+    "FrameAllocator",
+    "LogicalPTE",
+    "PolicyDecision",
+    "ReadersWriterLockManager",
+    "ReservationAllocator",
+    "SMPSystem",
+    "TranslationMap",
+    "VirtualMemoryManager",
+]

@@ -1,0 +1,175 @@
+"""Copy-on-write over the protection machinery.
+
+The full OS loop the protection-fault path enables: two address spaces
+share frames read-only after a fork; the first write to a shared page
+takes a protection fault, the handler copies the frame, remaps the
+faulting space writable, and drops the share.  Exercises — in one place —
+attribute updates (:meth:`~repro.pagetables.base.PageTable.mark`),
+protection enforcement (:class:`~repro.mmu.mmu.MMU`), TLB invalidation,
+and the frame allocator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Set
+
+from repro.addr.space import DEFAULT_ATTRS
+from repro.errors import ConfigurationError, PageFaultError
+from repro.mmu.mmu import MMU
+from repro.mmu.tlb import BaseTLB
+from repro.os.physmem import ReservationAllocator
+from repro.os.vm import VirtualMemoryManager
+from repro.pagetables.base import PageTable
+from repro.pagetables.pte import ATTR_WRITE
+
+
+@dataclass
+class COWStats:
+    """Copy-on-write accounting."""
+
+    forks: int = 0
+    shared_pages: int = 0
+    cow_breaks: int = 0
+    frames_copied: int = 0
+
+
+class COWManager:
+    """A parent/child pair of address spaces sharing frames copy-on-write.
+
+    Parameters
+    ----------
+    parent_table, child_table:
+        One page table per process (any organisation).
+    tlb_factory:
+        Builds the per-process TLB; both MMUs enforce protection with a
+        COW-break handler.
+    frames:
+        Shared physical frame budget.
+    """
+
+    def __init__(
+        self,
+        parent_table: PageTable,
+        child_table: PageTable,
+        tlb_factory,
+        frames: int = 4096,
+    ):
+        layout = parent_table.layout
+        if child_table.layout is not layout:
+            raise ConfigurationError(
+                "parent and child tables must share one address layout"
+            )
+        self.allocator = ReservationAllocator(frames, layout)
+        self.parent = VirtualMemoryManager(
+            parent_table, self.allocator, name="parent"
+        )
+        self.child = VirtualMemoryManager(
+            child_table, self.allocator, name="child"
+        )
+        self.parent_mmu = MMU(
+            tlb_factory(), parent_table,
+            fault_handler=None, enforce_protection=True,
+            protection_handler=lambda vpn: self._break_cow("parent", vpn),
+        )
+        self.child_mmu = MMU(
+            tlb_factory(), child_table,
+            fault_handler=None, enforce_protection=True,
+            protection_handler=lambda vpn: self._break_cow("child", vpn),
+        )
+        #: VPNs whose frame is currently shared between the processes.
+        self._shared: Set[int] = set()
+        #: Original attribute bits per shared VPN, restored on break.
+        self._saved_attrs: Dict[int, int] = {}
+        self.stats = COWStats()
+
+    # ------------------------------------------------------------------
+    def _vm(self, who: str) -> VirtualMemoryManager:
+        return self.parent if who == "parent" else self.child
+
+    def _mmu(self, who: str) -> MMU:
+        return self.parent_mmu if who == "parent" else self.child_mmu
+
+    # ------------------------------------------------------------------
+    def map_parent(self, vpn: int, attrs: int = DEFAULT_ATTRS) -> int:
+        """Map a page in the parent before forking."""
+        return self.parent.map_page(vpn, attrs)
+
+    def fork(self) -> int:
+        """Share every parent page with the child, read-only in both.
+
+        Returns the number of pages shared.  (Pages the child already
+        maps privately are skipped.)
+        """
+        self.stats.forks += 1
+        shared = 0
+        for vpn, mapping in list(self.parent.space.items()):
+            if self.child.space.is_mapped(vpn):
+                continue
+            read_only = mapping.attrs & ~ATTR_WRITE
+            self._saved_attrs[vpn] = mapping.attrs
+            # Downgrade the parent's PTE and mirror it in the child.
+            self.parent.space.protect(vpn, read_only)
+            self.parent.page_table.mark(
+                vpn, clear_bits=ATTR_WRITE
+            )
+            self.parent_mmu.tlb.invalidate(vpn)
+            self.child.space.map(vpn, mapping.ppn, read_only)
+            self.child.page_table.insert(vpn, mapping.ppn, read_only)
+            self._shared.add(vpn)
+            shared += 1
+        self.stats.shared_pages += shared
+        return shared
+
+    # ------------------------------------------------------------------
+    def read(self, who: str, vpn: int) -> int:
+        """A read access by one process."""
+        return self._mmu(who).translate(vpn, write=False)
+
+    def write(self, who: str, vpn: int) -> int:
+        """A write access; breaks the share on first write."""
+        return self._mmu(who).translate(vpn, write=True)
+
+    def _break_cow(self, who: str, vpn: int) -> None:
+        """Protection-fault handler: give the writer a private copy."""
+        if vpn not in self._shared:
+            raise PageFaultError(
+                vpn, f"protection fault outside any COW share ({who})"
+            )
+        writer = self._vm(who)
+        other = self._vm("child" if who == "parent" else "parent")
+        attrs = self._saved_attrs.pop(vpn)
+
+        # Writer gets a fresh frame (the copy) with the original attrs.
+        new_ppn = self.allocator.allocate(vpn)
+        writer.space.remap(vpn, new_ppn, attrs)
+        writer.page_table.remove(vpn)
+        writer.page_table.insert(vpn, new_ppn, attrs)
+        self.stats.frames_copied += 1
+
+        # The other side keeps the original frame, writable again.
+        other.space.protect(vpn, attrs)
+        other.page_table.mark(vpn, set_bits=attrs & ATTR_WRITE)
+        self._mmu("child" if who == "parent" else "parent").tlb.invalidate(vpn)
+
+        self._shared.discard(vpn)
+        self.stats.cow_breaks += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def shared_pages(self) -> int:
+        """Pages still shared between the processes."""
+        return len(self._shared)
+
+    def check_consistency(self) -> None:
+        """Both processes' tables agree with their spaces; shared pages
+        point at one frame, broken ones at two."""
+        self.parent.check_consistency()
+        self.child.check_consistency()
+        for vpn in self._shared:
+            parent_ppn = self.parent.space.translate(vpn).ppn
+            child_ppn = self.child.space.translate(vpn).ppn
+            if parent_ppn != child_ppn:
+                raise PageFaultError(
+                    vpn, "shared page diverged without a COW break"
+                )

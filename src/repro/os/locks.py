@@ -1,0 +1,120 @@
+"""Instrumented lock models for page-table synchronisation (§3.1).
+
+The paper's §3.1 compares hashed and clustered page tables on the locking
+cost of multi-threaded page-table operations: both associate a lock with
+each hash bucket, so a range operation acquires one lock *per base page*
+under hashed tables but one *per page block* under clustered tables.  These
+classes count acquisitions (and simulated contention) so the comparison can
+be made quantitatively; they model costs, not real thread safety.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Counter as CounterType
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class LockStats:
+    """Acquisition counters for a lock manager."""
+
+    acquisitions: int = 0
+    read_acquisitions: int = 0
+    write_acquisitions: int = 0
+    contended: int = 0
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.acquisitions = 0
+        self.read_acquisitions = 0
+        self.write_acquisitions = 0
+        self.contended = 0
+
+
+class BucketLockManager:
+    """Per-bucket mutual-exclusion locks with acquisition counting.
+
+    ``acquire``/``release`` are explicit (no context-manager magic) to
+    mirror the handler-style code the paper discusses.  Re-acquiring a
+    held bucket counts as contention — the §3.1 concern that one
+    block-wide lock "can restrict concurrent page table lookups on
+    neighboring base virtual pages".
+    """
+
+    def __init__(self, num_buckets: int):
+        if num_buckets < 1:
+            raise ConfigurationError(f"need at least one bucket, got {num_buckets}")
+        self.num_buckets = num_buckets
+        self._held: CounterType[int] = Counter()
+        self.stats = LockStats()
+
+    def acquire(self, bucket: int) -> None:
+        """Take a bucket's lock (counting contention when already held)."""
+        self._check(bucket)
+        if self._held[bucket]:
+            self.stats.contended += 1
+        self._held[bucket] += 1
+        self.stats.acquisitions += 1
+        self.stats.write_acquisitions += 1
+
+    def release(self, bucket: int) -> None:
+        """Release a bucket's lock."""
+        self._check(bucket)
+        if not self._held[bucket]:
+            raise ConfigurationError(f"releasing unheld bucket lock {bucket}")
+        self._held[bucket] -= 1
+
+    def held(self, bucket: int) -> bool:
+        """True while at least one holder has the bucket."""
+        return bool(self._held[bucket])
+
+    def _check(self, bucket: int) -> None:
+        if not 0 <= bucket < self.num_buckets:
+            raise ConfigurationError(
+                f"bucket {bucket} outside 0..{self.num_buckets - 1}"
+            )
+
+
+class ReadersWriterLockManager(BucketLockManager):
+    """Per-bucket readers-writer locks (§3.1's suggested refinement).
+
+    Multiple concurrent readers (TLB miss handlers) share a bucket;
+    writers (range operations) exclude everyone.  Contention counts a
+    reader meeting a writer or a writer meeting anyone.
+    """
+
+    def __init__(self, num_buckets: int):
+        super().__init__(num_buckets)
+        self._readers: CounterType[int] = Counter()
+
+    def acquire_read(self, bucket: int) -> None:
+        """Take a bucket for reading (shared)."""
+        self._check(bucket)
+        if self._held[bucket]:
+            self.stats.contended += 1
+        self._readers[bucket] += 1
+        self.stats.acquisitions += 1
+        self.stats.read_acquisitions += 1
+
+    def release_read(self, bucket: int) -> None:
+        """Release a shared hold."""
+        self._check(bucket)
+        if not self._readers[bucket]:
+            raise ConfigurationError(f"releasing unheld read lock {bucket}")
+        self._readers[bucket] -= 1
+
+    def acquire(self, bucket: int) -> None:
+        """Take a bucket for writing (exclusive)."""
+        self._check(bucket)
+        if self._held[bucket] or self._readers[bucket]:
+            self.stats.contended += 1
+        self._held[bucket] += 1
+        self.stats.acquisitions += 1
+        self.stats.write_acquisitions += 1
+
+    def readers(self, bucket: int) -> int:
+        """Current shared holders of a bucket."""
+        return self._readers[bucket]

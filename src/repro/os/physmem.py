@@ -1,0 +1,219 @@
+"""Physical memory allocation with *page reservation* (§4.1, [Tall94]).
+
+Superpages and partial-subblock PTEs require *proper placement*: the pages
+of a virtual page block must occupy matching slots of one aligned physical
+block.  The paper's operating system achieves this with a physical memory
+allocator that *reserves* an aligned block of frames the first time any
+page of a virtual block is touched; later pages of the same block take
+their designated slot within the reservation.
+
+Two allocators are provided:
+
+- :class:`FrameAllocator` — a plain first-fit frame allocator with no
+  placement guarantees (the baseline an unmodified OS would use; under it
+  no block is ever properly placed except by accident).
+- :class:`ReservationAllocator` — page reservation.  When no fully-free
+  aligned block remains, it *steals* unused frames from the
+  least-recently-created reservation, so allocation never fails while
+  free frames exist — at the price of breaking that block's future
+  placement, exactly the memory-pressure behaviour §7 warns about.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.addr.layout import AddressLayout, DEFAULT_LAYOUT
+from repro.errors import ConfigurationError, OutOfMemoryError
+
+
+@dataclass
+class AllocatorStats:
+    """Placement quality counters for an allocator."""
+
+    allocations: int = 0
+    frees: int = 0
+    properly_placed: int = 0
+    fallback_placed: int = 0
+    reservations_made: int = 0
+    reservations_stolen: int = 0
+
+    @property
+    def placement_rate(self) -> float:
+        """Fraction of allocations that landed properly placed."""
+        if self.allocations == 0:
+            return 0.0
+        return self.properly_placed / self.allocations
+
+
+class FrameAllocator:
+    """First-fit frame allocator without placement awareness.
+
+    The baseline: frames are handed out in address order from a free list,
+    so consecutive virtual pages usually receive consecutive frames only
+    while memory is unfragmented.
+    """
+
+    def __init__(self, total_frames: int, layout: AddressLayout = DEFAULT_LAYOUT):
+        if total_frames < 1:
+            raise ConfigurationError(f"need at least one frame, got {total_frames}")
+        self.layout = layout
+        self.total_frames = total_frames
+        self._free: Set[int] = set(range(total_frames))
+        self._next_hint = 0
+        self.stats = AllocatorStats()
+
+    # ------------------------------------------------------------------
+    def free_frames(self) -> int:
+        """Number of currently free frames."""
+        return len(self._free)
+
+    def allocate(self, vpn: int) -> int:
+        """Allocate one frame for ``vpn``; placement is not attempted."""
+        if not self._free:
+            raise OutOfMemoryError("no free frames")
+        ppn = self._take_any()
+        self.stats.allocations += 1
+        if self.layout.properly_placed(vpn, ppn, self.layout.subblock_factor):
+            self.stats.properly_placed += 1
+        else:
+            self.stats.fallback_placed += 1
+        return ppn
+
+    def _take_any(self) -> int:
+        # Scan forward from the hint for rough address-ordered behaviour.
+        for candidate in range(self._next_hint, self.total_frames):
+            if candidate in self._free:
+                self._free.discard(candidate)
+                self._next_hint = candidate + 1
+                return candidate
+        ppn = min(self._free)
+        self._free.discard(ppn)
+        self._next_hint = ppn + 1
+        return ppn
+
+    def release(self, ppn: int) -> None:
+        """Return a frame to the pool."""
+        if ppn in self._free or not 0 <= ppn < self.total_frames:
+            raise ConfigurationError(f"bad free of frame {ppn:#x}")
+        self._free.add(ppn)
+        self._next_hint = min(self._next_hint, ppn)
+        self.stats.frees += 1
+
+
+@dataclass
+class _Reservation:
+    """One reserved aligned physical block assigned to a virtual block."""
+
+    base_ppn: int
+    used_mask: int = 0
+
+
+class ReservationAllocator(FrameAllocator):
+    """Page reservation: aligned physical blocks per virtual page block.
+
+    The first allocation for a virtual page block reserves a fully-free
+    aligned block of ``subblock_factor`` frames and places the page at its
+    matching offset; subsequent pages of the block take their slots.  When
+    no fully-free aligned block exists, unused frames are stolen from the
+    oldest reservation (breaking its future placement) before giving up.
+    """
+
+    def __init__(self, total_frames: int, layout: AddressLayout = DEFAULT_LAYOUT):
+        super().__init__(total_frames, layout)
+        s = layout.subblock_factor
+        if total_frames % s:
+            raise ConfigurationError(
+                f"total frames {total_frames} must be a multiple of the "
+                f"subblock factor {s}"
+            )
+        #: Aligned blocks with every frame free, by base PPN.
+        self._free_blocks: Set[int] = set(range(0, total_frames, s))
+        #: Active reservations keyed by virtual page block number, oldest
+        #: first (OrderedDict preserves creation order for stealing).
+        self._reservations: "OrderedDict[int, _Reservation]" = OrderedDict()
+        self._block_of_frame: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def allocate(self, vpn: int) -> int:
+        """Allocate a frame for ``vpn``, properly placed when possible."""
+        if not self._free:
+            raise OutOfMemoryError("no free frames")
+        s = self.layout.subblock_factor
+        vpbn = self.layout.vpbn(vpn)
+        boff = self.layout.boff(vpn)
+        self.stats.allocations += 1
+
+        reservation = self._reservations.get(vpbn)
+        if reservation is None and self._free_blocks:
+            base = min(self._free_blocks)
+            self._free_blocks.discard(base)
+            reservation = _Reservation(base_ppn=base)
+            self._reservations[vpbn] = reservation
+            self.stats.reservations_made += 1
+
+        if reservation is not None:
+            ppn = reservation.base_ppn + boff
+            if ppn in self._free:
+                self._free.discard(ppn)
+                reservation.used_mask |= 1 << boff
+                self._block_of_frame[ppn] = vpbn
+                self.stats.properly_placed += 1
+                return ppn
+            # Our slot was stolen under memory pressure: fall through.
+
+        ppn = self._steal_frame()
+        self.stats.fallback_placed += 1
+        return ppn
+
+    def _steal_frame(self) -> int:
+        """Take a free frame, preferring unused slots of old reservations."""
+        for vpbn, reservation in self._reservations.items():
+            s = self.layout.subblock_factor
+            for boff in range(s):
+                candidate = reservation.base_ppn + boff
+                if candidate in self._free:
+                    self._free.discard(candidate)
+                    self.stats.reservations_stolen += 1
+                    return candidate
+        # No reservations to raid: take any free frame (breaks a free
+        # block if one exists).
+        ppn = min(self._free)
+        self._free.discard(ppn)
+        self._free_blocks.discard(
+            ppn - (ppn % self.layout.subblock_factor)
+        )
+        return ppn
+
+    def release(self, ppn: int) -> None:
+        """Return a frame; a reservation whose frames all free re-forms a
+        fully-free aligned block."""
+        super().release(ppn)
+        s = self.layout.subblock_factor
+        vpbn = self._block_of_frame.pop(ppn, None)
+        if vpbn is not None:
+            reservation = self._reservations.get(vpbn)
+            if reservation is not None:
+                reservation.used_mask &= ~(1 << (ppn - reservation.base_ppn))
+                if reservation.used_mask == 0:
+                    del self._reservations[vpbn]
+                    base = reservation.base_ppn
+                    if all(base + i in self._free for i in range(s)):
+                        self._free_blocks.add(base)
+
+    # ------------------------------------------------------------------
+    def reservation_for(self, vpbn: int) -> Optional[int]:
+        """Base PPN reserved for a virtual page block, if any."""
+        reservation = self._reservations.get(vpbn)
+        return reservation.base_ppn if reservation else None
+
+    def fragmentation(self) -> float:
+        """Fraction of free frames *not* part of a fully-free aligned block
+        — a measure of how much placement capacity pressure has destroyed."""
+        free = len(self._free)
+        if free == 0:
+            return 0.0
+        in_blocks = len(self._free_blocks) * self.layout.subblock_factor
+        return 1.0 - in_blocks / free

@@ -1,0 +1,152 @@
+"""Dynamic page-size assignment (§6.1, [Tall94], [Khal93]).
+
+The paper's modified Solaris uses "a dynamic page-size assignment policy
+that chooses between a base page size of 4KB and a superpage size of 64KB"
+plus page reservation.  Given an address-space snapshot, the policy decides
+— per populated page block — which PTE format the operating system would
+have constructed:
+
+- **SUPERPAGE** when every page of the block is mapped, properly placed,
+  and attribute-homogeneous;
+- **PARTIAL_SUBBLOCK** when the mapped pages are properly placed and
+  attribute-homogeneous but the block is not full (or subblocking is
+  preferred);
+- **BASE** otherwise (per-page PTEs).
+
+The decisions feed :class:`~repro.os.translation_map.TranslationMap`,
+which is what gets written into each page table organisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Optional
+
+from repro.addr.layout import AddressLayout
+from repro.addr.space import AddressSpace
+
+
+class BlockFormat(Enum):
+    """PTE format assigned to one populated page block."""
+
+    BASE = "base"
+    PARTIAL_SUBBLOCK = "partial-subblock"
+    SUPERPAGE = "superpage"
+
+
+@dataclass(frozen=True)
+class PolicyDecision:
+    """The policy's verdict for one page block."""
+
+    vpbn: int
+    format: BlockFormat
+    valid_mask: int
+    base_ppn: int
+    attrs: int
+    population: int
+
+
+class DynamicPageSizePolicy:
+    """Decide per-block PTE formats from an address-space snapshot.
+
+    Parameters
+    ----------
+    enable_superpages:
+        Allow full, properly-placed blocks to become one superpage PTE.
+    enable_subblocks:
+        Allow properly-placed partial blocks to become one
+        partial-subblock PTE.
+    promote_threshold:
+        Minimum mapped pages before a partial-subblock PTE is preferred
+        over per-page PTEs (1 = always prefer when placement allows; the
+        paper's incremental construction effectively uses 1).
+    """
+
+    def __init__(
+        self,
+        enable_superpages: bool = True,
+        enable_subblocks: bool = True,
+        promote_threshold: int = 1,
+    ):
+        if promote_threshold < 1:
+            raise ValueError("promote_threshold must be >= 1")
+        self.enable_superpages = enable_superpages
+        self.enable_subblocks = enable_subblocks
+        self.promote_threshold = promote_threshold
+
+    # ------------------------------------------------------------------
+    def decide_block(
+        self, space: AddressSpace, vpbn: int
+    ) -> Optional[PolicyDecision]:
+        """Classify one page block of the snapshot (None when empty)."""
+        layout = space.layout
+        s = layout.subblock_factor
+        block_base = layout.vpn_of_block(vpbn)
+
+        mask = 0
+        base_ppn = None
+        attrs = None
+        placed = True
+        population = 0
+        for boff in range(s):
+            mapping = space.get(block_base + boff)
+            if mapping is None:
+                continue
+            population += 1
+            mask |= 1 << boff
+            slot_base = mapping.ppn - boff
+            if slot_base % s:
+                placed = False
+            if base_ppn is None:
+                base_ppn = slot_base
+                attrs = mapping.attrs
+            elif slot_base != base_ppn or mapping.attrs != attrs:
+                placed = False
+        if population == 0:
+            return None
+
+        full = population == s
+        if placed and base_ppn is not None:
+            if full and self.enable_superpages:
+                return PolicyDecision(
+                    vpbn, BlockFormat.SUPERPAGE, mask, base_ppn, attrs, population
+                )
+            if (
+                self.enable_subblocks
+                and population >= self.promote_threshold
+            ):
+                return PolicyDecision(
+                    vpbn, BlockFormat.PARTIAL_SUBBLOCK, mask, base_ppn, attrs,
+                    population,
+                )
+        return PolicyDecision(vpbn, BlockFormat.BASE, mask, 0, attrs or 0, population)
+
+    def decide(self, space: AddressSpace) -> Dict[int, PolicyDecision]:
+        """Classify every populated page block of the snapshot."""
+        layout = space.layout
+        decisions: Dict[int, PolicyDecision] = {}
+        for vpbn in {layout.vpbn(vpn) for vpn in space}:
+            decision = self.decide_block(space, vpbn)
+            if decision is not None:
+                decisions[vpbn] = decision
+        return decisions
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def format_fractions(decisions: Dict[int, PolicyDecision]) -> Dict[BlockFormat, float]:
+        """Fraction of populated blocks per assigned format (the paper's
+        ``fss`` when SUPERPAGE and PARTIAL_SUBBLOCK are summed)."""
+        total = len(decisions)
+        fractions = {fmt: 0.0 for fmt in BlockFormat}
+        if total == 0:
+            return fractions
+        for decision in decisions.values():
+            fractions[decision.format] += 1.0
+        return {fmt: count / total for fmt, count in fractions.items()}
+
+
+#: Policy matching an unmodified operating system: base pages only.
+BASE_ONLY_POLICY = DynamicPageSizePolicy(
+    enable_superpages=False, enable_subblocks=False
+)

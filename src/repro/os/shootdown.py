@@ -1,0 +1,132 @@
+"""Multiprocessor TLB-shootdown modelling (§3.1's multiprocessor concerns).
+
+Section 3.1 discusses page tables in multi-threaded operating systems:
+TLB miss handlers read page tables without locks while range operations
+must coordinate.  The piece of that coordination hardware cannot avoid is
+the **TLB shootdown** — when a mapping is removed or downgraded, every
+processor whose TLB may cache it must be interrupted and made to
+invalidate, because TLBs are not coherent.
+
+:class:`SMPSystem` models an ``n``-CPU machine sharing one page table:
+per-CPU TLBs (any model), per-CPU MMUs, and a shootdown protocol for
+unmap/protect with two batching strategies — one interrupt round per
+*page* (naive) or one per *range operation* (what real kernels do) — so
+the §3.1-adjacent cost trade-off can be measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.addr.space import DEFAULT_ATTRS
+from repro.errors import ConfigurationError
+from repro.mmu.mmu import MMU
+from repro.mmu.tlb import BaseTLB
+from repro.pagetables.base import PageTable
+
+
+@dataclass
+class ShootdownStats:
+    """Inter-processor-interrupt accounting."""
+
+    shootdowns: int = 0         # invalidation rounds initiated
+    ipis_sent: int = 0          # interrupts delivered to remote CPUs
+    entries_invalidated: int = 0
+
+
+class SMPSystem:
+    """An n-CPU system sharing one page table, with TLB shootdowns.
+
+    Parameters
+    ----------
+    page_table:
+        The shared page table.
+    tlb_factory:
+        Builds one TLB per CPU.
+    ncpus:
+        Processor count.
+    batch_range_shootdowns:
+        True (default): one IPI round covers a whole range operation, as
+        production kernels batch; False: one round per page.
+    """
+
+    def __init__(
+        self,
+        page_table: PageTable,
+        tlb_factory: Callable[[], BaseTLB],
+        ncpus: int = 4,
+        batch_range_shootdowns: bool = True,
+        fault_handler: Optional[Callable[[int], None]] = None,
+    ):
+        if ncpus < 1:
+            raise ConfigurationError(f"need at least one CPU, got {ncpus}")
+        self.page_table = page_table
+        self.ncpus = ncpus
+        self.batch_range_shootdowns = batch_range_shootdowns
+        self.cpus: List[MMU] = [
+            MMU(tlb_factory(), page_table, fault_handler=fault_handler)
+            for _ in range(ncpus)
+        ]
+        self.stats = ShootdownStats()
+
+    # ------------------------------------------------------------------
+    def translate(self, cpu: int, vpn: int) -> int:
+        """One reference on one CPU."""
+        return self.cpus[cpu].translate(vpn)
+
+    def run_trace(self, cpu: int, trace) -> None:
+        """Run a reference trace on one CPU."""
+        self.cpus[cpu].run_trace(trace)
+
+    # ------------------------------------------------------------------
+    def _shootdown(self, vpns: List[int], initiator: int) -> None:
+        """One invalidation round: interrupt every remote CPU once, then
+        invalidate all the round's pages everywhere (including locally)."""
+        self.stats.shootdowns += 1
+        self.stats.ipis_sent += self.ncpus - 1
+        for i, mmu in enumerate(self.cpus):
+            del i  # the initiator invalidates too, without an IPI
+            for vpn in vpns:
+                self.stats.entries_invalidated += mmu.tlb.invalidate(vpn)
+        del initiator
+
+    def unmap(self, vpn: int, initiator: int = 0) -> None:
+        """Remove one mapping with a shootdown round."""
+        self.page_table.remove(vpn)
+        self._shootdown([vpn], initiator)
+
+    def unmap_range(self, base_vpn: int, npages: int, initiator: int = 0) -> None:
+        """Remove a range; IPI batching follows the configured strategy."""
+        if self.batch_range_shootdowns:
+            for vpn in range(base_vpn, base_vpn + npages):
+                self.page_table.remove(vpn)
+            self._shootdown(
+                list(range(base_vpn, base_vpn + npages)), initiator
+            )
+        else:
+            for vpn in range(base_vpn, base_vpn + npages):
+                self.unmap(vpn, initiator)
+
+    def protect_range(
+        self, base_vpn: int, npages: int, attrs: int = DEFAULT_ATTRS,
+        initiator: int = 0,
+    ) -> None:
+        """Downgrade a range's attributes; stale TLB entries must die."""
+        for vpn in range(base_vpn, base_vpn + npages):
+            result = self.page_table.lookup(vpn)
+            self.page_table.remove(vpn)
+            self.page_table.insert(vpn, result.ppn, attrs)
+        self._shootdown(list(range(base_vpn, base_vpn + npages)), initiator)
+
+    # ------------------------------------------------------------------
+    def total_tlb_misses(self) -> int:
+        """TLB misses summed over every CPU."""
+        return sum(mmu.stats.tlb_misses for mmu in self.cpus)
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        return (
+            f"SMP x{self.ncpus} [{self.cpus[0].tlb.describe()}] over "
+            f"{self.page_table.describe()}"
+        )

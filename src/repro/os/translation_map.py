@@ -1,0 +1,203 @@
+"""The logical contents of a process's page tables.
+
+Every page table organisation in the paper stores the *same logical PTEs*;
+they differ only in structure and cost.  :class:`TranslationMap` is that
+shared logical content — produced from an address-space snapshot by the
+page-size policy — and provides:
+
+- ``populate(table)``: write the PTEs into any page table, using its
+  native superpage/partial-subblock support or per-page PTEs as
+  appropriate;
+- ``query(vpn)`` / ``block_mappings(vpbn)``: the oracle the decoupled TLB
+  simulator uses to fill TLB entries without walking a page table (the
+  miss *stream* is independent of page table organisation — the paper's
+  own methodological observation in §6.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.addr.layout import AddressLayout
+from repro.addr.space import AddressSpace, Mapping
+from repro.os.promotion import (
+    BASE_ONLY_POLICY,
+    BlockFormat,
+    DynamicPageSizePolicy,
+    PolicyDecision,
+)
+from repro.pagetables.base import PageTable
+from repro.pagetables.pte import PTEKind
+
+
+@dataclass(frozen=True)
+class LogicalPTE:
+    """One logical PTE: format plus coverage, independent of page table.
+
+    Field names deliberately match
+    :class:`~repro.pagetables.base.LookupResult` so TLB-fill logic
+    (:func:`repro.mmu.fill.build_entry`) accepts either.
+    """
+
+    kind: PTEKind
+    base_vpn: int
+    npages: int
+    base_ppn: int
+    attrs: int
+    valid_mask: int
+
+    def translates(self, vpn: int) -> bool:
+        """True when this PTE supplies a valid mapping for ``vpn``."""
+        if not self.base_vpn <= vpn < self.base_vpn + self.npages:
+            return False
+        return bool((self.valid_mask >> (vpn - self.base_vpn)) & 1)
+
+    def ppn_for(self, vpn: int) -> int:
+        """Resolved PPN for a VPN this PTE translates."""
+        return self.base_ppn + (vpn - self.base_vpn)
+
+
+class TranslationMap:
+    """Logical page-table contents for one process snapshot."""
+
+    def __init__(self, layout: AddressLayout):
+        self.layout = layout
+        #: Per-page PTEs for blocks the policy left as BASE.
+        self._base: Dict[int, Mapping] = {}
+        #: Wide PTEs (superpage / partial-subblock) keyed by VPBN.
+        self._wide: Dict[int, LogicalPTE] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_space(
+        cls,
+        space: AddressSpace,
+        policy: Optional[DynamicPageSizePolicy] = None,
+    ) -> "TranslationMap":
+        """Build the logical PTEs for a snapshot under a page-size policy.
+
+        With no policy (or :data:`~repro.os.promotion.BASE_ONLY_POLICY`)
+        every mapping stays a base-page PTE, matching an unmodified OS.
+        """
+        policy = policy or BASE_ONLY_POLICY
+        tmap = cls(space.layout)
+        s = space.layout.subblock_factor
+        for decision in policy.decide(space).values():
+            block_base = space.layout.vpn_of_block(decision.vpbn)
+            if decision.format is BlockFormat.SUPERPAGE:
+                tmap._wide[decision.vpbn] = LogicalPTE(
+                    kind=PTEKind.SUPERPAGE, base_vpn=block_base, npages=s,
+                    base_ppn=decision.base_ppn, attrs=decision.attrs,
+                    valid_mask=(1 << s) - 1,
+                )
+            elif decision.format is BlockFormat.PARTIAL_SUBBLOCK:
+                tmap._wide[decision.vpbn] = LogicalPTE(
+                    kind=PTEKind.PARTIAL_SUBBLOCK, base_vpn=block_base,
+                    npages=s, base_ppn=decision.base_ppn,
+                    attrs=decision.attrs, valid_mask=decision.valid_mask,
+                )
+            else:
+                for boff in range(s):
+                    mapping = space.get(block_base + boff)
+                    if mapping is not None:
+                        tmap._base[block_base + boff] = mapping
+        return tmap
+
+    # ------------------------------------------------------------------
+    # Oracle queries
+    # ------------------------------------------------------------------
+    def query(self, vpn: int) -> Optional[LogicalPTE]:
+        """The logical PTE translating ``vpn``, or None (page fault)."""
+        wide = self._wide.get(self.layout.vpbn(vpn))
+        if wide is not None and wide.translates(vpn):
+            return wide
+        mapping = self._base.get(vpn)
+        if mapping is None:
+            return None
+        return LogicalPTE(
+            kind=PTEKind.BASE, base_vpn=vpn, npages=1, base_ppn=mapping.ppn,
+            attrs=mapping.attrs, valid_mask=1,
+        )
+
+    def block_mappings(self, vpbn: int) -> Tuple[Optional[Mapping], ...]:
+        """Per-page resolved mappings for one page block."""
+        s = self.layout.subblock_factor
+        block_base = self.layout.vpn_of_block(vpbn)
+        result = []
+        for boff in range(s):
+            vpn = block_base + boff
+            pte = self.query(vpn)
+            if pte is None:
+                result.append(None)
+            else:
+                result.append(Mapping(pte.ppn_for(vpn), pte.attrs))
+        return tuple(result)
+
+    def mapped_vpns(self) -> Iterable[int]:
+        """Every VPN with a valid translation."""
+        for vpn in self._base:
+            yield vpn
+        for pte in self._wide.values():
+            for boff in range(pte.npages):
+                if (pte.valid_mask >> boff) & 1:
+                    yield pte.base_vpn + boff
+
+    # ------------------------------------------------------------------
+    # Statistics consumed by the formulae and reports
+    # ------------------------------------------------------------------
+    def counts(self) -> Dict[str, int]:
+        """PTE counts by format."""
+        superpages = sum(
+            1 for pte in self._wide.values() if pte.kind is PTEKind.SUPERPAGE
+        )
+        return {
+            "base": len(self._base),
+            "superpage": superpages,
+            "partial_subblock": len(self._wide) - superpages,
+        }
+
+    def wide_fraction(self) -> float:
+        """The paper's ``fss``: fraction of populated page blocks using a
+        superpage or partial-subblock PTE."""
+        base_blocks = {self.layout.vpbn(vpn) for vpn in self._base}
+        total = len(base_blocks | set(self._wide))
+        if total == 0:
+            return 0.0
+        return len(self._wide) / total
+
+    # ------------------------------------------------------------------
+    # Page-table population
+    # ------------------------------------------------------------------
+    def populate(self, table: PageTable, base_pages_only: bool = False) -> None:
+        """Write the logical PTEs into a page table.
+
+        ``base_pages_only`` decomposes every wide PTE into per-page base
+        PTEs — what a single-page-size system stores (Figures 9 and 11a).
+        Otherwise wide PTEs use the table's native support (clustered,
+        grain-16 hashed, superpage-index) or its replicate-PTE fallback
+        (linear, forward-mapped).
+        """
+        for vpn, mapping in self._base.items():
+            table.insert(vpn, mapping.ppn, mapping.attrs)
+        for vpbn, pte in self._wide.items():
+            if base_pages_only:
+                for boff in range(pte.npages):
+                    if (pte.valid_mask >> boff) & 1:
+                        table.insert(
+                            pte.base_vpn + boff, pte.base_ppn + boff, pte.attrs
+                        )
+            elif pte.kind is PTEKind.SUPERPAGE:
+                table.insert_superpage(
+                    pte.base_vpn, pte.npages, pte.base_ppn, pte.attrs
+                )
+            else:
+                table.insert_partial_subblock(
+                    vpbn, pte.valid_mask, pte.base_ppn, pte.attrs
+                )
+
+    def __len__(self) -> int:
+        counts = self.counts()
+        return counts["base"] + counts["superpage"] + counts["partial_subblock"]

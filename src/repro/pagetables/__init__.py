@@ -1,0 +1,64 @@
+"""Page table implementations: the paper's baselines and their extensions.
+
+- :mod:`repro.pagetables.pte` — bit-level 64-bit PTE formats (Figures 1, 6, 7).
+- :mod:`repro.pagetables.base` — the :class:`~repro.pagetables.base.PageTable`
+  interface, lookup results, and walk statistics shared by every design.
+- :mod:`repro.pagetables.linear` — multi-level linear page tables (bottom-up,
+  6-level for 64-bit addresses) and the idealised "1-level" variant.
+- :mod:`repro.pagetables.forward` — forward-mapped (top-down) n-ary trees.
+- :mod:`repro.pagetables.hashed` — open-hash page tables with chaining, the
+  packed-PTE optimisation, and the superpage-index variant.
+- :mod:`repro.pagetables.inverted` — hash-anchor-table inverted page tables.
+- :mod:`repro.pagetables.software_tlb` — TSB-style set-associative software
+  TLBs with an overflow table.
+- :mod:`repro.pagetables.strategies` — replicate-PTE and multiple-page-table
+  composition strategies for superpage/partial-subblock support (§4.2).
+
+The clustered page table — the paper's contribution — lives in
+:mod:`repro.core.clustered`.
+"""
+
+from repro.pagetables.base import (
+    LookupResult,
+    PageTable,
+    PTEKind,
+    WalkStats,
+)
+from repro.pagetables.pte import (
+    BasePTE,
+    PartialSubblockPTE,
+    SuperpagePTE,
+    decode_pte,
+)
+from repro.pagetables.guarded import GuardedPageTable
+from repro.pagetables.hashed import HashedPageTable, SuperpageIndexHashedPageTable
+from repro.pagetables.inverted import FrameInvertedPageTable, InvertedPageTable
+from repro.pagetables.linear import LinearPageTable
+from repro.pagetables.forward import ForwardMappedPageTable
+from repro.pagetables.memimage import MemoryImage
+from repro.pagetables.powerpc import PowerPCPageTable
+from repro.pagetables.software_tlb import SoftwareTLBTable
+from repro.pagetables.strategies import MultiplePageTables, ReplicatedPTEMixin
+
+__all__ = [
+    "BasePTE",
+    "ForwardMappedPageTable",
+    "FrameInvertedPageTable",
+    "GuardedPageTable",
+    "HashedPageTable",
+    "MemoryImage",
+    "PowerPCPageTable",
+    "InvertedPageTable",
+    "LinearPageTable",
+    "LookupResult",
+    "MultiplePageTables",
+    "PTEKind",
+    "PageTable",
+    "PartialSubblockPTE",
+    "ReplicatedPTEMixin",
+    "SoftwareTLBTable",
+    "SuperpageIndexHashedPageTable",
+    "SuperpagePTE",
+    "WalkStats",
+    "decode_pte",
+]

@@ -1,0 +1,247 @@
+"""Inverted page tables (§2): hash-anchor and frame-indexed variants.
+
+Two designs share this module:
+
+- :class:`InvertedPageTable` — a hashed page table reached through a hash
+  anchor table: the hash function indexes an array of *pointers*;
+  dereferencing one yields the first element of the bucket's chain.  The
+  anchor indirection costs one extra cache-line access per lookup but the
+  anchor array stays dense (eight bytes per bucket instead of a full PTE
+  node).
+- :class:`FrameInvertedPageTable` — the true IBM System/38 structure the
+  paper cites [IBM78, Chan88]: **one entry per physical frame**, indexed
+  by frame number, with hash chains threaded through the frame entries
+  themselves.  Its size is proportional to *physical* memory regardless
+  of how many processes map it — the classic inverted property — and one
+  frame can back at most one virtual page (no aliasing).
+
+The innovations the paper develops for hashed page tables apply here too
+(§2): the anchor variant supports the same grain parameter so it can serve
+as a block-granularity table in multiple-page-table compositions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.addr.layout import AddressLayout, DEFAULT_LAYOUT
+from repro.addr.space import DEFAULT_ATTRS
+from repro.errors import ConfigurationError, MappingExistsError, PageFaultError
+from repro.mmu.cache_model import CacheModel, DEFAULT_CACHE
+from repro.pagetables.base import PageTable, WalkOutcome, base_result
+from repro.addr.space import Mapping
+from repro.pagetables.hashed import HashedPageTable, multiplicative_hash
+
+#: Bytes per hash-anchor-table slot (one 64-bit pointer).
+ANCHOR_BYTES = 8
+#: Bytes per frame entry in the frame-indexed table: virtual tag, chain
+#: link, and attribute word.
+FRAME_ENTRY_BYTES = 16
+
+
+class InvertedPageTable(HashedPageTable):
+    """Hashed page table accessed through a hash anchor table.
+
+    Walks cost one line for the anchor slot plus one line per chain node
+    visited; an empty bucket costs just the anchor read.  ``size_bytes``
+    includes the anchor array by default since it is a real, always-
+    allocated structure in this design (unlike the paper's hashed-table
+    formula, which counts only PTE nodes).
+    """
+
+    name = "inverted"
+
+    def __init__(
+        self,
+        layout: AddressLayout = DEFAULT_LAYOUT,
+        cache: CacheModel = DEFAULT_CACHE,
+        num_buckets: int = 4096,
+        grain: int = 1,
+        hash_fn: Callable[[int, int], int] = multiplicative_hash,
+        count_anchor_array: bool = True,
+    ):
+        super().__init__(
+            layout, cache, num_buckets=num_buckets, grain=grain,
+            hash_fn=hash_fn, count_bucket_array=False,
+        )
+        self.count_anchor_array = count_anchor_array
+
+    def _walk(self, vpn: int) -> WalkOutcome:
+        tag = self._tag_of(vpn)
+        node, probes = self._find(tag)
+        chain = self._chain(tag)
+        # Anchor read + one line per chain node actually dereferenced.
+        if not chain:
+            lines = 1  # anchor slot says "empty"; no node is read
+            return None, lines, 1
+        lines = 1 + probes
+        probes += 1  # count the anchor access as a probe as well
+        if node is None:
+            return None, lines, probes
+        result = self._node_to_result(vpn, node, lines, probes)
+        return result, lines, probes
+
+    def size_bytes(self) -> int:
+        """PTE nodes plus (by default) the hash anchor table itself."""
+        size = self.node_count * self.node_bytes
+        if self.count_anchor_array:
+            size += self.num_buckets * ANCHOR_BYTES
+        return size
+
+    def describe(self) -> str:
+        return (
+            f"{self.name} page table ({self.num_buckets} anchors"
+            f"{', grain ' + str(self.grain) if self.grain != 1 else ''})"
+        )
+
+
+@dataclass
+class _FrameEntry:
+    """One per-frame slot: the virtual page backed by this frame."""
+
+    vpn: int
+    attrs: int
+    next_frame: Optional[int]  # chain link (frame index), None = end
+
+
+class FrameInvertedPageTable(PageTable):
+    """Frame-indexed inverted page table (System/38 style, §2).
+
+    The table is an array with exactly one entry per physical frame; a
+    hash anchor table maps a VPN hash to the first frame of a chain, and
+    chains are threaded through the frame entries.  Consequences the
+    tests verify:
+
+    - size is ``anchors + frames x entry`` — independent of how many
+      pages are mapped;
+    - a frame can back only one virtual page: mapping a second VPN to an
+      occupied frame is rejected (inverted tables cannot express
+      aliasing, one reason §2's large-address systems moved to hashed
+      tables with explicit nodes);
+    - lookup costs one anchor read plus one line per chain entry walked.
+    """
+
+    name = "frame-inverted"
+
+    def __init__(
+        self,
+        layout: AddressLayout = DEFAULT_LAYOUT,
+        cache: CacheModel = DEFAULT_CACHE,
+        total_frames: int = 1 << 16,
+        num_anchors: int = 4096,
+        hash_fn: Callable[[int, int], int] = multiplicative_hash,
+    ):
+        super().__init__(layout, cache)
+        if total_frames < 1 or num_anchors < 1:
+            raise ConfigurationError(
+                f"invalid geometry: {total_frames} frames, "
+                f"{num_anchors} anchors"
+            )
+        self.total_frames = total_frames
+        self.num_anchors = num_anchors
+        self.hash_fn = hash_fn
+        self._anchors: List[Optional[int]] = [None] * num_anchors
+        self._frames: List[Optional[_FrameEntry]] = [None] * total_frames
+        self._mapped = 0
+
+    # ------------------------------------------------------------------
+    def _anchor_of(self, vpn: int) -> int:
+        return self.hash_fn(vpn, self.num_anchors)
+
+    def _walk(self, vpn: int) -> WalkOutcome:
+        frame = self._anchors[self._anchor_of(vpn)]
+        lines = 1  # the anchor slot
+        probes = 1
+        while frame is not None:
+            entry = self._frames[frame]
+            lines += 1
+            probes += 1
+            if entry.vpn == vpn:
+                result = base_result(
+                    vpn, Mapping(frame, entry.attrs), lines, probes
+                )
+                return result, lines, probes
+            frame = entry.next_frame
+        return None, lines, probes
+
+    # ------------------------------------------------------------------
+    def insert(self, vpn: int, ppn: int, attrs: int = DEFAULT_ATTRS) -> None:
+        """Bind frame ``ppn`` to virtual page ``vpn``.
+
+        Unlike forward tables, the *frame* is the entry: the PPN chooses
+        the slot, and an occupied slot means the frame already backs some
+        page.
+        """
+        self.layout.check_vpn(vpn)
+        if not 0 <= ppn < self.total_frames:
+            raise ConfigurationError(
+                f"frame {ppn:#x} outside the {self.total_frames}-frame table"
+            )
+        if self._frames[ppn] is not None:
+            raise MappingExistsError(vpn)
+        result, _, _ = self._walk(vpn)
+        if result is not None:
+            raise MappingExistsError(vpn)
+        anchor = self._anchor_of(vpn)
+        self._frames[ppn] = _FrameEntry(
+            vpn=vpn, attrs=attrs, next_frame=self._anchors[anchor]
+        )
+        self._anchors[anchor] = ppn
+        self._mapped += 1
+        self.stats.inserts += 1
+        self.stats.op_nodes_visited += 1
+
+    def remove(self, vpn: int) -> None:
+        """Unbind the frame backing ``vpn``."""
+        anchor = self._anchor_of(vpn)
+        frame = self._anchors[anchor]
+        previous: Optional[int] = None
+        visited = 0
+        while frame is not None:
+            entry = self._frames[frame]
+            visited += 1
+            if entry.vpn == vpn:
+                if previous is None:
+                    self._anchors[anchor] = entry.next_frame
+                else:
+                    self._frames[previous].next_frame = entry.next_frame
+                self._frames[frame] = None
+                self._mapped -= 1
+                self.stats.removes += 1
+                self.stats.op_nodes_visited += visited
+                return
+            previous = frame
+            frame = entry.next_frame
+        self.stats.op_nodes_visited += max(1, visited)
+        raise PageFaultError(vpn, f"no frame backs VPN {vpn:#x}")
+
+    def mark(self, vpn: int, set_bits: int = 0, clear_bits: int = 0) -> int:
+        """Update attribute bits of the frame entry backing ``vpn``."""
+        result, _, probes = self._walk(vpn)
+        if result is None:
+            raise PageFaultError(vpn, f"no frame backs VPN {vpn:#x}")
+        entry = self._frames[result.ppn]
+        entry.attrs = (entry.attrs | set_bits) & ~clear_bits
+        self.stats.op_nodes_visited += probes
+        return entry.attrs
+
+    # ------------------------------------------------------------------
+    def size_bytes(self) -> int:
+        """Anchors plus the full frame array — physical-memory
+        proportional, the inverted table's defining property."""
+        return (
+            self.num_anchors * ANCHOR_BYTES
+            + self.total_frames * FRAME_ENTRY_BYTES
+        )
+
+    @property
+    def mapped_count(self) -> int:
+        """Frames currently bound to a virtual page."""
+        return self._mapped
+
+    def describe(self) -> str:
+        return (
+            f"{self.name} page table ({self.total_frames} frames, "
+            f"{self.num_anchors} anchors)"
+        )

@@ -1,0 +1,183 @@
+"""PowerPC-style hashed page table with PTE groups (§2, [Silh93], [May94]).
+
+Section 2 classes "PowerPC's page table" with the software TLBs: it
+eliminates next pointers by pre-allocating a fixed number of PTEs per
+bucket.  Concretely, the PowerPC architecture hashes a virtual page
+number to a *primary PTE group* (PTEG) of eight slots; if no slot
+matches, a *secondary* PTEG at the complemented hash is probed; only if
+both fail does the operating system's miss handler fall back to its own
+structures (modelled here by an overflow hashed table).
+
+Costs this model reproduces:
+
+- one cache line per PTEG probed (a 128-byte PTEG fits one 256-byte
+  line; at 64-byte lines a full group scan spans two);
+- insertion prefers the primary group, spills to the secondary, and only
+  then overflows — with the paper-relevant consequence that high load
+  factors degrade both lookup time and predictability (§7's complaint
+  about hash-distribution unpredictability applies doubly here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.addr.layout import AddressLayout, DEFAULT_LAYOUT
+from repro.addr.space import DEFAULT_ATTRS, Mapping
+from repro.errors import ConfigurationError, MappingExistsError, PageFaultError
+from repro.mmu.cache_model import CacheModel, DEFAULT_CACHE
+from repro.pagetables.base import PageTable, WalkOutcome, base_result
+from repro.pagetables.hashed import HashedPageTable, multiplicative_hash
+
+#: Slots per PTE group (the PowerPC architecture's fixed eight).
+PTEG_SLOTS = 8
+#: Bytes per slot (PowerPC's 16-byte PTE: two 64-bit words).
+SLOT_BYTES = 16
+
+
+@dataclass
+class _Slot:
+    """One PTEG slot."""
+
+    vpn: int
+    ppn: int
+    attrs: int
+
+
+class PowerPCPageTable(PageTable):
+    """Primary/secondary PTEG hashed page table.
+
+    Parameters
+    ----------
+    num_groups:
+        PTEG count; must be a power of two (the secondary hash is the
+        bitwise complement of the primary within this range).
+    """
+
+    name = "powerpc"
+
+    def __init__(
+        self,
+        layout: AddressLayout = DEFAULT_LAYOUT,
+        cache: CacheModel = DEFAULT_CACHE,
+        num_groups: int = 1024,
+        hash_fn: Callable[[int, int], int] = multiplicative_hash,
+    ):
+        super().__init__(layout, cache)
+        if num_groups < 1 or num_groups & (num_groups - 1):
+            raise ConfigurationError(
+                f"PTEG count must be a power of two, got {num_groups}"
+            )
+        self.num_groups = num_groups
+        self.hash_fn = hash_fn
+        self._groups: List[List[_Slot]] = [[] for _ in range(num_groups)]
+        self.overflow = HashedPageTable(
+            layout, cache, num_buckets=max(64, num_groups // 8),
+            hash_fn=hash_fn,
+        )
+        self.overflow_inserts = 0
+
+    # ------------------------------------------------------------------
+    def _primary(self, vpn: int) -> int:
+        return self.hash_fn(vpn, self.num_groups)
+
+    def _secondary(self, vpn: int) -> int:
+        return self._primary(vpn) ^ (self.num_groups - 1)
+
+    def _group_lines(self) -> int:
+        return self.cache.lines_touched([(0, PTEG_SLOTS * SLOT_BYTES)])
+
+    def _walk(self, vpn: int) -> WalkOutcome:
+        lines = 0
+        probes = 0
+        for group_index in (self._primary(vpn), self._secondary(vpn)):
+            lines += self._group_lines()
+            probes += 1
+            for slot in self._groups[group_index]:
+                if slot.vpn == vpn:
+                    result = base_result(
+                        vpn, Mapping(slot.ppn, slot.attrs), lines, probes
+                    )
+                    return result, lines, probes
+        # Both groups missed: the OS searches its overflow structure.
+        result, over_lines, over_probes = self.overflow._walk(vpn)
+        lines += over_lines
+        probes += over_probes
+        if result is None:
+            return None, lines, probes
+        final = base_result(vpn, Mapping(result.ppn, result.attrs), lines, probes)
+        return final, lines, probes
+
+    # ------------------------------------------------------------------
+    def insert(self, vpn: int, ppn: int, attrs: int = DEFAULT_ATTRS) -> None:
+        """Place the PTE in the primary PTEG, then secondary, then
+        overflow — the PowerPC software-reload discipline."""
+        self.layout.check_vpn(vpn)
+        self.layout.check_ppn(ppn)
+        existing, _, _ = self._walk(vpn)
+        if existing is not None:
+            raise MappingExistsError(vpn)
+        for group_index in (self._primary(vpn), self._secondary(vpn)):
+            group = self._groups[group_index]
+            if len(group) < PTEG_SLOTS:
+                group.append(_Slot(vpn=vpn, ppn=ppn, attrs=attrs))
+                self.stats.inserts += 1
+                self.stats.op_nodes_visited += 1
+                return
+        self.overflow.insert(vpn, ppn, attrs)
+        self.overflow_inserts += 1
+        self.stats.inserts += 1
+
+    def remove(self, vpn: int) -> None:
+        """Remove the PTE from whichever location holds it."""
+        for group_index in (self._primary(vpn), self._secondary(vpn)):
+            group = self._groups[group_index]
+            for i, slot in enumerate(group):
+                if slot.vpn == vpn:
+                    del group[i]
+                    self.stats.removes += 1
+                    self.stats.op_nodes_visited += 1
+                    return
+        self.overflow.remove(vpn)  # raises PageFaultError if absent
+        self.stats.removes += 1
+
+    def mark(self, vpn: int, set_bits: int = 0, clear_bits: int = 0) -> int:
+        """Update attribute bits in place (the May94 R/C-bit algorithm)."""
+        for group_index in (self._primary(vpn), self._secondary(vpn)):
+            for slot in self._groups[group_index]:
+                if slot.vpn == vpn:
+                    slot.attrs = (slot.attrs | set_bits) & ~clear_bits
+                    self.stats.op_nodes_visited += 1
+                    return slot.attrs
+        return self.overflow.mark(vpn, set_bits, clear_bits)
+
+    # ------------------------------------------------------------------
+    def size_bytes(self) -> int:
+        """The pre-allocated PTEG array plus any overflow nodes."""
+        return (
+            self.num_groups * PTEG_SLOTS * SLOT_BYTES
+            + self.overflow.size_bytes()
+        )
+
+    def occupancy(self) -> float:
+        """Fraction of PTEG slots in use."""
+        used = sum(len(group) for group in self._groups)
+        return used / (self.num_groups * PTEG_SLOTS)
+
+    def secondary_fraction(self) -> float:
+        """Fraction of resident PTEs living in their secondary group."""
+        total = 0
+        secondary = 0
+        for index, group in enumerate(self._groups):
+            for slot in group:
+                total += 1
+                if self._primary(slot.vpn) != index:
+                    secondary += 1
+        return secondary / total if total else 0.0
+
+    def describe(self) -> str:
+        return (
+            f"{self.name} page table ({self.num_groups} PTEGs x "
+            f"{PTEG_SLOTS}, {self.overflow_inserts} overflowed)"
+        )

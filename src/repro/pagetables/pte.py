@@ -1,0 +1,246 @@
+"""Bit-level 64-bit page table entry formats.
+
+The paper's PTE formats (Figures 1, 6 and 7) all pack into a single 64-bit
+word of *mapping information*; page tables add tags and next pointers around
+that word but never change it.  The layouts implemented here:
+
+Base PTE (Figure 1)::
+
+    63  62        40 39        12 11         0
+    +---+------------+------------+-----------+
+    | V |    PAD     |    PPN     |   ATTR    |
+    +---+------------+------------+-----------+
+
+Superpage PTE (Figure 6 top)::
+
+    63  62    59 58   42 41 40 39        12 11         0
+    +---+--------+-------+-----+------------+-----------+
+    | V |   SZ   |  PAD  |  S  |    PPN     |   ATTR    |
+    +---+--------+-------+-----+------------+-----------+
+
+Partial-subblock PTE (Figure 6 bottom, subblock factor <= 16)::
+
+    63        48 47   42 41 40 39        12 11         0
+    +-----------+-------+-----+------------+-----------+
+    |    V16    |  PAD  |  S  |    PPN     |   ATTR    |
+    +-----------+-------+-----+------------+-----------+
+
+The two-bit ``S`` field (Figure 7) distinguishes the formats when they
+coreside in a clustered page table: the TLB miss handler reads mapping slot
+zero, inspects ``S``, and only then decides whether the slot is a base
+mapping, the single mapping of a superpage, or a partial-subblock mapping.
+The paper leaves the exact PAD-bit placement open; we fix ``S`` at bits
+40–41, which Figure 6 marks as unused PPN bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+from repro.addr.layout import is_power_of_two, log2_exact
+from repro.errors import EncodingError
+
+# ---------------------------------------------------------------------------
+# Field geometry
+# ---------------------------------------------------------------------------
+ATTR_SHIFT, ATTR_BITS = 0, 12
+PPN_SHIFT, PPN_BITS = 12, 28
+S_SHIFT, S_BITS = 40, 2
+SZ_SHIFT, SZ_BITS = 59, 4
+VALID_SHIFT = 63
+V16_SHIFT, V16_BITS = 48, 16
+
+#: Bytes of mapping information per PTE — the paper's universal assumption.
+PTE_BYTES = 8
+
+# Attribute bits within the 12-bit ATTR field.  The split mirrors Figure 1's
+# "software and hardware attributes"; only the bits the simulator consults
+# are named.
+ATTR_READ = 1 << 0
+ATTR_WRITE = 1 << 1
+ATTR_EXEC = 1 << 2
+ATTR_REFERENCED = 1 << 3
+ATTR_MODIFIED = 1 << 4
+ATTR_NOCACHE = 1 << 5
+ATTR_GLOBAL = 1 << 6
+ATTR_SW0 = 1 << 9
+ATTR_SW1 = 1 << 10
+ATTR_SW2 = 1 << 11
+
+
+class PTEKind(IntEnum):
+    """Value of the S field: which mapping format a PTE slot holds."""
+
+    BASE = 0
+    PARTIAL_SUBBLOCK = 1
+    SUPERPAGE = 2
+
+
+def _check_field(name: str, value: int, bits: int) -> None:
+    if not 0 <= value < (1 << bits):
+        raise EncodingError(f"{name} value {value:#x} does not fit in {bits} bits")
+
+
+def _field(word: int, shift: int, bits: int) -> int:
+    return (word >> shift) & ((1 << bits) - 1)
+
+
+@dataclass(frozen=True)
+class BasePTE:
+    """Mapping information for a single base page (Figure 1)."""
+
+    ppn: int
+    attrs: int = ATTR_READ | ATTR_WRITE
+    valid: bool = True
+
+    kind = PTEKind.BASE
+
+    def encode(self) -> int:
+        """Pack into a 64-bit word."""
+        _check_field("PPN", self.ppn, PPN_BITS)
+        _check_field("ATTR", self.attrs, ATTR_BITS)
+        word = (self.attrs << ATTR_SHIFT) | (self.ppn << PPN_SHIFT)
+        word |= int(PTEKind.BASE) << S_SHIFT
+        if self.valid:
+            word |= 1 << VALID_SHIFT
+        return word
+
+    @classmethod
+    def decode(cls, word: int) -> "BasePTE":
+        """Unpack from a 64-bit word (ignores the SZ field)."""
+        return cls(
+            ppn=_field(word, PPN_SHIFT, PPN_BITS),
+            attrs=_field(word, ATTR_SHIFT, ATTR_BITS),
+            valid=bool(_field(word, VALID_SHIFT, 1)),
+        )
+
+
+@dataclass(frozen=True)
+class SuperpagePTE:
+    """Mapping information for a power-of-two superpage (Figure 6, top).
+
+    ``npages`` is the superpage size in base pages; it is stored as
+    ``log2(npages)`` in the 4-bit SZ field, supporting superpages from 2 to
+    2^15 base pages (8 KB to 128 MB with 4 KB base pages).
+    """
+
+    ppn: int
+    npages: int
+    attrs: int = ATTR_READ | ATTR_WRITE
+    valid: bool = True
+
+    kind = PTEKind.SUPERPAGE
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.npages):
+            raise EncodingError(f"superpage page count {self.npages} not a power of two")
+        _check_field("SZ", log2_exact(self.npages), SZ_BITS)
+
+    def encode(self) -> int:
+        """Pack into a 64-bit word."""
+        _check_field("PPN", self.ppn, PPN_BITS)
+        _check_field("ATTR", self.attrs, ATTR_BITS)
+        word = (self.attrs << ATTR_SHIFT) | (self.ppn << PPN_SHIFT)
+        word |= int(PTEKind.SUPERPAGE) << S_SHIFT
+        word |= log2_exact(self.npages) << SZ_SHIFT
+        if self.valid:
+            word |= 1 << VALID_SHIFT
+        return word
+
+    @classmethod
+    def decode(cls, word: int) -> "SuperpagePTE":
+        """Unpack from a 64-bit word."""
+        return cls(
+            ppn=_field(word, PPN_SHIFT, PPN_BITS),
+            npages=1 << _field(word, SZ_SHIFT, SZ_BITS),
+            attrs=_field(word, ATTR_SHIFT, ATTR_BITS),
+            valid=bool(_field(word, VALID_SHIFT, 1)),
+        )
+
+    def ppn_for(self, boff: int) -> int:
+        """PPN of the ``boff``-th base page inside the superpage."""
+        if not 0 <= boff < self.npages:
+            raise EncodingError(f"offset {boff} outside {self.npages}-page superpage")
+        return self.ppn + boff
+
+
+@dataclass(frozen=True)
+class PartialSubblockPTE:
+    """Mapping information for a properly-placed page block with some pages
+    valid (Figure 6, bottom).
+
+    ``ppn`` is the physical page number of base page zero of the aligned
+    physical block; page ``i`` of the block maps to ``ppn + i`` when bit
+    ``i`` of ``valid_mask`` is set.  Subblock factors above sixteen do not
+    fit the 16 valid bits, matching the paper's §4.3 observation that large
+    subblock factors "are not practical due to the limited number of valid
+    bits in a PTE".
+    """
+
+    ppn: int
+    valid_mask: int
+    attrs: int = ATTR_READ | ATTR_WRITE
+
+    kind = PTEKind.PARTIAL_SUBBLOCK
+
+    def __post_init__(self) -> None:
+        _check_field("valid mask", self.valid_mask, V16_BITS)
+
+    def encode(self) -> int:
+        """Pack into a 64-bit word."""
+        _check_field("PPN", self.ppn, PPN_BITS)
+        _check_field("ATTR", self.attrs, ATTR_BITS)
+        word = (self.attrs << ATTR_SHIFT) | (self.ppn << PPN_SHIFT)
+        word |= int(PTEKind.PARTIAL_SUBBLOCK) << S_SHIFT
+        word |= self.valid_mask << V16_SHIFT
+        return word
+
+    @classmethod
+    def decode(cls, word: int) -> "PartialSubblockPTE":
+        """Unpack from a 64-bit word."""
+        return cls(
+            ppn=_field(word, PPN_SHIFT, PPN_BITS),
+            valid_mask=_field(word, V16_SHIFT, V16_BITS),
+            attrs=_field(word, ATTR_SHIFT, ATTR_BITS),
+        )
+
+    @property
+    def valid(self) -> bool:
+        """True when at least one base page of the block is valid."""
+        return self.valid_mask != 0
+
+    def is_valid(self, boff: int) -> bool:
+        """True when base page ``boff`` of the block is valid."""
+        return bool((self.valid_mask >> boff) & 1)
+
+    def ppn_for(self, boff: int) -> int:
+        """PPN for base page ``boff``; the block's proper placement makes
+        this simple PPN arithmetic."""
+        if not self.is_valid(boff):
+            raise EncodingError(f"subblock offset {boff} is not valid in mask "
+                                f"{self.valid_mask:#06x}")
+        return self.ppn + boff
+
+    def population(self) -> int:
+        """Number of valid base pages in the block."""
+        return bin(self.valid_mask).count("1")
+
+
+def pte_kind(word: int) -> PTEKind:
+    """Read the S field of an encoded PTE word."""
+    return PTEKind(_field(word, S_SHIFT, S_BITS))
+
+
+def decode_pte(word: int):
+    """Decode an encoded 64-bit PTE word by its S field.
+
+    Returns one of :class:`BasePTE`, :class:`SuperpagePTE`, or
+    :class:`PartialSubblockPTE`.
+    """
+    kind = pte_kind(word)
+    if kind is PTEKind.BASE:
+        return BasePTE.decode(word)
+    if kind is PTEKind.SUPERPAGE:
+        return SuperpagePTE.decode(word)
+    return PartialSubblockPTE.decode(word)

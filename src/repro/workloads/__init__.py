@@ -1,0 +1,47 @@
+"""Workload substrate: synthetic address spaces and reference traces.
+
+The paper measured ten real 32-bit workloads under a modified Solaris
+kernel (Table 1).  Without those binaries or traces, this package builds
+*synthetic equivalents* — address-space layouts calibrated to each
+workload's measured page-table footprint and qualitative density, plus
+reference-trace generators reproducing the access-pattern classes the
+paper's programs exhibit (array sweeps, strided scientific kernels,
+garbage-collector scans, working-set traffic, multiprogrammed mixes).
+DESIGN.md §2 records the substitution argument.
+
+- :mod:`repro.workloads.synthetic` — layout and trace generators.
+- :mod:`repro.workloads.trace` — the trace container and statistics.
+- :mod:`repro.workloads.suite` — the ten paper workloads plus the kernel
+  address space, calibrated to Table 1.
+"""
+
+from repro.workloads.synthetic import (
+    RegionSpec,
+    build_address_space,
+    pointer_chase_trace,
+    stride_trace,
+    sweep_trace,
+    working_set_trace,
+)
+from repro.workloads.trace import Trace, TraceStats
+from repro.workloads.suite import (
+    PAPER_WORKLOADS,
+    Workload,
+    WorkloadSpec,
+    load_workload,
+)
+
+__all__ = [
+    "PAPER_WORKLOADS",
+    "RegionSpec",
+    "Trace",
+    "TraceStats",
+    "Workload",
+    "WorkloadSpec",
+    "build_address_space",
+    "load_workload",
+    "pointer_chase_trace",
+    "stride_trace",
+    "sweep_trace",
+    "working_set_trace",
+]

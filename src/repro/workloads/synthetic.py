@@ -1,0 +1,282 @@
+"""Synthetic address-space layouts and reference-trace generators.
+
+Two independent knobs determine every paper metric:
+
+1. the *layout* — which pages are mapped (density, burstiness, region
+   sizes) — drives the page-table size results (Figures 9/10); and
+2. the *reference stream* — the order TLB-missing pages are touched —
+   drives the access-time results (Figure 11) and miss counts (Table 1).
+
+:func:`build_address_space` realises a layout described by
+:class:`RegionSpec` entries, allocating frames through a (reservation)
+allocator so physical placement emerges the same way it would in the
+paper's modified Solaris.  The trace generators produce the access-pattern
+families of the paper's workloads: sequential array sweeps, strided
+scientific kernels, pointer-chasing, and working-set traffic with
+temporal locality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.addr.layout import AddressLayout, DEFAULT_LAYOUT
+from repro.addr.space import AddressSpace, Segment
+from repro.errors import ConfigurationError
+from repro.os.physmem import FrameAllocator, ReservationAllocator
+from repro.workloads.trace import Trace
+
+
+@dataclass(frozen=True)
+class RegionSpec:
+    """One virtual region of a synthetic layout.
+
+    Parameters
+    ----------
+    name:
+        Segment label (text, heap, mmap-*, ...).
+    base_vpn:
+        First VPN of the region.
+    npages:
+        Region length in pages.
+    fill:
+        Fraction of pages actually mapped (1.0 = dense).  Partially
+        filled regions map a *prefix-biased random subset*, producing the
+        "bursty" occupancy the paper describes (§3): runs of mapped pages
+        with gaps, not uniform salt-and-pepper.
+    clustered_fill:
+        When True (default), unmapped pages concentrate at the tail of
+        each page block; when False the subset is uniform random —
+        maximal sparseness for the same fill.
+    """
+
+    name: str
+    base_vpn: int
+    npages: int
+    fill: float = 1.0
+    clustered_fill: bool = True
+
+    def __post_init__(self) -> None:
+        if self.npages < 1:
+            raise ConfigurationError(f"region {self.name}: npages must be >= 1")
+        if not 0.0 < self.fill <= 1.0:
+            raise ConfigurationError(
+                f"region {self.name}: fill must be in (0, 1], got {self.fill}"
+            )
+
+
+def _region_vpns(
+    spec: RegionSpec, rng: np.random.Generator, subblock_factor: int
+) -> np.ndarray:
+    """Choose which pages of a region are mapped."""
+    all_vpns = np.arange(spec.base_vpn, spec.base_vpn + spec.npages, dtype=np.int64)
+    if spec.fill >= 1.0:
+        return all_vpns
+    keep = max(1, int(round(spec.npages * spec.fill)))
+    if spec.clustered_fill:
+        # Bursty: keep a contiguous run within each page block, run length
+        # drawn so the average matches the fill fraction.
+        chosen: List[int] = []
+        s = subblock_factor
+        for block_start in range(spec.base_vpn, spec.base_vpn + spec.npages, s):
+            block_len = min(s, spec.base_vpn + spec.npages - block_start)
+            run = int(np.clip(rng.binomial(block_len, spec.fill), 0, block_len))
+            chosen.extend(range(block_start, block_start + run))
+        if not chosen:
+            chosen = [spec.base_vpn]
+        return np.asarray(chosen[: max(keep, 1)] if len(chosen) > keep else chosen,
+                          dtype=np.int64)
+    picked = rng.choice(spec.npages, size=keep, replace=False)
+    picked.sort()
+    return all_vpns[picked]
+
+
+def build_address_space(
+    regions: Sequence[RegionSpec],
+    layout: AddressLayout = DEFAULT_LAYOUT,
+    allocator: Optional[FrameAllocator] = None,
+    seed: int = 0,
+    name: str = "synthetic",
+) -> AddressSpace:
+    """Realise a layout: map every chosen page through the allocator.
+
+    Pages are mapped region by region in address order — the order a
+    process faulting its space in mostly sees — so a reservation
+    allocator achieves high proper placement until it runs out of free
+    aligned blocks.
+    """
+    rng = np.random.default_rng(seed)
+    space = AddressSpace(layout, name)
+    total_pages = sum(
+        max(1, int(round(r.npages * r.fill))) for r in regions
+    )
+    if allocator is None:
+        # Head-room above the exact demand so reservation can work.
+        s = layout.subblock_factor
+        frames = max(s, ((total_pages * 2) // s + 2) * s)
+        allocator = ReservationAllocator(frames, layout)
+    for spec in regions:
+        space.add_segment(Segment(spec.name, spec.base_vpn, spec.npages))
+        for vpn in _region_vpns(spec, rng, layout.subblock_factor):
+            ppn = allocator.allocate(int(vpn))
+            space.map(int(vpn), ppn)
+    return space
+
+
+# ---------------------------------------------------------------------------
+# Reference-trace generators
+# ---------------------------------------------------------------------------
+def _mapped_array(space: AddressSpace) -> np.ndarray:
+    vpns = np.asarray(space.vpns(), dtype=np.int64)
+    if vpns.size == 0:
+        raise ConfigurationError("address space has no mapped pages")
+    return vpns
+
+
+def sweep_trace(
+    space: AddressSpace,
+    length: int,
+    name: str = "sweep",
+    segment_names: Optional[Sequence[str]] = None,
+    repeat: int = 1,
+) -> Trace:
+    """Sequential sweeps over the mapped pages, repeated until ``length``.
+
+    Models array-at-a-time code — the paper's nasa7/fftpde/wave5 class —
+    which misses the TLB heavily once the array exceeds TLB reach.
+    ``repeat`` emits each page that many times consecutively, standing in
+    for the multiple references a program makes per 4 KB page per pass;
+    it calibrates the TLB miss *ratio* without changing the miss pattern.
+    """
+    if repeat < 1:
+        raise ConfigurationError(f"repeat must be >= 1, got {repeat}")
+    vpns = _mapped_array(space)
+    if segment_names is not None:
+        allowed = [seg for seg in space.segments if seg.name in set(segment_names)]
+        mask = np.zeros(vpns.shape, dtype=bool)
+        for seg in allowed:
+            mask |= (vpns >= seg.base_vpn) & (vpns < seg.end_vpn)
+        vpns = vpns[mask]
+        if vpns.size == 0:
+            raise ConfigurationError("no mapped pages in the selected segments")
+    if repeat > 1:
+        vpns = np.repeat(vpns, repeat)
+    reps = -(-length // vpns.size)
+    stream = np.tile(vpns, reps)[:length]
+    return Trace(stream, name=name, subblock_factor=space.layout.subblock_factor)
+
+
+def stride_trace(
+    space: AddressSpace,
+    length: int,
+    stride_pages: int = 4,
+    name: str = "stride",
+    repeat: int = 1,
+) -> Trace:
+    """Strided passes over the mapped pages (column-order matrix codes).
+
+    A stride of ``k`` visits every ``k``-th mapped page per pass, rotating
+    the starting offset each pass so all pages are eventually touched.
+    """
+    if stride_pages < 1:
+        raise ConfigurationError(f"stride must be >= 1, got {stride_pages}")
+    if repeat < 1:
+        raise ConfigurationError(f"repeat must be >= 1, got {repeat}")
+    vpns = _mapped_array(space)
+    parts: List[np.ndarray] = []
+    produced = 0
+    phase = 0
+    while produced < length:
+        pass_vpns = vpns[phase::stride_pages]
+        if pass_vpns.size == 0:
+            phase = 0
+            continue
+        if repeat > 1:
+            pass_vpns = np.repeat(pass_vpns, repeat)
+        parts.append(pass_vpns)
+        produced += pass_vpns.size
+        phase = (phase + 1) % stride_pages
+    stream = np.concatenate(parts)[:length]
+    return Trace(stream, name=name, subblock_factor=space.layout.subblock_factor)
+
+
+def working_set_trace(
+    space: AddressSpace,
+    length: int,
+    working_set_pages: int = 512,
+    churn: float = 0.002,
+    locality: float = 1.2,
+    seed: int = 0,
+    name: str = "working-set",
+) -> Trace:
+    """Zipf-weighted traffic over a slowly-churning working set.
+
+    Models interactive/irregular programs (gcc, pthor, compress): most
+    references hit a hot subset, the subset drifts over time.  ``churn``
+    is the per-reference probability of replacing one working-set member;
+    ``locality`` is the Zipf exponent (higher = hotter head).
+    """
+    rng = np.random.default_rng(seed)
+    vpns = _mapped_array(space)
+    ws_size = min(working_set_pages, vpns.size)
+    working = rng.choice(vpns, size=ws_size, replace=False)
+    ranks = np.arange(1, ws_size + 1, dtype=np.float64)
+    weights = 1.0 / np.power(ranks, locality)
+    weights /= weights.sum()
+    # Draw in batches for speed; re-draw the working set at churn events.
+    out = np.empty(length, dtype=np.int64)
+    produced = 0
+    batch = max(1, int(1.0 / churn) if churn > 0 else length)
+    while produced < length:
+        n = min(batch, length - produced)
+        picks = rng.choice(working, size=n, p=weights)
+        out[produced:produced + n] = picks
+        produced += n
+        if churn > 0 and vpns.size > ws_size:
+            victim = rng.integers(ws_size)
+            working[victim] = vpns[rng.integers(vpns.size)]
+    return Trace(out, name=name, subblock_factor=space.layout.subblock_factor)
+
+
+def pointer_chase_trace(
+    space: AddressSpace,
+    length: int,
+    hot_fraction: float = 0.25,
+    seed: int = 0,
+    name: str = "pointer-chase",
+    repeat: int = 1,
+) -> Trace:
+    """Uniform random traffic over a fixed hot subset of pages.
+
+    Models pointer-intensive code with poor locality (mp3d's particle
+    arrays, the ML heap between collections): the TLB thrashes whenever
+    the hot set exceeds its reach.
+    """
+    if not 0.0 < hot_fraction <= 1.0:
+        raise ConfigurationError(
+            f"hot_fraction must be in (0, 1], got {hot_fraction}"
+        )
+    if repeat < 1:
+        raise ConfigurationError(f"repeat must be >= 1, got {repeat}")
+    rng = np.random.default_rng(seed)
+    vpns = _mapped_array(space)
+    hot = rng.choice(
+        vpns, size=max(1, int(vpns.size * hot_fraction)), replace=False
+    )
+    stream = rng.choice(hot, size=-(-length // repeat))
+    if repeat > 1:
+        stream = np.repeat(stream, repeat)[:length]
+    return Trace(stream, name=name, subblock_factor=space.layout.subblock_factor)
+
+
+def phased_trace(parts: Sequence[Trace], name: str = "phased") -> Trace:
+    """Concatenate traces as successive program phases (no flushes)."""
+    if not parts:
+        raise ConfigurationError("need at least one phase")
+    stream = np.concatenate([p.vpns for p in parts])
+    return Trace(
+        stream, name=name, subblock_factor=parts[0].subblock_factor
+    )

@@ -1,0 +1,57 @@
+"""The line-counting cache model (§6.1 accounting assumptions)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mmu.cache_model import CacheModel, DEFAULT_CACHE
+
+
+class TestConstruction:
+    def test_default_is_256(self):
+        assert DEFAULT_CACHE.line_size == 256
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            CacheModel(line_size=100)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            CacheModel(line_size=0)
+
+
+class TestLinesTouched:
+    def test_single_small_read(self):
+        assert DEFAULT_CACHE.lines_touched([(0, 8)]) == 1
+
+    def test_reads_in_same_line_coalesce(self):
+        assert DEFAULT_CACHE.lines_touched([(0, 16), (128, 8)]) == 1
+
+    def test_read_straddling_lines(self):
+        assert DEFAULT_CACHE.lines_touched([(250, 8)]) == 2
+
+    def test_disjoint_lines_counted_once_each(self):
+        model = CacheModel(64)
+        assert model.lines_touched([(0, 8), (64, 8), (70, 8)]) == 2
+
+    def test_clustered_node_geometry_64B(self):
+        # The §6.3 case: tag at 0, slot 15 at byte 136, 64-byte lines.
+        model = CacheModel(64)
+        assert model.lines_touched([(0, 16), (136, 8)]) == 2
+        assert model.lines_touched([(0, 16), (16, 8)]) == 1
+
+    def test_empty_and_zero_reads(self):
+        assert DEFAULT_CACHE.lines_touched([]) == 0
+        assert DEFAULT_CACHE.lines_touched([(0, 0)]) == 0
+
+
+class TestLinesForNode:
+    def test_exact_fit(self):
+        assert CacheModel(64).lines_for_node(64) == 1
+
+    def test_rounding_up(self):
+        assert CacheModel(64).lines_for_node(144) == 3
+        assert CacheModel(128).lines_for_node(144) == 2
+        assert CacheModel(256).lines_for_node(144) == 1
+
+    def test_zero_node(self):
+        assert DEFAULT_CACHE.lines_for_node(0) == 0

@@ -1,0 +1,27 @@
+"""The claims verifier's reporting machinery (the full verify() run is the
+acceptance gate exercised by `python -m repro experiment claims`)."""
+
+from repro.experiments.claims import Claim, report
+
+
+def test_report_renders_verdicts():
+    claims = [
+        Claim("§3/Fig9", "clustered smallest", "11/11", True),
+        Claim("§6/Fig10", "savings 80%", "83%", True),
+        Claim("§X", "something broken", "nope", False),
+    ]
+    result = report(claims)
+    text = result.render()
+    assert "PASS" in text and "FAIL" in text
+    assert "2/3 claims hold." in text
+
+
+def test_report_counts_all_passing():
+    claims = [Claim("a", "b", "c", True)]
+    assert "1/1 claims hold." in report(claims).notes
+
+
+def test_claim_fields():
+    claim = Claim("§1", "statement", "measured", holds=False)
+    assert not claim.holds
+    assert claim.source == "§1"

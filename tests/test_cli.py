@@ -1,0 +1,45 @@
+"""Command-line interface smoke tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig42"])
+
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["describe", "doom"])
+
+    def test_kernel_excluded_from_compare(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "kernel"])
+
+
+class TestCommands:
+    def test_list_workloads(self, capsys):
+        assert main(["list-workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "coral" in out and "kernel" in out
+
+    def test_describe(self, capsys):
+        assert main(["describe", "mp3d"]) == 0
+        out = capsys.readouterr().out
+        assert "mapped pages" in out and "clustered" in out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "mp3d"]) == 0
+        out = capsys.readouterr().out
+        assert "lines/miss" in out and "clustered" in out
+
+    def test_experiment_multisize(self, capsys):
+        assert main(["experiment", "multisize"]) == 0
+        out = capsys.readouterr().out
+        assert "two-clustered" in out

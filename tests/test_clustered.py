@@ -1,0 +1,393 @@
+"""Clustered page tables — the paper's core contribution (§3, §5)."""
+
+import pytest
+
+from repro.addr.layout import AddressLayout
+from repro.core.clustered import ClusteredPageTable
+from repro.errors import (
+    AlignmentError,
+    ConfigurationError,
+    MappingExistsError,
+    PageFaultError,
+)
+from repro.mmu.cache_model import CacheModel
+from repro.pagetables.pte import PTEKind
+
+
+def collide_everything(tag, buckets):
+    return 0
+
+
+class TestBasePages:
+    def test_insert_lookup(self, layout):
+        table = ClusteredPageTable(layout)
+        table.insert(0x12345, 0x678)
+        result = table.lookup(0x12345)
+        assert result.ppn == 0x678
+        assert result.kind is PTEKind.BASE
+        assert result.npages == 1
+
+    def test_one_node_per_block(self, layout):
+        table = ClusteredPageTable(layout)
+        for boff in range(16):
+            table.insert(0x100 + boff, boff)
+        assert table.node_count == 1
+
+    def test_two_blocks_two_nodes(self, layout):
+        table = ClusteredPageTable(layout)
+        table.insert(0x100, 1)
+        table.insert(0x110, 2)
+        assert table.node_count == 2
+
+    def test_duplicate_rejected(self, layout):
+        table = ClusteredPageTable(layout)
+        table.insert(5, 5)
+        with pytest.raises(MappingExistsError):
+            table.insert(5, 6)
+
+    def test_lookup_unmapped_slot_faults(self, layout):
+        table = ClusteredPageTable(layout)
+        table.insert(0x100, 1)
+        with pytest.raises(PageFaultError):
+            table.lookup(0x101)  # same block, empty slot
+
+    def test_lookup_unmapped_block_faults(self, layout):
+        table = ClusteredPageTable(layout)
+        with pytest.raises(PageFaultError):
+            table.lookup(0x500)
+
+    def test_remove_clears_slot(self, layout):
+        table = ClusteredPageTable(layout)
+        table.insert(0x100, 1)
+        table.insert(0x101, 2)
+        table.remove(0x100)
+        with pytest.raises(PageFaultError):
+            table.lookup(0x100)
+        assert table.lookup(0x101).ppn == 2
+
+    def test_remove_last_slot_frees_node(self, layout):
+        table = ClusteredPageTable(layout)
+        table.insert(0x100, 1)
+        table.remove(0x100)
+        assert table.node_count == 0
+
+    def test_remove_missing_faults(self, layout):
+        with pytest.raises(PageFaultError):
+            ClusteredPageTable(AddressLayout()).remove(9)
+
+    def test_rejects_zero_buckets(self, layout):
+        with pytest.raises(ConfigurationError):
+            ClusteredPageTable(layout, num_buckets=0)
+
+
+class TestSizeAccounting:
+    def test_clustered_node_bytes(self, layout):
+        # Figure 7: 16 bytes overhead + 8 per mapping slot.
+        table = ClusteredPageTable(layout)
+        table.insert(0, 0)
+        assert table.size_bytes() == 16 + 8 * 16
+
+    def test_superpage_node_is_24_bytes(self, layout):
+        table = ClusteredPageTable(layout)
+        table.insert_superpage(0x100, 16, 0x200)
+        assert table.size_bytes() == 24
+
+    def test_partial_subblock_node_is_24_bytes(self, layout):
+        table = ClusteredPageTable(layout)
+        table.insert_partial_subblock(0x10, 0xFF, 0x200)
+        assert table.size_bytes() == 24
+
+    def test_breakeven_vs_hashed_at_six_pages(self, layout):
+        # §3: with subblock factor 16, clustered matches hashed at six
+        # mappings (6 x 24 = 144 = 16 + 8 x 16).
+        table = ClusteredPageTable(layout)
+        for i in range(6):
+            table.insert(0x100 + i, i)
+        assert table.size_bytes() == 6 * 24
+
+    def test_full_block_one_third_of_hashed(self, layout):
+        table = ClusteredPageTable(layout)
+        for i in range(16):
+            table.insert(0x100 + i, i)
+        hashed_equivalent = 16 * 24
+        assert table.size_bytes() / hashed_equivalent == pytest.approx(0.375)
+
+    def test_bucket_array_opt_in(self, layout):
+        table = ClusteredPageTable(layout, num_buckets=10,
+                                   count_bucket_array=True)
+        assert table.size_bytes() == 10 * 24
+
+
+class TestSuperpages:
+    def test_block_sized_superpage(self, layout):
+        table = ClusteredPageTable(layout)
+        table.insert_superpage(0x100, 16, 0x400)
+        result = table.lookup(0x10A)
+        assert result.kind is PTEKind.SUPERPAGE
+        assert result.ppn == 0x40A
+        assert result.base_vpn == 0x100 and result.npages == 16
+
+    def test_small_superpage_inside_block(self, layout):
+        table = ClusteredPageTable(layout)
+        table.insert_superpage(0x108, 8, 0x208)
+        assert table.lookup(0x10C).ppn == 0x20C
+        with pytest.raises(PageFaultError):
+            table.lookup(0x100)  # other half of the block
+
+    def test_two_small_superpages_same_block(self, layout):
+        # §5: two 8-page superpages can share one 16-page block via two
+        # nodes on the same chain.
+        table = ClusteredPageTable(layout)
+        table.insert_superpage(0x100, 8, 0x300)
+        table.insert_superpage(0x108, 8, 0x500)
+        assert table.lookup(0x104).ppn == 0x304
+        assert table.lookup(0x10C).ppn == 0x504
+        assert table.node_count == 2
+
+    def test_superpage_plus_base_pages_same_block(self, layout):
+        # §5: one 8KB superpage and base pages in one 16-page block.
+        table = ClusteredPageTable(layout)
+        table.insert_superpage(0x100, 2, 0x700)
+        table.insert(0x103, 0x9)
+        assert table.lookup(0x101).kind is PTEKind.SUPERPAGE
+        assert table.lookup(0x103).kind is PTEKind.BASE
+
+    def test_large_superpage_replicated_per_block(self, layout):
+        # §5: a 64-page superpage replicates once per covered block (4
+        # nodes), a factor of s cheaper than per-page replication.
+        table = ClusteredPageTable(layout)
+        table.insert_superpage(0x400, 64, 0x800)
+        assert table.node_count == 4
+        assert table.size_bytes() == 4 * 24
+        for probe in (0x400, 0x41F, 0x43F):
+            result = table.lookup(probe)
+            assert result.npages == 64
+            assert result.ppn == 0x800 + (probe - 0x400)
+
+    def test_superpage_alignment_enforced(self, layout):
+        table = ClusteredPageTable(layout)
+        with pytest.raises(AlignmentError):
+            table.insert_superpage(0x101, 16, 0x200)
+        with pytest.raises(AlignmentError):
+            table.insert_superpage(0x100, 16, 0x201)
+
+    def test_superpage_overlap_rejected(self, layout):
+        table = ClusteredPageTable(layout)
+        table.insert(0x105, 1)
+        with pytest.raises(MappingExistsError):
+            table.insert_superpage(0x100, 16, 0x200)
+
+    def test_remove_superpage(self, layout):
+        table = ClusteredPageTable(layout)
+        table.insert_superpage(0x400, 64, 0x800)
+        table.remove_superpage(0x400)
+        assert table.node_count == 0
+
+    def test_demote_superpage_to_base_pages(self, layout):
+        table = ClusteredPageTable(layout)
+        table.insert_superpage(0x100, 16, 0x400)
+        table.demote_superpage(0x100)
+        assert table.lookup(0x105).kind is PTEKind.BASE
+        assert table.lookup(0x105).ppn == 0x405
+
+    def test_remove_single_page_of_superpage_demotes(self, layout):
+        table = ClusteredPageTable(layout)
+        table.insert_superpage(0x100, 16, 0x400)
+        table.remove(0x107)
+        with pytest.raises(PageFaultError):
+            table.lookup(0x107)
+        assert table.lookup(0x106).ppn == 0x406
+
+
+class TestPartialSubblocks:
+    def test_round_trip(self, layout):
+        table = ClusteredPageTable(layout)
+        table.insert_partial_subblock(0x20, 0b1011, 0x400)
+        result = table.lookup(0x20 * 16 + 3)
+        assert result.kind is PTEKind.PARTIAL_SUBBLOCK
+        assert result.ppn == 0x403
+        assert result.valid_mask == 0b1011
+
+    def test_invalid_bit_faults(self, layout):
+        table = ClusteredPageTable(layout)
+        table.insert_partial_subblock(0x20, 0b1011, 0x400)
+        with pytest.raises(PageFaultError):
+            table.lookup(0x20 * 16 + 2)
+
+    def test_mask_width_checked(self, layout):
+        table = ClusteredPageTable(layout)
+        with pytest.raises(ConfigurationError):
+            table.insert_partial_subblock(0x20, 1 << 16, 0x400)
+
+    def test_empty_mask_rejected(self, layout):
+        table = ClusteredPageTable(layout)
+        with pytest.raises(ConfigurationError):
+            table.insert_partial_subblock(0x20, 0, 0x400)
+
+    def test_unaligned_ppn_rejected(self, layout):
+        table = ClusteredPageTable(layout)
+        with pytest.raises(AlignmentError):
+            table.insert_partial_subblock(0x20, 1, 0x401)
+
+    def test_psb_plus_base_pages_one_chain(self, layout):
+        # The handler keeps searching after a tag match without a valid
+        # mapping (§5).
+        table = ClusteredPageTable(layout)
+        table.insert_partial_subblock(0x20, 0b0001, 0x400)
+        table.insert(0x20 * 16 + 5, 0x9)
+        assert table.lookup(0x20 * 16 + 5).ppn == 0x9
+
+    def test_remove_bit_and_free(self, layout):
+        table = ClusteredPageTable(layout)
+        table.insert_partial_subblock(0x20, 0b11, 0x400)
+        table.remove(0x200)
+        assert table.lookup(0x201).ppn == 0x401
+        table.remove(0x201)
+        assert table.node_count == 0
+
+
+class TestPromotionAndCoalescing:
+    def test_promote_full_placed_block(self, layout):
+        table = ClusteredPageTable(layout)
+        for i in range(16):
+            table.insert(0x100 + i, 0x400 + i)
+        assert table.promote_block(0x10)
+        assert table.lookup(0x105).kind is PTEKind.SUPERPAGE
+        assert table.size_bytes() == 24
+
+    def test_promote_requires_full_population(self, layout):
+        table = ClusteredPageTable(layout)
+        for i in range(15):
+            table.insert(0x100 + i, 0x400 + i)
+        assert not table.promote_block(0x10)
+
+    def test_promote_requires_contiguity(self, layout):
+        table = ClusteredPageTable(layout)
+        for i in range(16):
+            table.insert(0x100 + i, 0x400 + (i * 2) % 16)
+        assert not table.promote_block(0x10)
+
+    def test_promote_requires_alignment(self, layout):
+        table = ClusteredPageTable(layout)
+        for i in range(16):
+            table.insert(0x100 + i, 0x408 + i)  # ppn base not 16-aligned
+        assert not table.promote_block(0x10)
+
+    def test_coalesce_partial_placed_block(self, layout):
+        table = ClusteredPageTable(layout)
+        for i in (0, 3, 7):
+            table.insert(0x100 + i, 0x400 + i)
+        assert table.coalesce_block(0x10)
+        result = table.lookup(0x103)
+        assert result.kind is PTEKind.PARTIAL_SUBBLOCK
+        assert result.valid_mask == 0b10001001
+        assert table.size_bytes() == 24
+
+    def test_coalesce_rejects_unplaced(self, layout):
+        table = ClusteredPageTable(layout)
+        table.insert(0x100, 0x400)
+        table.insert(0x101, 0x999)  # wrong offset: not properly placed
+        assert not table.coalesce_block(0x10)
+
+    def test_coalesce_rejects_mixed_attrs(self, layout):
+        table = ClusteredPageTable(layout)
+        table.insert(0x100, 0x400, attrs=0x1)
+        table.insert(0x101, 0x401, attrs=0x3)
+        assert not table.coalesce_block(0x10)
+
+
+class TestBlockLookup:
+    def test_full_block_fetch(self, layout):
+        table = ClusteredPageTable(layout)
+        for i in range(16):
+            table.insert(0x100 + i, 0x400 + i)
+        block = table.lookup_block(0x10)
+        assert block.valid_mask == 0xFFFF
+        assert [m.ppn for m in block.mappings] == list(range(0x400, 0x410))
+
+    def test_block_fetch_single_line_at_256B(self, layout):
+        # 144-byte node fits one 256-byte line: Figure 11d's clustered ~1.
+        table = ClusteredPageTable(layout)
+        for i in range(16):
+            table.insert(0x100 + i, 0x400 + i)
+        assert table.lookup_block(0x10).cache_lines == 1
+
+    def test_block_fetch_from_superpage(self, layout):
+        table = ClusteredPageTable(layout)
+        table.insert_superpage(0x100, 16, 0x400)
+        block = table.lookup_block(0x10)
+        assert block.valid_mask == 0xFFFF
+
+    def test_block_fetch_mixed_nodes(self, layout):
+        table = ClusteredPageTable(layout)
+        table.insert_superpage(0x100, 8, 0x400)
+        table.insert(0x108, 0x9)
+        block = table.lookup_block(0x10)
+        assert block.valid_mask == 0x1FF
+
+    def test_block_fetch_empty(self, layout):
+        table = ClusteredPageTable(layout)
+        block = table.lookup_block(0x99)
+        assert block.valid_mask == 0
+        assert table.stats.faults == 1
+
+
+class TestCacheLineSpanning:
+    def test_small_lines_split_tag_and_far_slot(self, layout):
+        # §6.3: with 64-byte lines a subblock-16 node spans 3 lines; tag
+        # in line 0 and slot 15 at byte offset 136 -> line 2.
+        table = ClusteredPageTable(layout, cache=CacheModel(64))
+        for i in range(16):
+            table.insert(0x100 + i, 0x400 + i)
+        assert table.lookup(0x100).cache_lines == 1  # slot 0 shares line 0
+        assert table.lookup(0x10F).cache_lines == 2  # slot 15 in line 2
+
+    def test_average_span_matches_paper_64B(self, layout):
+        # Average extra lines over all 16 offsets = 10/16 = 0.625 (§6.3).
+        table = ClusteredPageTable(layout, cache=CacheModel(64))
+        for i in range(16):
+            table.insert(0x100 + i, 0x400 + i)
+        total = sum(table.lookup(0x100 + i).cache_lines for i in range(16))
+        assert total / 16 == pytest.approx(1.625)
+
+    def test_average_span_matches_paper_128B(self, layout):
+        # 0.125 extra lines for 128-byte lines (§6.3).
+        table = ClusteredPageTable(layout, cache=CacheModel(128))
+        for i in range(16):
+            table.insert(0x100 + i, 0x400 + i)
+        total = sum(table.lookup(0x100 + i).cache_lines for i in range(16))
+        assert total / 16 == pytest.approx(1.125)
+
+    def test_wide_ptes_eliminate_span_penalty(self, layout):
+        # §6.3's good news: superpage/partial-subblock clustered PTEs are
+        # 24 bytes and never span 64-byte lines.
+        table = ClusteredPageTable(layout, cache=CacheModel(64))
+        table.insert_superpage(0x100, 16, 0x400)
+        assert all(
+            table.lookup(0x100 + i).cache_lines == 1 for i in range(16)
+        )
+
+
+class TestChainBehaviour:
+    def test_colliding_blocks_chain(self, layout):
+        table = ClusteredPageTable(layout, hash_fn=collide_everything)
+        table.insert(0x100, 1)   # block 0x10
+        table.insert(0x200, 2)   # block 0x20, same bucket
+        assert table.lookup(0x100).probes == 1
+        assert table.lookup(0x200).probes == 2
+
+    def test_walking_past_node_costs_one_line(self, layout):
+        table = ClusteredPageTable(layout, cache=CacheModel(64),
+                                   hash_fn=collide_everything)
+        for i in range(16):
+            table.insert(0x100 + i, 0x400 + i)
+        table.insert(0x200, 0x1)
+        # Walking past the block-0x10 node reads only its tag: one line,
+        # then the block-0x20 node's tag+slot0: one more.
+        assert table.lookup(0x200).cache_lines == 2
+
+    def test_load_factor_uses_blocks(self, layout):
+        table = ClusteredPageTable(layout, num_buckets=100)
+        for i in range(160):  # 10 full blocks
+            table.insert(0x1000 + i, i)
+        assert table.load_factor() == pytest.approx(0.1)

@@ -1,0 +1,125 @@
+"""Differential property tests: all organisations agree on wide PTEs.
+
+The strongest correctness statement the library can make: given one
+randomly generated address-space snapshot and page-size policy outcome,
+*every* page table organisation — storing the wide PTEs natively,
+replicated, or split across multiple tables — produces identical
+translations for every page, and identical faults for every hole.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.addr.layout import AddressLayout
+from repro.addr.space import AddressSpace
+from repro.core.clustered import ClusteredPageTable
+from repro.errors import PageFaultError
+from repro.mmu.fill import build_entry
+from repro.mmu.subblock_tlb import CompleteSubblockTLB, PartialSubblockTLB
+from repro.mmu.superpage_tlb import SuperpageTLB
+from repro.mmu.tlb import FullyAssociativeTLB
+from repro.os.promotion import DynamicPageSizePolicy
+from repro.os.translation_map import TranslationMap
+from repro.pagetables.hashed import HashedPageTable
+from repro.pagetables.linear import LinearPageTable
+from repro.pagetables.memimage import MemoryImage
+from repro.pagetables.strategies import MultiplePageTables
+
+LAYOUT = AddressLayout()
+
+# A block descriptor: (population pattern, placed?) — drawn per block.
+block_strategy = st.tuples(
+    st.integers(min_value=1, max_value=(1 << 16) - 1),  # occupancy mask
+    st.booleans(),                                      # properly placed?
+)
+
+
+def build_space(blocks):
+    """Materialise a snapshot from per-block (mask, placed) descriptors."""
+    space = AddressSpace(LAYOUT)
+    next_block_frame = 16  # keep frame 0 block free for misalignment
+    for i, (mask, placed) in enumerate(blocks):
+        base_vpn = (i + 1) * 64  # spread blocks out
+        if placed:
+            base_ppn = next_block_frame
+            next_block_frame += 16
+            for boff in range(16):
+                if (mask >> boff) & 1:
+                    space.map(base_vpn + boff, base_ppn + boff)
+        else:
+            for boff in range(16):
+                if (mask >> boff) & 1:
+                    # Deliberately misaligned frames.
+                    space.map(base_vpn + boff, next_block_frame + 7)
+                    next_block_frame += 16
+    return space
+
+
+def wide_tables(tmap):
+    """Every organisation that can hold the wide PTEs, populated."""
+    clustered = ClusteredPageTable(LAYOUT, num_buckets=64)
+    tmap.populate(clustered)
+    linear = LinearPageTable(LAYOUT)
+    tmap.populate(linear)
+    multi = MultiplePageTables(
+        [
+            HashedPageTable(LAYOUT, num_buckets=64),
+            HashedPageTable(LAYOUT, num_buckets=64, grain=16),
+        ]
+    )
+    tmap.populate(multi)
+    return {"clustered": clustered, "linear": linear, "hashed-multi": multi}
+
+
+@settings(max_examples=30, deadline=None)
+@given(blocks=st.lists(block_strategy, min_size=1, max_size=8))
+def test_all_tables_translate_identically(blocks):
+    space = build_space(blocks)
+    tmap = TranslationMap.from_space(space, DynamicPageSizePolicy())
+    tables = wide_tables(tmap)
+    probe_range = range(0, (len(blocks) + 2) * 64)
+    for vpn in probe_range:
+        expected = space.get(vpn)
+        for name, table in tables.items():
+            if expected is None:
+                with pytest.raises(PageFaultError):
+                    table.lookup(vpn)
+            else:
+                assert table.lookup(vpn).ppn == expected.ppn, (name, hex(vpn))
+
+
+@settings(max_examples=25, deadline=None)
+@given(blocks=st.lists(block_strategy, min_size=1, max_size=6))
+def test_memory_image_matches_clustered_table(blocks):
+    space = build_space(blocks)
+    tmap = TranslationMap.from_space(space, DynamicPageSizePolicy())
+    table = ClusteredPageTable(LAYOUT, num_buckets=32)
+    tmap.populate(table)
+    image = MemoryImage.of_clustered(table)
+    for vpn, mapping in space.items():
+        assert image.walk(vpn)[0] == mapping.ppn
+    assert image.payload_bytes() == table.size_bytes()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    blocks=st.lists(block_strategy, min_size=1, max_size=4),
+    tlb_kind=st.sampled_from(["single", "superpage", "psb", "csb"]),
+)
+def test_tlb_fill_always_translates_faulting_page(blocks, tlb_kind):
+    """Whatever entry build_entry constructs, it must translate the page
+    that missed — across every PTE format and TLB capability."""
+    space = build_space(blocks)
+    tmap = TranslationMap.from_space(space, DynamicPageSizePolicy())
+    tlb = {
+        "single": FullyAssociativeTLB(8),
+        "superpage": SuperpageTLB(8, page_sizes=(1, 16)),
+        "psb": PartialSubblockTLB(8, subblock_factor=16),
+        "csb": CompleteSubblockTLB(8, subblock_factor=16),
+    }[tlb_kind]
+    for vpn, mapping in space.items():
+        pte = tmap.query(vpn)
+        entry = build_entry(tlb, pte, vpn, pte.ppn_for(vpn))
+        assert entry.translates(vpn)
+        assert entry.ppn_for(vpn) == mapping.ppn
+        tlb.fill(entry)  # the TLB must also accept it

@@ -1,0 +1,22 @@
+"""Docstring examples stay correct: run doctests in modules that have them."""
+
+import doctest
+
+import pytest
+
+import repro.addr.layout
+import repro.addr.space
+import repro.pagetables.pte
+
+MODULES_WITH_EXAMPLES = [
+    repro.addr.layout,
+    repro.addr.space,
+    repro.pagetables.pte,
+]
+
+
+@pytest.mark.parametrize("module", MODULES_WITH_EXAMPLES,
+                         ids=lambda m: m.__name__)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures"

@@ -1,0 +1,193 @@
+"""Experiment drivers: each reproduced table/figure shows the paper's shape.
+
+These are the acceptance tests of the reproduction: they run the actual
+experiment code (on reduced traces / workload subsets for speed) and
+assert the qualitative claims the paper makes about each figure.
+"""
+
+import pytest
+
+from repro.experiments import fig9, fig10, fig11, sensitivity, table1, table2
+from repro.experiments.common import clear_caches, get_workload
+
+#: A fast but representative subset: one dense, one scientific, one sparse
+#: multiprogrammed workload.
+SUBSET = ("coral", "mp3d", "gcc")
+TRACE_LENGTH = 30_000
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _isolated_caches():
+    clear_caches()
+    # Pre-warm the subset at the reduced trace length.
+    for name in SUBSET + ("kernel",):
+        get_workload(name, TRACE_LENGTH)
+    yield
+    clear_caches()
+
+
+class TestTable1:
+    def test_structure_and_footprints(self):
+        result = table1.run(workloads=SUBSET, trace_length=TRACE_LENGTH)
+        rows = result.by_label()
+        assert set(rows) == set(SUBSET) | {"kernel"}
+        for name in SUBSET:
+            sim_kb = rows[name][5]
+            paper_kb = rows[name][6]
+            assert sim_kb == pytest.approx(paper_kb, rel=0.15)
+
+    def test_miss_intensity_ordering(self):
+        # coral must be the most TLB-intensive of the subset, gcc the least.
+        result = table1.run(workloads=SUBSET, trace_length=TRACE_LENGTH)
+        ratios = result.column("misses/1k refs")
+        assert ratios["coral"] > ratios["mp3d"] > ratios["gcc"]
+
+
+class TestFig9:
+    def test_clustered_is_always_smallest(self):
+        result = fig9.run(workloads=SUBSET + ("kernel",))
+        for row in result.rows:
+            label, *values = row
+            by_series = dict(zip(result.headers[1:], values))
+            assert by_series["clustered"] == min(values), label
+            assert by_series["hashed"] == pytest.approx(1.0)
+
+    def test_linear_explodes_for_sparse(self):
+        result = fig9.run(workloads=("gcc", "coral"))
+        sizes = result.column("linear-6lvl")
+        assert sizes["gcc"] > 2.0       # paper truncates at 5
+        assert sizes["coral"] < 1.0     # dense: fine
+
+    def test_forward_mapped_tracks_linear(self):
+        result = fig9.run(workloads=("gcc",))
+        row = result.by_label()["gcc"]
+        by_series = dict(zip(result.headers[1:], row))
+        assert by_series["forward-mapped"] > 1.0
+
+
+class TestFig10:
+    def test_wide_ptes_shrink_clustered(self):
+        result = fig10.run(workloads=SUBSET)
+        for row in result.rows:
+            by_series = dict(zip(result.headers[1:], row[1:]))
+            assert by_series["clustered+subblock"] <= by_series["clustered+superpage"]
+            assert by_series["clustered+superpage"] < by_series["clustered"]
+
+    def test_dense_savings_reach_paper_levels(self):
+        # coral: superpage PTEs cut clustered size by up to ~75-80%.
+        result = fig10.run(workloads=("coral",))
+        by_series = dict(zip(result.headers[1:], result.rows[0][1:]))
+        assert by_series["clustered+subblock"] < 0.25 * by_series["clustered"]
+
+    def test_hashed_superpage_improves_but_loses(self):
+        result = fig10.run(workloads=("coral",))
+        by_series = dict(zip(result.headers[1:], result.rows[0][1:]))
+        assert by_series["hashed+superpage"] < 1.0
+        assert by_series["clustered+subblock"] < by_series["hashed+superpage"]
+
+
+class TestFig11:
+    def test_11a_forward_mapped_pays_seven(self):
+        result = fig11.run_subfigure("11a", workloads=("mp3d",),
+                                     trace_length=TRACE_LENGTH)
+        row = dict(zip(result.headers[1:], result.rows[0][1:]))
+        assert row["forward-mapped"] == pytest.approx(7.0)
+        assert row["clustered"] < 1.3
+        assert row["hashed"] >= 1.0
+
+    def test_11b_hashed_degrades_clustered_does_not(self):
+        result = fig11.run_subfigure("11b", workloads=("coral",),
+                                     trace_length=TRACE_LENGTH)
+        row = dict(zip(result.headers[1:], result.rows[0][1:]))
+        assert row["hashed-multi"] > 1.5   # double-probe penalty
+        assert row["clustered"] < 1.2      # coresident wide PTEs
+
+    def test_11c_partial_subblock_same_shape(self):
+        result = fig11.run_subfigure("11c", workloads=("coral",),
+                                     trace_length=TRACE_LENGTH)
+        row = dict(zip(result.headers[1:], result.rows[0][1:]))
+        assert row["hashed-multi"] > 1.5
+        assert row["clustered"] < 1.2
+
+    def test_11d_hashed_pays_sixteen_probes(self):
+        result = fig11.run_subfigure("11d", workloads=("mp3d",),
+                                     trace_length=TRACE_LENGTH)
+        row = dict(zip(result.headers[1:], result.rows[0][1:]))
+        assert row["hashed"] > 10.0
+        assert row["clustered"] < 1.5
+        assert row["linear-1lvl"] < 2.0
+
+
+class TestTable2:
+    def test_size_formulae_exact(self):
+        result = table2.run(workloads=("mp3d",))
+        for row in result.rows:
+            case, metric, formula, simulated, ratio = row
+            if metric == "size B":
+                assert ratio == pytest.approx(1.0), case
+
+    def test_access_formulae_close_under_uniform(self):
+        result = table2.run(workloads=("mp3d",))
+        for row in result.rows:
+            case, metric, formula, simulated, ratio = row
+            if metric == "lines/miss":
+                assert 0.9 < ratio < 1.1, case
+
+
+class TestSensitivity:
+    def test_cache_line_sweep_shape(self):
+        result = sensitivity.cache_line_sweep(
+            workload_name="mp3d", probe_count=4_000
+        )
+        rows = result.by_label()
+        # Smaller lines never cost fewer lines per lookup.
+        for label, values in rows.items():
+            assert values[0] >= values[1] >= values[2]
+        # s=16 at 64B pays the ~0.6-line span penalty vs 256B.
+        assert rows["s=16"][0] - rows["s=16"][2] > 0.3
+
+    def test_subblock_factor_sweep_runs(self):
+        result = sensitivity.subblock_factor_sweep(workload_name="gcc")
+        ratios = [row[3] for row in result.rows]
+        assert all(0 < ratio < 1.2 for ratio in ratios)
+
+    def test_bucket_sweep_monotone(self):
+        result = sensitivity.bucket_count_sweep(
+            workload_name="mp3d", bucket_counts=(512, 2048, 8192),
+            probe_count=4_000,
+        )
+        hashed_lines = [row[2] for row in result.rows]
+        assert hashed_lines[0] >= hashed_lines[1] >= hashed_lines[2]
+        for row in result.rows:
+            assert row[4] <= row[2]  # clustered never worse than hashed
+
+    def test_tlb_geometry_sweep(self):
+        result = sensitivity.tlb_geometry_sweep(
+            workload_name="gcc", trace_length=TRACE_LENGTH
+        )
+        misses = result.column("misses")
+        # More fully-associative capacity never hurts...
+        assert misses["FA-32"] >= misses["FA-64"] >= misses["FA-128"]
+        # ...and a direct-mapped TLB of equal capacity conflicts badly.
+        assert misses["SA-64x1"] > misses["FA-64"]
+
+    def test_hash_quality_sweep(self):
+        result = sensitivity.hash_quality_sweep(workload_name="mp3d",
+                                                num_buckets=256)
+        for row in result.rows:
+            label, h_mean, h_max, c_mean, c_max = row
+            # Clustering keeps chains about a subblock-factor shorter and
+            # the worst chain bounded, under every hash.
+            assert c_mean < h_mean
+            assert c_max <= h_max
+
+    def test_shared_vs_private_tables(self):
+        result = sensitivity.shared_vs_private_tables(
+            workload_name="gcc", trace_length=TRACE_LENGTH
+        )
+        for row in result.rows:
+            label, shared_lines, shared_bytes, private_lines, private_bytes = row
+            # §7's trade-off: private walks are no slower but cost one
+            # bucket array per process.
+            assert private_lines <= shared_lines
+            assert private_bytes > shared_bytes

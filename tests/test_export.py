@@ -1,0 +1,55 @@
+"""Machine-readable result export."""
+
+import pytest
+
+from repro.analysis.export import read_json, results_to_dict, write_csv, write_json
+from repro.errors import ConfigurationError
+from repro.experiments.common import ExperimentResult
+
+
+@pytest.fixture
+def results():
+    return {
+        "fig9": ExperimentResult(
+            experiment="Figure 9",
+            headers=["workload", "hashed", "clustered"],
+            rows=[["coral", 1.0, 0.38], ["gcc", 1.0, 0.52]],
+            notes="n",
+        ),
+        "table1": ExperimentResult(
+            experiment="Table 1",
+            headers=["workload", "misses"],
+            rows=[["coral", 100], ["kernel", None]],
+        ),
+    }
+
+
+def test_dict_roundtrip(results):
+    data = results_to_dict(results)
+    assert data["fig9"]["rows"][0] == ["coral", 1.0, 0.38]
+    assert data["table1"]["notes"] == ""
+
+
+def test_json_roundtrip(results, tmp_path):
+    path = write_json(results, str(tmp_path / "out.json"))
+    loaded = read_json(str(path))
+    assert set(loaded) == {"fig9", "table1"}
+    assert loaded["fig9"]["headers"] == ["workload", "hashed", "clustered"]
+    assert loaded["table1"]["rows"][1] == ["kernel", None]
+
+
+def test_csv_per_experiment(results, tmp_path):
+    paths = write_csv(results, str(tmp_path / "csv"))
+    assert set(paths) == {"fig9", "table1"}
+    text = paths["fig9"].read_text()
+    assert text.splitlines()[0] == "workload,hashed,clustered"
+    assert "coral,1.0,0.38" in text
+    # None renders as an empty field.
+    assert "kernel," in paths["table1"].read_text()
+
+
+def test_csv_rejects_file_target(results, tmp_path):
+    file_path = tmp_path / "occupied"
+    file_path.write_text("x")
+    with pytest.raises(ConfigurationError):
+        write_csv(results, str(file_path))

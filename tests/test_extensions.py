@@ -1,0 +1,255 @@
+"""§7 extensions: ASID TLBs, SMP shootdowns, multi-size configurations,
+software-TLB front ends, and the studies built on them."""
+
+import numpy as np
+import pytest
+
+from repro.addr.layout import AddressLayout
+from repro.core.clustered import ClusteredPageTable
+from repro.core.multisize import (
+    MultiSizeClusteredPageTables,
+    conventional_multisize,
+)
+from repro.errors import AlignmentError, ConfigurationError, PageFaultError
+from repro.mmu.asid import ASIDTaggedTLB
+from repro.mmu.simulate import collect_misses
+from repro.mmu.tlb import FullyAssociativeTLB, TLBEntry
+from repro.os.shootdown import SMPSystem
+from repro.os.translation_map import TranslationMap
+from repro.pagetables.forward import ForwardMappedPageTable
+from repro.pagetables.pte import PTEKind
+from repro.pagetables.software_tlb import SoftwareTLBTable
+from repro.workloads.trace import Trace
+
+
+def base_entry(vpn, ppn):
+    return TLBEntry(base_vpn=vpn, npages=1, base_ppn=ppn, attrs=0,
+                    valid_mask=1, kind=PTEKind.BASE)
+
+
+class TestASIDTaggedTLB:
+    def test_same_vpn_different_asids_coexist(self):
+        tlb = ASIDTaggedTLB(FullyAssociativeTLB(8))
+        tlb.switch_to(1)
+        tlb.fill(base_entry(0x10, 0xA))
+        tlb.switch_to(2)
+        tlb.fill(base_entry(0x10, 0xB))
+        assert tlb.lookup(0x10).ppn_for(0x10) == 0xB
+        tlb.switch_to(1)
+        assert tlb.lookup(0x10).ppn_for(0x10) == 0xA
+
+    def test_no_cross_asid_hits(self):
+        tlb = ASIDTaggedTLB(FullyAssociativeTLB(8))
+        tlb.switch_to(1)
+        tlb.fill(base_entry(0x10, 0xA))
+        tlb.switch_to(2)
+        assert tlb.lookup(0x10) is None
+
+    def test_switch_without_flush_retains_entries(self):
+        tlb = ASIDTaggedTLB(FullyAssociativeTLB(8))
+        tlb.switch_to(1)
+        tlb.fill(base_entry(0x10, 0xA))
+        tlb.switch_to(2)
+        tlb.switch_to(1)
+        assert tlb.lookup(0x10) is not None
+        assert tlb.switches == 3  # 0->1, 1->2, 2->1
+
+    def test_flush_asid_targets_one_space(self):
+        tlb = ASIDTaggedTLB(FullyAssociativeTLB(8))
+        tlb.switch_to(1)
+        tlb.fill(base_entry(0x10, 0xA))
+        tlb.switch_to(2)
+        tlb.fill(base_entry(0x20, 0xB))
+        assert tlb.flush_asid(1) == 1
+        assert tlb.resident_asids() == {2}
+
+    def test_negative_asid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ASIDTaggedTLB(FullyAssociativeTLB(4)).switch_to(-1)
+
+    def test_capacity_shared_across_asids(self):
+        tlb = ASIDTaggedTLB(FullyAssociativeTLB(2))
+        tlb.switch_to(1)
+        tlb.fill(base_entry(0x10, 1))
+        tlb.switch_to(2)
+        tlb.fill(base_entry(0x10, 2))
+        tlb.fill(base_entry(0x11, 3))
+        tlb.switch_to(1)
+        assert tlb.lookup(0x10) is None  # evicted by ASID 2's fills
+
+
+class TestASIDSimulation:
+    def test_asid_beats_flushing_when_working_sets_fit(self, layout):
+        tmap_space = __import__(
+            "repro.addr.space", fromlist=["AddressSpace"]
+        ).AddressSpace(layout)
+        # Two processes, 20 pages each, disjoint VAs.
+        for vpn in list(range(0, 20)) + list(range(1000, 1020)):
+            tmap_space.map(vpn, vpn + 100)
+        tmap = TranslationMap.from_space(tmap_space)
+        proc0 = np.tile(np.arange(0, 20, dtype=np.int64), 50)
+        proc1 = np.tile(np.arange(1000, 1020, dtype=np.int64), 50)
+        trace = Trace.interleave(
+            [Trace(proc0), Trace(proc1)], quantum=100
+        )
+        flush = collect_misses(trace, FullyAssociativeTLB(64), tmap)
+        asid = collect_misses(
+            trace, ASIDTaggedTLB(FullyAssociativeTLB(64)), tmap
+        )
+        assert asid.misses == 40           # compulsory only
+        assert flush.misses > 4 * asid.misses
+
+
+class TestSMPSystem:
+    def make(self, layout, ncpus=3, batch=True):
+        table = ClusteredPageTable(layout)
+        for vpn in range(0x100, 0x140):
+            table.insert(vpn, vpn + 0x1000)
+        return SMPSystem(
+            table, lambda: FullyAssociativeTLB(16), ncpus=ncpus,
+            batch_range_shootdowns=batch,
+        ), table
+
+    def test_translate_per_cpu(self, layout):
+        smp, _ = self.make(layout)
+        assert smp.translate(0, 0x100) == 0x1100
+        assert smp.translate(2, 0x100) == 0x1100
+        assert smp.total_tlb_misses() == 2  # private TLBs
+
+    def test_unmap_invalidates_everywhere(self, layout):
+        smp, table = self.make(layout)
+        for cpu in range(3):
+            smp.translate(cpu, 0x100)
+        smp.unmap(0x100)
+        assert smp.stats.ipis_sent == 2
+        assert smp.stats.entries_invalidated == 3
+        with pytest.raises(PageFaultError):
+            smp.translate(0, 0x100)
+
+    def test_batched_range_shootdown_single_round(self, layout):
+        smp, _ = self.make(layout, batch=True)
+        smp.unmap_range(0x100, 16)
+        assert smp.stats.shootdowns == 1
+        assert smp.stats.ipis_sent == 2
+
+    def test_unbatched_range_shootdown_per_page(self, layout):
+        smp, _ = self.make(layout, batch=False)
+        smp.unmap_range(0x100, 16)
+        assert smp.stats.shootdowns == 16
+        assert smp.stats.ipis_sent == 32
+
+    def test_protect_range_invalidates_stale_entries(self, layout):
+        smp, table = self.make(layout)
+        smp.translate(1, 0x100)
+        smp.protect_range(0x100, 4, attrs=0x1)
+        assert smp.stats.entries_invalidated >= 1
+        assert table.lookup(0x100).attrs == 0x1
+
+    def test_rejects_zero_cpus(self, layout):
+        with pytest.raises(ConfigurationError):
+            SMPSystem(ClusteredPageTable(layout),
+                      lambda: FullyAssociativeTLB(4), ncpus=0)
+
+
+class TestMultiSizeClusteredTables:
+    def test_routing_by_size(self, layout):
+        table = MultiSizeClusteredPageTables(layout)
+        table.insert(0x5, 0x50)
+        table.insert_superpage(0x100, 16, 0x400)      # fine
+        table.insert_superpage(0x10000, 256, 0x10000)  # coarse (1MB)
+        assert table.fine.node_count == 2
+        assert table.coarse.node_count == 1
+
+    def test_lookup_each_size(self, layout):
+        table = MultiSizeClusteredPageTables(layout)
+        table.insert(0x5, 0x50)
+        table.insert_superpage(0x100, 16, 0x400)
+        table.insert_superpage(0x10000, 256, 0x20000)
+        assert table.lookup(0x5).ppn == 0x50
+        assert table.lookup(0x10F).ppn == 0x40F
+        assert table.lookup(0x100FF).ppn == 0x200FF
+        assert table.lookup(0x100FF).npages == 256
+
+    def test_coarse_lookup_pays_fine_miss(self, layout):
+        table = MultiSizeClusteredPageTables(layout)
+        table.insert_superpage(0x10000, 256, 0x20000)
+        result = table.lookup(0x10010)
+        assert result.cache_lines == 2  # fine miss + coarse hit
+
+    def test_oversized_superpage_rejected(self, layout):
+        table = MultiSizeClusteredPageTables(layout)
+        with pytest.raises(AlignmentError):
+            table.insert_superpage(0, 1024, 0)
+
+    def test_remove_from_either_table(self, layout):
+        table = MultiSizeClusteredPageTables(layout)
+        table.insert(0x5, 0x50)
+        table.insert_superpage(0x10000, 256, 0x20000)
+        table.remove(0x5)
+        table.remove(0x10010)  # demotes + removes inside coarse
+        with pytest.raises(PageFaultError):
+            table.lookup(0x5)
+        with pytest.raises(PageFaultError):
+            table.lookup(0x10010)
+
+    def test_size_sums_tables(self, layout):
+        table = MultiSizeClusteredPageTables(layout)
+        table.insert(0x5, 0x50)
+        table.insert_superpage(0x10000, 256, 0x20000)
+        assert table.size_bytes() == (
+            table.fine.size_bytes() + table.coarse.size_bytes()
+        )
+
+    def test_rejects_non_increasing_coarse_factor(self, layout):
+        with pytest.raises(ConfigurationError):
+            MultiSizeClusteredPageTables(layout, coarse_factor=16)
+
+    def test_conventional_comparator_has_five_tables(self, layout):
+        multi = conventional_multisize(layout)
+        assert len(multi.tables) == 5
+        multi.insert(0x5, 0x50)
+        multi.insert_superpage(0x400, 64, 0x400)
+        assert multi.lookup(0x5).ppn == 0x50
+        assert multi.lookup(0x410).npages == 64
+
+
+class TestSoftwareTLBBacking:
+    def test_forward_mapped_backing(self, layout):
+        backing = ForwardMappedPageTable(layout)
+        front = SoftwareTLBTable(layout, num_sets=64, associativity=2,
+                                 backing=backing)
+        front.insert(0x123, 0x456)
+        first = front.lookup(0x123)
+        assert first.cache_lines == 1 + 7  # set probe + full tree walk
+        second = front.lookup(0x123)
+        assert second.cache_lines == 1     # swTLB hit
+
+    def test_backing_layout_must_match(self, layout):
+        other = AddressLayout(subblock_factor=4)
+        with pytest.raises(ConfigurationError):
+            SoftwareTLBTable(layout, backing=ForwardMappedPageTable(other))
+
+    def test_insert_keeps_cache_coherent(self, layout):
+        front = SoftwareTLBTable(layout, num_sets=16, associativity=1)
+        front.insert(0x10, 0x1)
+        front.lookup(0x10)
+        front.remove(0x10)
+        front.insert(0x10, 0x2)
+        assert front.lookup(0x10).ppn == 0x2
+
+
+class TestTraceOwners:
+    def test_interleave_records_owners(self):
+        a = Trace([1] * 4, name="a")
+        b = Trace([2] * 4, name="b")
+        merged = Trace.interleave([a, b], quantum=2)
+        assert merged.segment_owners == (0, 1, 0, 1)
+
+    def test_owner_count_validated(self):
+        with pytest.raises(ConfigurationError):
+            Trace([1, 2, 3], switch_points=[1], segment_owners=[0])
+
+    def test_default_owners_single_process(self):
+        trace = Trace([1, 2, 3])
+        assert trace.segment_owners == (0,)
+        assert list(trace.segments_with_owner())[0][0] == 0

@@ -1,0 +1,129 @@
+"""TLB entry construction: the miss handler's capability downgrades."""
+
+import pytest
+
+from repro.mmu.fill import block_entry, build_entry
+from repro.mmu.subblock_tlb import CompleteSubblockTLB, PartialSubblockTLB
+from repro.mmu.superpage_tlb import SuperpageTLB
+from repro.mmu.tlb import FullyAssociativeTLB
+from repro.addr.space import Mapping
+from repro.os.translation_map import LogicalPTE
+from repro.pagetables.pte import PTEKind
+
+
+def base_record(vpn, ppn):
+    return LogicalPTE(
+        kind=PTEKind.BASE, base_vpn=vpn, npages=1, base_ppn=ppn, attrs=0,
+        valid_mask=1,
+    )
+
+
+def superpage_record(base_vpn, npages, base_ppn):
+    return LogicalPTE(
+        kind=PTEKind.SUPERPAGE, base_vpn=base_vpn, npages=npages,
+        base_ppn=base_ppn, attrs=0, valid_mask=(1 << npages) - 1,
+    )
+
+
+def psb_record(base_vpn, mask, base_ppn):
+    return LogicalPTE(
+        kind=PTEKind.PARTIAL_SUBBLOCK, base_vpn=base_vpn, npages=16,
+        base_ppn=base_ppn, attrs=0, valid_mask=mask,
+    )
+
+
+class TestSinglePageTLB:
+    def test_base_record_fills_single_page(self):
+        tlb = FullyAssociativeTLB(4)
+        entry = build_entry(tlb, base_record(0x10, 0x20), 0x10, 0x20)
+        assert entry.npages == 1 and entry.base_ppn == 0x20
+
+    def test_superpage_downgrades_to_faulting_page(self):
+        tlb = FullyAssociativeTLB(4)
+        record = superpage_record(0x100, 16, 0x400)
+        entry = build_entry(tlb, record, 0x105, 0x405)
+        assert entry.npages == 1
+        assert entry.base_vpn == 0x105 and entry.base_ppn == 0x405
+
+    def test_psb_downgrades_to_faulting_page(self):
+        tlb = FullyAssociativeTLB(4)
+        record = psb_record(0x100, 0b100000, 0x400)
+        entry = build_entry(tlb, record, 0x105, 0x405)
+        assert entry.npages == 1 and entry.base_ppn == 0x405
+
+
+class TestSuperpageTLB:
+    def test_native_superpage_fill(self):
+        tlb = SuperpageTLB(4, page_sizes=(1, 16))
+        entry = build_entry(tlb, superpage_record(0x100, 16, 0x400), 0x105, 0x405)
+        assert entry.npages == 16 and entry.base_vpn == 0x100
+        assert entry.kind is PTEKind.SUPERPAGE
+
+    def test_oversized_superpage_fills_aligned_subrange(self):
+        # A 64-page superpage in a (1,16) TLB: fill the 16-page aligned
+        # sub-block containing the faulting page.
+        tlb = SuperpageTLB(4, page_sizes=(1, 16))
+        record = superpage_record(0x400, 64, 0x800)
+        entry = build_entry(tlb, record, 0x425, 0x825)
+        assert entry.npages == 16
+        assert entry.base_vpn == 0x420 and entry.base_ppn == 0x820
+
+    def test_full_psb_promoted_to_superpage_entry(self):
+        tlb = SuperpageTLB(4, page_sizes=(1, 16))
+        record = psb_record(0x100, 0xFFFF, 0x400)
+        entry = build_entry(tlb, record, 0x105, 0x405)
+        assert entry.npages == 16 and entry.kind is PTEKind.SUPERPAGE
+
+    def test_partial_psb_downgrades_to_page(self):
+        tlb = SuperpageTLB(4, page_sizes=(1, 16))
+        record = psb_record(0x100, 0b100000, 0x400)
+        entry = build_entry(tlb, record, 0x105, 0x405)
+        assert entry.npages == 1
+
+
+class TestPartialSubblockTLB:
+    def test_native_psb_fill(self):
+        tlb = PartialSubblockTLB(4, subblock_factor=16)
+        record = psb_record(0x100, 0b1010, 0x400)
+        entry = build_entry(tlb, record, 0x101, 0x401)
+        assert entry.npages == 16 and entry.valid_mask == 0b1010
+
+    def test_block_superpage_fills_full_mask(self):
+        tlb = PartialSubblockTLB(4, subblock_factor=16)
+        entry = build_entry(tlb, superpage_record(0x100, 16, 0x400), 0x105, 0x405)
+        assert entry.npages == 16 and entry.valid_mask == 0xFFFF
+
+    def test_base_record_fills_single_page(self):
+        tlb = PartialSubblockTLB(4, subblock_factor=16)
+        entry = build_entry(tlb, base_record(0x105, 0x77), 0x105, 0x77)
+        assert entry.npages == 1
+
+
+class TestCompleteSubblockTLB:
+    def test_base_record_fills_one_slot(self):
+        tlb = CompleteSubblockTLB(4, subblock_factor=16)
+        entry = build_entry(tlb, base_record(0x105, 0x77), 0x105, 0x77)
+        assert entry.npages == 16
+        assert entry.ppns[5] == 0x77
+        assert entry.valid_mask == 1 << 5
+
+    def test_wide_record_exposes_all_pages(self):
+        tlb = CompleteSubblockTLB(4, subblock_factor=16)
+        record = psb_record(0x100, 0b111, 0x400)
+        entry = build_entry(tlb, record, 0x101, 0x401)
+        assert entry.valid_mask == 0b111
+        assert entry.ppns[0] == 0x400 and entry.ppns[2] == 0x402
+
+    def test_block_entry_from_prefetch(self):
+        tlb = CompleteSubblockTLB(4, subblock_factor=16)
+        mappings = [Mapping(0x900 + i) if i < 4 else None for i in range(16)]
+        entry = block_entry(tlb, 0x100, mappings)
+        assert entry.valid_mask == 0xF
+        assert entry.ppns[3] == 0x903
+        assert entry.translates(0x103)
+        assert not entry.translates(0x104)
+
+    def test_block_entry_all_empty(self):
+        tlb = CompleteSubblockTLB(4, subblock_factor=16)
+        entry = block_entry(tlb, 0x100, [None] * 16)
+        assert entry.valid_mask == 0

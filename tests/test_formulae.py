@@ -1,0 +1,126 @@
+"""Appendix Table 2 formulae: unit behaviour and exactness vs built tables."""
+
+import pytest
+
+from repro.addr.layout import AddressLayout
+from repro.addr.space import AddressSpace
+from repro.analysis import formulae
+from repro.core.clustered import ClusteredPageTable
+from repro.errors import ConfigurationError
+from repro.pagetables.forward import DEFAULT_LEVEL_BITS, ForwardMappedPageTable
+from repro.pagetables.hashed import HashedPageTable
+from repro.pagetables.linear import LinearPageTable
+
+
+class TestSizeFormulae:
+    def test_hashed_is_24_per_pte(self):
+        assert formulae.hashed_size(100) == 2400
+
+    def test_clustered_matches_figure7(self):
+        assert formulae.clustered_size(10, 16) == 10 * 144
+        assert formulae.clustered_size(10, 4) == 10 * 48
+
+    def test_clustered_wide_interpolates(self):
+        full = formulae.clustered_wide_size(10, 16, fss=0.0)
+        wide = formulae.clustered_wide_size(10, 16, fss=1.0)
+        assert full == formulae.clustered_size(10, 16)
+        assert wide == 240  # all 24-byte nodes
+        mid = formulae.clustered_wide_size(10, 16, fss=0.5)
+        assert wide < mid < full
+
+    def test_clustered_wide_rejects_bad_fss(self):
+        with pytest.raises(ConfigurationError):
+            formulae.clustered_wide_size(10, 16, fss=1.5)
+
+    def test_linear_hashed_constant(self):
+        assert formulae.linear_hashed_size(3) == 3 * (4096 + 24)
+
+    def test_breakeven_at_six_pages(self):
+        # §3's claim: for s=16, clustered == hashed at six pages per block.
+        assert formulae.clustered_size(1, 16) == formulae.hashed_size(6)
+
+
+class TestAccessFormulae:
+    def test_hashed_one_plus_half_alpha(self):
+        assert formulae.hashed_access_lines(2.0) == 2.0
+        assert formulae.hashed_access_lines(0.0) == 1.0
+
+    def test_rejects_negative_alpha(self):
+        with pytest.raises(ConfigurationError):
+            formulae.hashed_access_lines(-1)
+
+    def test_linear_one_plus_rm(self):
+        assert formulae.linear_access_lines(0.1, 5.0) == pytest.approx(1.5)
+
+    def test_forward_is_levels(self):
+        assert formulae.forward_mapped_access_lines(7) == 7.0
+        with pytest.raises(ConfigurationError):
+            formulae.forward_mapped_access_lines(0)
+
+
+def random_space(layout, seed=5, pages=300):
+    import random
+
+    rng = random.Random(seed)
+    space = AddressSpace(layout)
+    frame = 0
+    while len(space) < pages:
+        base = rng.randrange(0, 1 << 44)
+        run = rng.randint(1, 20)
+        for i in range(run):
+            if not space.is_mapped(base + i):
+                space.map(base + i, frame)
+                frame += 1
+    return space
+
+
+class TestExactnessAgainstTables:
+    """The size formulae are definitions: built tables must match exactly."""
+
+    def test_hashed_exact(self, layout):
+        space = random_space(layout)
+        table = HashedPageTable(layout)
+        for vpn, mapping in space.items():
+            table.insert(vpn, mapping.ppn)
+        assert table.size_bytes() == formulae.hashed_size(space.nactive(1))
+
+    def test_clustered_exact(self, layout):
+        space = random_space(layout)
+        table = ClusteredPageTable(layout)
+        for vpn, mapping in space.items():
+            table.insert(vpn, mapping.ppn)
+        assert table.size_bytes() == formulae.clustered_size(
+            space.nactive(16), 16
+        )
+
+    def test_multilevel_linear_exact(self, layout):
+        space = random_space(layout)
+        table = LinearPageTable(layout, structure="multilevel")
+        for vpn, mapping in space.items():
+            table.insert(vpn, mapping.ppn)
+        assert table.size_bytes() == formulae.multilevel_linear_size(
+            space.nactive
+        )
+
+    def test_forward_mapped_exact(self, layout):
+        space = random_space(layout)
+        table = ForwardMappedPageTable(layout)
+        for vpn, mapping in space.items():
+            table.insert(vpn, mapping.ppn)
+        assert table.size_bytes() == formulae.forward_mapped_size(
+            space.nactive, DEFAULT_LEVEL_BITS
+        )
+
+    def test_access_formula_under_uniform_probes(self, layout):
+        import random
+
+        rng = random.Random(1)
+        space = random_space(layout, pages=2000)
+        table = HashedPageTable(layout, num_buckets=256)
+        for vpn, mapping in space.items():
+            table.insert(vpn, mapping.ppn)
+        vpns = space.vpns()
+        for _ in range(20_000):
+            table.lookup(rng.choice(vpns))
+        predicted = formulae.hashed_access_lines(table.load_factor())
+        assert table.stats.lines_per_lookup == pytest.approx(predicted, rel=0.1)

@@ -1,0 +1,154 @@
+"""Forward-mapped page tables: tree walks and intermediate superpages."""
+
+import pytest
+
+from repro.addr.layout import AddressLayout
+from repro.errors import (
+    AlignmentError,
+    ConfigurationError,
+    MappingExistsError,
+    PageFaultError,
+)
+from repro.pagetables.forward import DEFAULT_LEVEL_BITS, ForwardMappedPageTable
+from repro.pagetables.pte import PTEKind
+
+
+class TestConstruction:
+    def test_default_seven_levels(self, layout):
+        table = ForwardMappedPageTable(layout)
+        assert table.levels == 7
+        assert sum(table.level_bits) == 52
+
+    def test_rejects_wrong_bit_total(self, layout):
+        with pytest.raises(ConfigurationError):
+            ForwardMappedPageTable(layout, level_bits=(9, 9, 9))
+
+    def test_rejects_zero_bits(self, layout):
+        with pytest.raises(ConfigurationError):
+            ForwardMappedPageTable(layout, level_bits=(0, 26, 26))
+
+    def test_rejects_unknown_strategy(self, layout):
+        with pytest.raises(ConfigurationError):
+            ForwardMappedPageTable(layout, superpage_strategy="magic")
+
+    def test_entry_coverage_decreasing(self, layout):
+        table = ForwardMappedPageTable(layout)
+        coverages = [table.entry_coverage(i) for i in range(7)]
+        assert coverages[-1] == 1
+        assert all(a > b for a, b in zip(coverages, coverages[1:]))
+
+
+class TestBasicOperation:
+    def test_insert_lookup(self, layout):
+        table = ForwardMappedPageTable(layout)
+        table.insert(0x12345, 0x678)
+        result = table.lookup(0x12345)
+        assert result.ppn == 0x678
+        assert result.cache_lines == 7  # one access per level
+
+    def test_distant_vpns_do_not_interfere(self, layout):
+        table = ForwardMappedPageTable(layout)
+        table.insert(0, 1)
+        table.insert((1 << 52) - 1, 2)
+        assert table.lookup(0).ppn == 1
+        assert table.lookup((1 << 52) - 1).ppn == 2
+
+    def test_miss_stops_at_missing_subtree(self, layout):
+        table = ForwardMappedPageTable(layout)
+        table.insert(0, 1)
+        with pytest.raises(PageFaultError):
+            table.lookup(1 << 51)
+        # The walk discovered the absence at the root: one line.
+        assert table.stats.cache_lines == 1
+
+    def test_miss_in_populated_leaf(self, layout):
+        table = ForwardMappedPageTable(layout)
+        table.insert(0x100, 1)
+        with pytest.raises(PageFaultError):
+            table.lookup(0x101)
+        assert table.stats.cache_lines == 7
+
+    def test_duplicate_rejected(self, layout):
+        table = ForwardMappedPageTable(layout)
+        table.insert(1, 1)
+        with pytest.raises(MappingExistsError):
+            table.insert(1, 2)
+
+    def test_remove(self, layout):
+        table = ForwardMappedPageTable(layout)
+        table.insert(1, 1)
+        table.remove(1)
+        with pytest.raises(PageFaultError):
+            table.lookup(1)
+
+
+class TestSize:
+    def test_empty_table_has_root_only(self, layout):
+        table = ForwardMappedPageTable(layout)
+        root_fanout = 1 << DEFAULT_LEVEL_BITS[0]
+        assert table.size_bytes() == root_fanout * 8
+
+    def test_one_mapping_allocates_full_path(self, layout):
+        table = ForwardMappedPageTable(layout)
+        table.insert(0, 0)
+        expected = sum((1 << bits) * 8 for bits in DEFAULT_LEVEL_BITS)
+        assert table.size_bytes() == expected
+
+    def test_neighbours_share_path(self, layout):
+        table = ForwardMappedPageTable(layout)
+        table.insert(0, 0)
+        before = table.size_bytes()
+        table.insert(1, 1)
+        assert table.size_bytes() == before
+
+
+class TestReplicateStrategy:
+    def test_superpage_replicated(self, layout):
+        table = ForwardMappedPageTable(layout)
+        table.insert_superpage(0x100, 16, 0x400)
+        result = table.lookup(0x10F)
+        assert result.kind is PTEKind.SUPERPAGE
+        assert result.ppn == 0x40F
+
+    def test_partial_subblock_replicated(self, layout):
+        table = ForwardMappedPageTable(layout)
+        table.insert_partial_subblock(0x10, 0b11, 0x400)
+        assert table.lookup(0x101).valid_mask == 0b11
+        with pytest.raises(PageFaultError):
+            table.lookup(0x102)
+
+
+class TestIntermediateStrategy:
+    def test_subtree_sized_superpage_at_intermediate_node(self, layout):
+        table = ForwardMappedPageTable(layout, superpage_strategy="intermediate")
+        npages = table.entry_coverage(5)  # leaf-parent entries (256 pages)
+        table.insert_superpage(0, npages, 0)
+        result = table.lookup(npages // 2)
+        assert result.kind is PTEKind.SUPERPAGE
+        assert result.npages == npages
+        # The walk stopped at level 5 (6 accesses, not 7).
+        assert result.cache_lines == 6
+
+    def test_non_subtree_size_rejected(self, layout):
+        table = ForwardMappedPageTable(layout, superpage_strategy="intermediate")
+        with pytest.raises(AlignmentError):
+            table.insert_superpage(0, 16, 0)  # 16 pages matches no level
+
+    def test_conflicting_subtree_rejected(self, layout):
+        table = ForwardMappedPageTable(layout, superpage_strategy="intermediate")
+        npages = table.entry_coverage(5)
+        table.insert(0, 1)  # allocates the subtree
+        with pytest.raises(MappingExistsError):
+            table.insert_superpage(0, npages, 0)
+
+
+class TestBlockLookup:
+    def test_block_fetch_adjacent_leaf_ptes(self, layout):
+        # §4.4: forward-mapped block prefetch is reasonable because the
+        # mappings reside in adjacent leaf memory.
+        table = ForwardMappedPageTable(layout)
+        for i in range(16):
+            table.insert(0x100 + i, 0x400 + i)
+        block = table.lookup_block(0x10)
+        assert block.valid_mask == 0xFFFF
+        assert block.cache_lines == 7  # tree walk; block read fits a line

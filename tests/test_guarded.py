@@ -1,0 +1,137 @@
+"""Guarded page tables: path compression, guard splits, depth claims."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.addr.layout import AddressLayout
+from repro.errors import ConfigurationError, MappingExistsError, PageFaultError
+from repro.pagetables.forward import ForwardMappedPageTable
+from repro.pagetables.guarded import GuardedPageTable
+from repro.pagetables.pte import PTEKind
+
+
+class TestConstruction:
+    def test_symbol_count(self, layout):
+        table = GuardedPageTable(layout, index_bits=4)
+        assert table.symbols == 13  # 52 / 4
+
+    def test_index_bits_must_divide(self, layout):
+        with pytest.raises(ConfigurationError):
+            GuardedPageTable(layout, index_bits=8)  # 52 % 8 != 0
+
+
+class TestCompression:
+    def test_single_mapping_is_depth_one(self, layout):
+        table = GuardedPageTable(layout)
+        table.insert(0x123456789, 0x1)
+        result = table.lookup(0x123456789)
+        assert result.ppn == 0x1
+        assert result.cache_lines == 1  # root entry's guard swallows all
+
+    def test_distant_vpns_split_once(self, layout):
+        table = GuardedPageTable(layout)
+        # Differ in the very first 4-bit symbol (bits 48-51 of the VPN):
+        # both mappings stay depth 1 from the root.
+        table.insert(0x1_0000_0000_0001, 0x1)
+        table.insert(0x8_0000_0000_0001, 0x2)
+        assert table.lookup(0x1_0000_0000_0001).cache_lines == 1
+        assert table.lookup(0x8_0000_0000_0001).cache_lines == 1
+
+    def test_deep_shared_prefix_splits_late(self, layout):
+        table = GuardedPageTable(layout)
+        table.insert(0x1000, 0x1)
+        table.insert(0x1001, 0x2)  # shares all but the last symbol
+        assert table.lookup(0x1000).cache_lines == 2
+        assert table.lookup(0x1001).ppn == 0x2
+
+    def test_sparse_space_beats_forward_mapped(self, layout):
+        rng = random.Random(9)
+        guarded = GuardedPageTable(layout)
+        forward = ForwardMappedPageTable(layout)
+        vpns = [rng.randrange(0, 1 << 50) for _ in range(200)]
+        for i, vpn in enumerate(dict.fromkeys(vpns)):
+            guarded.insert(vpn, i)
+            forward.insert(vpn, i)
+        total_guarded = sum(
+            guarded.lookup(vpn).cache_lines for vpn in dict.fromkeys(vpns)
+        )
+        total_forward = sum(
+            forward.lookup(vpn).cache_lines for vpn in dict.fromkeys(vpns)
+        )
+        assert total_guarded < total_forward / 1.5
+
+    def test_depth_never_exceeds_symbols(self, layout):
+        table = GuardedPageTable(layout)
+        for i in range(64):
+            table.insert(0x5000 + i, i)
+        assert table.max_depth() <= table.symbols
+
+
+class TestSemantics:
+    def test_guard_mismatch_faults(self, layout):
+        table = GuardedPageTable(layout)
+        table.insert(0x123456789, 0x1)
+        with pytest.raises(PageFaultError):
+            table.lookup(0x123456788)
+
+    def test_duplicate_rejected(self, layout):
+        table = GuardedPageTable(layout)
+        table.insert(0x42, 1)
+        with pytest.raises(MappingExistsError):
+            table.insert(0x42, 2)
+
+    def test_remove(self, layout):
+        table = GuardedPageTable(layout)
+        table.insert(0x42, 1)
+        table.insert(0x43, 2)
+        table.remove(0x42)
+        with pytest.raises(PageFaultError):
+            table.lookup(0x42)
+        assert table.lookup(0x43).ppn == 2
+
+    def test_remove_missing_faults(self, layout):
+        with pytest.raises(PageFaultError):
+            GuardedPageTable(AddressLayout()).remove(7)
+
+    def test_replicated_superpage(self, layout):
+        table = GuardedPageTable(layout)
+        table.insert_superpage(0x100, 16, 0x400)
+        result = table.lookup(0x108)
+        assert result.kind is PTEKind.SUPERPAGE
+        assert result.ppn == 0x408
+
+    def test_size_grows_with_nodes(self, layout):
+        table = GuardedPageTable(layout)
+        size_empty = table.size_bytes()
+        table.insert(0x1000, 1)
+        assert table.size_bytes() == size_empty  # compression: no new node
+        table.insert(0x1001, 2)
+        assert table.size_bytes() > size_empty   # one split
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=(1 << 48) - 1),
+            st.integers(min_value=0, max_value=(1 << 20)),
+        ),
+        max_size=50,
+    )
+)
+def test_guarded_matches_dictionary_oracle(ops):
+    """Guarded tables are faithful dictionaries under arbitrary ops."""
+    layout = AddressLayout()
+    table = GuardedPageTable(layout)
+    oracle = {}
+    for vpn, ppn in ops:
+        if vpn in oracle:
+            table.remove(vpn)
+            del oracle[vpn]
+        else:
+            table.insert(vpn, ppn)
+            oracle[vpn] = ppn
+    for vpn, ppn in oracle.items():
+        assert table.lookup(vpn).ppn == ppn

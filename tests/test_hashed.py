@@ -1,0 +1,266 @@
+"""Hashed page tables: chaining, grains, packing, superpage-index variant."""
+
+import pytest
+
+from repro.addr.layout import AddressLayout
+from repro.errors import (
+    AlignmentError,
+    ConfigurationError,
+    MappingExistsError,
+    PageFaultError,
+)
+from repro.pagetables.hashed import (
+    HASHED_NODE_BYTES,
+    PACKED_NODE_BYTES,
+    HashedPageTable,
+    SuperpageIndexHashedPageTable,
+    multiplicative_hash,
+)
+from repro.pagetables.pte import PTEKind
+
+
+def collide_everything(tag, buckets):
+    """Degenerate hash for chain-behaviour tests."""
+    return 0
+
+
+class TestHashFunction:
+    def test_deterministic(self):
+        assert multiplicative_hash(123, 4096) == multiplicative_hash(123, 4096)
+
+    def test_in_range(self):
+        for key in (0, 1, 1 << 51, (1 << 52) - 1):
+            assert 0 <= multiplicative_hash(key, 4096) < 4096
+
+    def test_high_bit_differences_spread(self):
+        # Tags differing only in high bits (per-process VA slices) must not
+        # collide systematically — the regression behind per-process
+        # offsets of 2^20 pages.
+        buckets = 4096
+        base_tags = range(0, 64)
+        collisions = sum(
+            multiplicative_hash(t, buckets)
+            == multiplicative_hash(t + (1 << 20), buckets)
+            for t in base_tags
+        )
+        assert collisions <= 2
+
+    def test_sequential_tags_spread(self):
+        buckets = 512
+        hits = {multiplicative_hash(t, buckets) for t in range(256)}
+        assert len(hits) > 200
+
+
+class TestBasicOperation:
+    def test_insert_lookup(self, layout):
+        table = HashedPageTable(layout)
+        table.insert(0x123, 0x456)
+        result = table.lookup(0x123)
+        assert result.ppn == 0x456
+        assert result.kind is PTEKind.BASE
+        assert result.npages == 1
+
+    def test_lookup_miss_faults(self, layout):
+        table = HashedPageTable(layout)
+        with pytest.raises(PageFaultError):
+            table.lookup(0x999)
+        assert table.stats.faults == 1
+
+    def test_duplicate_insert_rejected(self, layout):
+        table = HashedPageTable(layout)
+        table.insert(1, 2)
+        with pytest.raises(MappingExistsError):
+            table.insert(1, 3)
+
+    def test_remove(self, layout):
+        table = HashedPageTable(layout)
+        table.insert(1, 2)
+        table.remove(1)
+        with pytest.raises(PageFaultError):
+            table.lookup(1)
+
+    def test_remove_missing_faults(self, layout):
+        with pytest.raises(PageFaultError):
+            HashedPageTable(layout).remove(1)
+
+    def test_node_count_tracks(self, layout):
+        table = HashedPageTable(layout)
+        for i in range(10):
+            table.insert(i * 100, i)
+        assert table.node_count == 10
+        table.remove(300)
+        assert table.node_count == 9
+
+    def test_rejects_zero_buckets(self, layout):
+        with pytest.raises(ConfigurationError):
+            HashedPageTable(layout, num_buckets=0)
+
+    def test_rejects_bad_grain(self, layout):
+        with pytest.raises(ConfigurationError):
+            HashedPageTable(layout, grain=3)
+
+
+class TestChainCosts:
+    def test_empty_bucket_costs_one_line(self, layout):
+        table = HashedPageTable(layout)
+        with pytest.raises(PageFaultError):
+            table.lookup(0x42)
+        assert table.stats.cache_lines == 1
+        assert table.stats.probes == 1
+
+    def test_chain_position_costs(self, layout):
+        table = HashedPageTable(layout, hash_fn=collide_everything)
+        for vpn in (10, 20, 30):
+            table.insert(vpn, vpn)
+        assert table.lookup(10).cache_lines == 1
+        assert table.lookup(20).cache_lines == 2
+        assert table.lookup(30).cache_lines == 3
+
+    def test_miss_walks_whole_chain(self, layout):
+        table = HashedPageTable(layout, hash_fn=collide_everything)
+        for vpn in (10, 20, 30):
+            table.insert(vpn, vpn)
+        with pytest.raises(PageFaultError):
+            table.lookup(40)
+        assert table.stats.cache_lines == 3
+
+    def test_load_factor(self, layout):
+        table = HashedPageTable(layout, num_buckets=100)
+        for i in range(50):
+            table.insert(i * 977, i)
+        assert table.load_factor() == pytest.approx(0.5)
+
+    def test_chain_lengths_sum_to_nodes(self, layout):
+        table = HashedPageTable(layout, num_buckets=8)
+        for i in range(30):
+            table.insert(i * 977, i)
+        assert sum(table.chain_lengths()) == 30
+
+
+class TestSizeAccounting:
+    def test_node_bytes_standard(self, layout):
+        table = HashedPageTable(layout)
+        table.insert(1, 1)
+        assert table.size_bytes() == HASHED_NODE_BYTES
+
+    def test_packed_optimisation_saves_a_third(self, layout):
+        # §7: packing tag+next into 8 bytes cuts size by 33%.
+        plain = HashedPageTable(layout)
+        packed = HashedPageTable(layout, packed=True)
+        for i in range(60):
+            plain.insert(i, i)
+            packed.insert(i, i)
+        assert packed.size_bytes() == PACKED_NODE_BYTES * 60
+        assert packed.size_bytes() / plain.size_bytes() == pytest.approx(2 / 3)
+
+    def test_bucket_array_excluded_by_default(self, layout):
+        table = HashedPageTable(layout)
+        assert table.size_bytes() == 0
+
+    def test_bucket_array_included_when_asked(self, layout):
+        table = HashedPageTable(layout, num_buckets=64, count_bucket_array=True)
+        assert table.size_bytes() == 64 * HASHED_NODE_BYTES
+
+
+class TestBlockGrainTable:
+    def test_base_insert_rejected(self, layout):
+        table = HashedPageTable(layout, grain=16)
+        with pytest.raises(ConfigurationError):
+            table.insert(1, 1)
+
+    def test_superpage_round_trip(self, layout):
+        table = HashedPageTable(layout, grain=16)
+        table.insert_superpage(0x100, 16, 0x500)
+        result = table.lookup(0x105)
+        assert result.kind is PTEKind.SUPERPAGE
+        assert result.ppn == 0x505
+        assert result.base_vpn == 0x100
+        assert result.npages == 16
+
+    def test_superpage_size_must_match_grain(self, layout):
+        table = HashedPageTable(layout, grain=16)
+        with pytest.raises(AlignmentError):
+            table.insert_superpage(0x100, 8, 0x500)
+
+    def test_superpage_alignment_enforced(self, layout):
+        table = HashedPageTable(layout, grain=16)
+        with pytest.raises(AlignmentError):
+            table.insert_superpage(0x101, 16, 0x500)
+
+    def test_partial_subblock_round_trip(self, layout):
+        table = HashedPageTable(layout, grain=16)
+        table.insert_partial_subblock(0x10, 0b101, 0x200)
+        result = table.lookup(0x10 * 16 + 2)
+        assert result.kind is PTEKind.PARTIAL_SUBBLOCK
+        assert result.ppn == 0x202
+        assert result.valid_mask == 0b101
+
+    def test_partial_subblock_invalid_page_faults(self, layout):
+        table = HashedPageTable(layout, grain=16)
+        table.insert_partial_subblock(0x10, 0b101, 0x200)
+        with pytest.raises(PageFaultError):
+            table.lookup(0x10 * 16 + 1)
+
+    def test_partial_subblock_needs_block_grain(self, layout):
+        with pytest.raises(AlignmentError):
+            HashedPageTable(layout, grain=4).insert_partial_subblock(1, 1, 0)
+
+    def test_partial_subblock_needs_nonempty_mask(self, layout):
+        table = HashedPageTable(layout, grain=16)
+        with pytest.raises(ConfigurationError):
+            table.insert_partial_subblock(0x10, 0, 0x200)
+
+    def test_superpage_on_grain_one_rejected(self, layout):
+        table = HashedPageTable(layout, grain=1)
+        with pytest.raises(AlignmentError):
+            table.insert_superpage(0x100, 16, 0x500)
+
+
+class TestSuperpageIndexVariant:
+    def test_base_and_superpage_share_buckets(self, layout):
+        table = SuperpageIndexHashedPageTable(layout)
+        table.insert(0x100, 0x1)          # base page in block 0x10
+        table.insert_superpage(0x110, 16, 0x200)
+        assert table.lookup(0x100).ppn == 0x1
+        assert table.lookup(0x115).ppn == 0x205
+
+    def test_small_superpage_coexists_with_base_pages(self, layout):
+        # §5's example: an 8KB superpage plus base pages in one block.
+        table = SuperpageIndexHashedPageTable(layout)
+        table.insert_superpage(0x200, 2, 0x400)
+        table.insert(0x202, 0x9)
+        assert table.lookup(0x201).kind is PTEKind.SUPERPAGE
+        assert table.lookup(0x202).kind is PTEKind.BASE
+
+    def test_oversized_superpage_rejected(self, layout):
+        table = SuperpageIndexHashedPageTable(layout)
+        with pytest.raises(AlignmentError):
+            table.insert_superpage(0, 32, 0)
+
+    def test_sixteen_base_pages_make_long_chain(self, layout):
+        # The §4.2 drawback: base pages of one region chain together.
+        table = SuperpageIndexHashedPageTable(layout)
+        for i in range(16):
+            table.insert(0x300 + i, i)
+        assert max(table.chain_lengths()) == 16
+        assert table.lookup(0x30F).probes >= 1
+
+    def test_continue_after_invalid_tag_match(self, layout):
+        # A partial-subblock PTE that does not validate the page must not
+        # stop the chain walk (§5).
+        table = SuperpageIndexHashedPageTable(layout)
+        table.insert_partial_subblock(0x40, 0b0001, 0x400)
+        table.insert(0x40 * 16 + 3, 0x9)
+        assert table.lookup(0x40 * 16 + 3).ppn == 0x9
+
+    def test_remove_superpage_node(self, layout):
+        table = SuperpageIndexHashedPageTable(layout)
+        table.insert_superpage(0x200, 2, 0x400)
+        table.remove(0x201)
+        with pytest.raises(PageFaultError):
+            table.lookup(0x200)
+
+    def test_partial_subblock_round_trip(self, layout):
+        table = SuperpageIndexHashedPageTable(layout)
+        table.insert_partial_subblock(0x50, 0b11, 0x600)
+        assert table.lookup(0x50 * 16 + 1).ppn == 0x601

@@ -1,0 +1,126 @@
+"""Cross-module integration: the full pipeline, end to end."""
+
+import pytest
+
+from repro.addr.layout import AddressLayout
+from repro.analysis.metrics import STANDARD_TABLES, build_standard_tables
+from repro.core.clustered import ClusteredPageTable
+from repro.errors import PageFaultError
+from repro.mmu.mmu import MMU
+from repro.mmu.subblock_tlb import CompleteSubblockTLB
+from repro.mmu.superpage_tlb import SuperpageTLB
+from repro.mmu.tlb import FullyAssociativeTLB
+from repro.os.promotion import DynamicPageSizePolicy
+from repro.os.physmem import ReservationAllocator
+from repro.os.translation_map import TranslationMap
+from repro.os.vm import VirtualMemoryManager
+from repro.workloads.suite import load_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return load_workload("spice", trace_length=10_000)
+
+
+def test_every_table_agrees_on_every_page(workload):
+    """All page table organisations, built from one snapshot, translate
+    every mapped page identically."""
+    space = workload.union_space()
+    tmap = TranslationMap.from_space(space)
+    tables = build_standard_tables(tmap)
+    for vpn, mapping in space.items():
+        for name, table in tables.items():
+            result = table.lookup(vpn)
+            assert result.ppn == mapping.ppn, (name, hex(vpn))
+
+
+def test_every_table_faults_identically(workload):
+    space = workload.union_space()
+    tmap = TranslationMap.from_space(space)
+    tables = build_standard_tables(tmap)
+    probe = 0xDEAD_BEEF_0
+    assert not space.is_mapped(probe)
+    for name, table in tables.items():
+        with pytest.raises(PageFaultError):
+            table.lookup(probe)
+
+
+def test_wide_pte_tables_agree_with_base_tables(workload):
+    """Tables storing superpage/psb PTEs resolve the same translations as
+    tables storing base PTEs."""
+    space = workload.union_space()
+    base_map = TranslationMap.from_space(space)
+    wide_map = TranslationMap.from_space(space, DynamicPageSizePolicy())
+    base_table = ClusteredPageTable(workload.layout)
+    wide_table = ClusteredPageTable(workload.layout)
+    base_map.populate(base_table, base_pages_only=True)
+    wide_map.populate(wide_table)
+    for vpn, mapping in space.items():
+        assert base_table.lookup(vpn).ppn == mapping.ppn
+        assert wide_table.lookup(vpn).ppn == mapping.ppn
+    assert wide_table.size_bytes() < base_table.size_bytes()
+
+
+def test_mmu_translations_match_space(workload):
+    space = workload.union_space()
+    tmap = TranslationMap.from_space(space)
+    table = ClusteredPageTable(workload.layout)
+    tmap.populate(table)
+    mmu = MMU(FullyAssociativeTLB(64), table)
+    for vpn in workload.trace.vpns[:2_000].tolist():
+        assert mmu.translate(int(vpn)) == space.translate(int(vpn)).ppn
+
+
+def test_demand_paging_full_loop():
+    """MMU + VM manager + reservation allocator: fault pages in on demand,
+    promote blocks, stay consistent throughout."""
+    layout = AddressLayout()
+    table = ClusteredPageTable(layout)
+    vm = VirtualMemoryManager(
+        table, ReservationAllocator(1024, layout), auto_promote=True
+    )
+    mmu = MMU(SuperpageTLB(16, page_sizes=(1, 16)), table,
+              fault_handler=vm.fault_in)
+    for rep in range(3):
+        for vpn in range(0x100, 0x140):
+            ppn = mmu.translate(vpn)
+            assert ppn == vm.space.translate(vpn).ppn
+    assert vm.stats.promotions == 4
+    assert mmu.stats.page_faults == 0x40
+    assert vm.check_consistency() == 0x40
+
+
+def test_complete_subblock_prefetch_against_vm():
+    layout = AddressLayout()
+    table = ClusteredPageTable(layout)
+    vm = VirtualMemoryManager(table, ReservationAllocator(1024, layout))
+    vm.map_range(0x200, 64)
+    mmu = MMU(CompleteSubblockTLB(16, subblock_factor=16), table)
+    for vpn in range(0x200, 0x240):
+        mmu.translate(vpn)
+    assert mmu.stats.tlb_misses == 4  # one block miss per page block
+    assert mmu.stats.lines_per_miss == pytest.approx(1.0)
+
+
+def test_workload_multiprocess_page_tables_sum(workload):
+    """Per-process tables hold exactly the union of mappings."""
+    gcc = load_workload("gcc", with_trace=False)
+    total = 0
+    for space in gcc.spaces:
+        table = ClusteredPageTable(gcc.layout)
+        TranslationMap.from_space(space).populate(table, base_pages_only=True)
+        for vpn, mapping in space.items():
+            assert table.lookup(vpn).ppn == mapping.ppn
+        total += table.node_count
+    union_table = ClusteredPageTable(gcc.layout)
+    TranslationMap.from_space(gcc.union_space()).populate(
+        union_table, base_pages_only=True
+    )
+    assert union_table.node_count == total  # disjoint VA slices
+
+
+def test_public_api_importable():
+    import repro
+
+    for symbol in repro.__all__:
+        assert getattr(repro, symbol) is not None

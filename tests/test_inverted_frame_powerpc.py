@@ -1,0 +1,212 @@
+"""Frame-indexed inverted tables and the PowerPC PTEG table (§2 variants)."""
+
+import random
+
+import pytest
+
+from repro.addr.layout import AddressLayout
+from repro.errors import ConfigurationError, MappingExistsError, PageFaultError
+from repro.pagetables.inverted import (
+    ANCHOR_BYTES,
+    FRAME_ENTRY_BYTES,
+    FrameInvertedPageTable,
+)
+from repro.pagetables.powerpc import PTEG_SLOTS, SLOT_BYTES, PowerPCPageTable
+from repro.pagetables.pte import ATTR_REFERENCED
+
+
+class TestFrameInverted:
+    def make(self, layout, frames=256, anchors=32):
+        return FrameInvertedPageTable(
+            layout, total_frames=frames, num_anchors=anchors
+        )
+
+    def test_insert_lookup(self, layout):
+        table = self.make(layout)
+        table.insert(0x123, 7)
+        result = table.lookup(0x123)
+        assert result.ppn == 7
+        assert result.cache_lines == 2  # anchor + frame entry
+
+    def test_frame_slot_conflict_rejected(self, layout):
+        # One frame backs one page: the inverted table's defining limit.
+        table = self.make(layout)
+        table.insert(0x100, 5)
+        with pytest.raises(MappingExistsError):
+            table.insert(0x200, 5)
+
+    def test_double_map_rejected(self, layout):
+        table = self.make(layout)
+        table.insert(0x100, 5)
+        with pytest.raises(MappingExistsError):
+            table.insert(0x100, 6)
+
+    def test_out_of_range_frame_rejected(self, layout):
+        with pytest.raises(ConfigurationError):
+            self.make(layout, frames=16).insert(0x1, 16)
+
+    def test_size_independent_of_population(self, layout):
+        table = self.make(layout, frames=128, anchors=16)
+        empty_size = table.size_bytes()
+        for i in range(50):
+            table.insert(0x1000 + i, i)
+        assert table.size_bytes() == empty_size
+        assert empty_size == 16 * ANCHOR_BYTES + 128 * FRAME_ENTRY_BYTES
+
+    def test_chain_walk_cost(self, layout):
+        table = FrameInvertedPageTable(
+            layout, total_frames=64, num_anchors=8,
+            hash_fn=lambda vpn, anchors: 0,
+        )
+        table.insert(0x100, 1)
+        table.insert(0x200, 2)
+        # 0x200 is at the chain head (LIFO insert), 0x100 behind it.
+        assert table.lookup(0x200).cache_lines == 2
+        assert table.lookup(0x100).cache_lines == 3
+
+    def test_remove_relinks_chain(self, layout):
+        table = FrameInvertedPageTable(
+            layout, total_frames=64, num_anchors=8,
+            hash_fn=lambda vpn, anchors: 0,
+        )
+        for i, vpn in enumerate((0x100, 0x200, 0x300)):
+            table.insert(vpn, i)
+        table.remove(0x200)  # middle of the chain
+        assert table.lookup(0x100).ppn == 0
+        assert table.lookup(0x300).ppn == 2
+        with pytest.raises(PageFaultError):
+            table.lookup(0x200)
+
+    def test_mark(self, layout):
+        table = self.make(layout)
+        table.insert(0x100, 5, attrs=0x3)
+        assert table.mark(0x100, set_bits=ATTR_REFERENCED) & ATTR_REFERENCED
+        assert table.lookup(0x100).attrs & ATTR_REFERENCED
+
+    def test_mapped_count(self, layout):
+        table = self.make(layout)
+        table.insert(0x100, 5)
+        table.insert(0x200, 6)
+        table.remove(0x100)
+        assert table.mapped_count == 1
+
+    def test_oracle_equivalence(self, layout):
+        rng = random.Random(4)
+        table = self.make(layout, frames=512, anchors=16)
+        reference = {}
+        free = list(range(512))
+        for _ in range(300):
+            vpn = rng.randrange(4096)
+            if vpn in reference:
+                table.remove(vpn)
+                free.append(reference.pop(vpn))
+            else:
+                ppn = free.pop()
+                table.insert(vpn, ppn)
+                reference[vpn] = ppn
+        for vpn, ppn in reference.items():
+            assert table.lookup(vpn).ppn == ppn
+
+
+class TestPowerPC:
+    def test_insert_lookup_primary(self, layout):
+        table = PowerPCPageTable(layout, num_groups=64)
+        table.insert(0x123, 0x456)
+        result = table.lookup(0x123)
+        assert result.ppn == 0x456
+        assert result.cache_lines == 1  # primary PTEG, one line at 256B
+
+    def test_spill_to_secondary(self, layout):
+        table = PowerPCPageTable(
+            layout, num_groups=64, hash_fn=lambda vpn, groups: 5
+        )
+        for i in range(PTEG_SLOTS):
+            table.insert(i * 64, i)
+        table.insert(0x999 * 64, 0x99)  # primary full -> secondary
+        result = table.lookup(0x999 * 64)
+        assert result.ppn == 0x99
+        assert result.cache_lines == 2  # probed both groups
+        assert table.secondary_fraction() > 0
+
+    def test_overflow_when_both_full(self, layout):
+        table = PowerPCPageTable(
+            layout, num_groups=64, hash_fn=lambda vpn, groups: 5
+        )
+        for i in range(2 * PTEG_SLOTS + 3):
+            table.insert(i * 64, i)
+        assert table.overflow_inserts == 3
+        # The overflowed PTEs are still found (after both PTEG probes).
+        result = table.lookup((2 * PTEG_SLOTS) * 64)
+        assert result.ppn == 2 * PTEG_SLOTS
+        assert result.cache_lines >= 3
+
+    def test_duplicate_rejected(self, layout):
+        table = PowerPCPageTable(layout, num_groups=64)
+        table.insert(1, 1)
+        with pytest.raises(MappingExistsError):
+            table.insert(1, 2)
+
+    def test_remove_everywhere(self, layout):
+        table = PowerPCPageTable(
+            layout, num_groups=64, hash_fn=lambda vpn, groups: 5
+        )
+        for i in range(2 * PTEG_SLOTS + 1):
+            table.insert(i * 64, i)
+        table.remove(0)                      # primary
+        table.remove(PTEG_SLOTS * 64)        # secondary
+        table.remove((2 * PTEG_SLOTS) * 64)  # overflow
+        for vpn in (0, PTEG_SLOTS * 64, (2 * PTEG_SLOTS) * 64):
+            with pytest.raises(PageFaultError):
+                table.lookup(vpn)
+
+    def test_remove_missing_faults(self, layout):
+        with pytest.raises(PageFaultError):
+            PowerPCPageTable(layout, num_groups=64).remove(42)
+
+    def test_mark_in_pteg_and_overflow(self, layout):
+        table = PowerPCPageTable(
+            layout, num_groups=64, hash_fn=lambda vpn, groups: 5
+        )
+        for i in range(2 * PTEG_SLOTS + 1):
+            table.insert(i * 64, i)
+        assert table.mark(0, set_bits=ATTR_REFERENCED) & ATTR_REFERENCED
+        overflowed = (2 * PTEG_SLOTS) * 64
+        assert table.mark(overflowed, set_bits=ATTR_REFERENCED) & ATTR_REFERENCED
+
+    def test_size_preallocated(self, layout):
+        table = PowerPCPageTable(layout, num_groups=64)
+        assert table.size_bytes() == 64 * PTEG_SLOTS * SLOT_BYTES
+        table.insert(1, 1)
+        assert table.size_bytes() == 64 * PTEG_SLOTS * SLOT_BYTES
+
+    def test_group_scan_spans_two_small_lines(self, layout):
+        from repro.mmu.cache_model import CacheModel
+
+        table = PowerPCPageTable(layout, CacheModel(64), num_groups=64)
+        table.insert(0x123, 0x456)
+        assert table.lookup(0x123).cache_lines == 2  # 128B PTEG / 64B lines
+
+    def test_occupancy(self, layout):
+        table = PowerPCPageTable(layout, num_groups=64)
+        for i in range(32):
+            table.insert(i * 977, i)
+        assert table.occupancy() == pytest.approx(32 / (64 * PTEG_SLOTS))
+
+    def test_rejects_non_power_of_two_groups(self, layout):
+        with pytest.raises(ConfigurationError):
+            PowerPCPageTable(layout, num_groups=48)
+
+    def test_oracle_equivalence(self, layout):
+        rng = random.Random(6)
+        table = PowerPCPageTable(layout, num_groups=32)
+        reference = {}
+        for _ in range(400):
+            vpn = rng.randrange(2048)
+            if vpn in reference:
+                table.remove(vpn)
+                del reference[vpn]
+            else:
+                table.insert(vpn, vpn + 7)
+                reference[vpn] = vpn + 7
+        for vpn, ppn in reference.items():
+            assert table.lookup(vpn).ppn == ppn

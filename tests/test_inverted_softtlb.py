@@ -1,0 +1,113 @@
+"""Inverted page tables and software TLBs (§2 variants)."""
+
+import pytest
+
+from repro.addr.layout import AddressLayout
+from repro.errors import ConfigurationError, PageFaultError
+from repro.pagetables.inverted import ANCHOR_BYTES, InvertedPageTable
+from repro.pagetables.software_tlb import SLOT_BYTES, SoftwareTLBTable
+from repro.pagetables.pte import PTEKind
+
+
+class TestInverted:
+    def test_insert_lookup(self, layout):
+        table = InvertedPageTable(layout)
+        table.insert(0x123, 0x456)
+        assert table.lookup(0x123).ppn == 0x456
+
+    def test_anchor_adds_one_line(self, layout):
+        # Anchor dereference + node = 2 lines where hashed pays 1.
+        table = InvertedPageTable(layout)
+        table.insert(0x123, 0x456)
+        assert table.lookup(0x123).cache_lines == 2
+
+    def test_empty_bucket_costs_anchor_only(self, layout):
+        table = InvertedPageTable(layout)
+        with pytest.raises(PageFaultError):
+            table.lookup(0x999)
+        assert table.stats.cache_lines == 1
+
+    def test_size_includes_anchor_array(self, layout):
+        table = InvertedPageTable(layout, num_buckets=128)
+        table.insert(1, 1)
+        assert table.size_bytes() == 128 * ANCHOR_BYTES + 24
+
+    def test_size_without_anchor_array(self, layout):
+        table = InvertedPageTable(layout, num_buckets=128,
+                                  count_anchor_array=False)
+        table.insert(1, 1)
+        assert table.size_bytes() == 24
+
+    def test_block_grain_variant(self, layout):
+        table = InvertedPageTable(layout, grain=16)
+        table.insert_superpage(0x100, 16, 0x400)
+        result = table.lookup(0x105)
+        assert result.kind is PTEKind.SUPERPAGE and result.ppn == 0x405
+
+
+class TestSoftwareTLB:
+    def test_insert_lookup(self, layout):
+        table = SoftwareTLBTable(layout)
+        table.insert(0x123, 0x456)
+        assert table.lookup(0x123).ppn == 0x456
+
+    def test_hit_costs_single_access(self, layout):
+        # §7: software TLBs reduce the miss penalty to one access on a hit.
+        table = SoftwareTLBTable(layout)
+        table.insert(0x123, 0x456)
+        table.lookup(0x123)  # first walk misses the array and refills it
+        assert table.lookup(0x123).cache_lines == 1
+        assert table.hits >= 1
+
+    def test_miss_falls_back_to_backing(self, layout):
+        table = SoftwareTLBTable(layout, num_sets=2, associativity=1)
+        # Overflow one set so an entry falls out of the array.
+        vpns = [i * 2 for i in range(8)]  # all even -> few sets
+        for vpn in vpns:
+            table.insert(vpn, vpn + 1)
+        for vpn in vpns:
+            assert table.lookup(vpn).ppn == vpn + 1
+        assert table.misses > 0
+
+    def test_refill_after_backing_hit(self, layout):
+        table = SoftwareTLBTable(layout, num_sets=2, associativity=1)
+        for vpn in (0, 2, 4):
+            table.insert(vpn, vpn + 1)
+        table.lookup(0)       # may refill slot
+        first = table.lookup(0)
+        assert first.ppn == 1
+
+    def test_unmapped_faults(self, layout):
+        table = SoftwareTLBTable(layout)
+        with pytest.raises(PageFaultError):
+            table.lookup(0x42)
+
+    def test_remove_invalidates_slot_and_backing(self, layout):
+        table = SoftwareTLBTable(layout)
+        table.insert(7, 8)
+        table.remove(7)
+        with pytest.raises(PageFaultError):
+            table.lookup(7)
+
+    def test_size_counts_array_and_backing(self, layout):
+        table = SoftwareTLBTable(layout, num_sets=16, associativity=2)
+        table.insert(1, 1)
+        assert table.size_bytes() == 16 * 2 * SLOT_BYTES + 24
+
+    def test_clustered_grain_entries(self, layout):
+        # §7: software TLBs can host clustered-style (block) entries.
+        table = SoftwareTLBTable(layout, grain=16)
+        table.insert_partial_subblock(0x10, 0b101, 0x400)
+        result = table.lookup(0x102)
+        assert result.kind is PTEKind.PARTIAL_SUBBLOCK
+        assert result.ppn == 0x402
+
+    def test_rejects_bad_geometry(self, layout):
+        with pytest.raises(ConfigurationError):
+            SoftwareTLBTable(layout, num_sets=0)
+
+    def test_hit_rate_reporting(self, layout):
+        table = SoftwareTLBTable(layout)
+        table.insert(1, 2)
+        table.lookup(1)
+        assert 0.0 <= table.hit_rate() <= 1.0

@@ -1,0 +1,175 @@
+"""Address-layout arithmetic: VPN/VPBN/Boff splitting and alignment."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.addr.layout import (
+    AddressLayout,
+    DEFAULT_LAYOUT,
+    KB,
+    is_power_of_two,
+    log2_exact,
+)
+from repro.errors import AddressError, AlignmentError, ConfigurationError
+
+
+class TestHelpers:
+    def test_power_of_two_true(self):
+        for value in (1, 2, 4, 4096, 1 << 51):
+            assert is_power_of_two(value)
+
+    def test_power_of_two_false(self):
+        for value in (0, -4, 3, 6, 4097):
+            assert not is_power_of_two(value)
+
+    def test_log2_exact(self):
+        assert log2_exact(4096) == 12
+        assert log2_exact(1) == 0
+
+    def test_log2_exact_rejects_non_power(self):
+        with pytest.raises(ConfigurationError):
+            log2_exact(12)
+
+
+class TestConstruction:
+    def test_defaults_match_paper(self):
+        assert DEFAULT_LAYOUT.page_size == 4 * KB
+        assert DEFAULT_LAYOUT.subblock_factor == 16
+        assert DEFAULT_LAYOUT.block_size == 64 * KB
+        assert DEFAULT_LAYOUT.va_bits == 64
+        assert DEFAULT_LAYOUT.pa_bits == 40
+
+    def test_derived_bit_widths(self):
+        assert DEFAULT_LAYOUT.vpn_bits == 52
+        assert DEFAULT_LAYOUT.ppn_bits == 28  # Figure 1's 28-bit PPN
+
+    def test_custom_subblock_factor(self):
+        layout = AddressLayout(subblock_factor=4)
+        assert layout.block_size == 16 * KB
+
+    def test_rejects_non_power_of_two_factor(self):
+        with pytest.raises(ConfigurationError):
+            AddressLayout(subblock_factor=12)
+
+    def test_rejects_bad_page_shift(self):
+        with pytest.raises(ConfigurationError):
+            AddressLayout(page_shift=0)
+        with pytest.raises(ConfigurationError):
+            AddressLayout(page_shift=64)
+
+    def test_rejects_pa_smaller_than_page(self):
+        with pytest.raises(ConfigurationError):
+            AddressLayout(pa_bits=10)
+
+    def test_describe_mentions_key_numbers(self):
+        text = DEFAULT_LAYOUT.describe()
+        assert "64-bit" in text and "4 KB" in text and "16" in text
+
+
+class TestDecomposition:
+    def test_vpn_and_offset(self, layout):
+        va = (0x1234 << 12) | 0x567
+        assert layout.vpn(va) == 0x1234
+        assert layout.page_offset(va) == 0x567
+
+    def test_va_of_vpn_roundtrip(self, layout):
+        assert layout.va_of_vpn(layout.vpn(0x89AB000)) == 0x89AB000
+
+    def test_split_block_coordinates(self, layout):
+        vpn = 16 * 7 + 5
+        assert layout.split(vpn) == (7, 5)
+
+    def test_vpn_of_block_inverse(self, layout):
+        for vpn in (0, 5, 16, 255, 0xFFFF):
+            vpbn, boff = layout.split(vpn)
+            assert layout.vpn_of_block(vpbn, boff) == vpn
+
+    def test_block_base_vpn(self, layout):
+        assert layout.block_base_vpn(0x12345) == 0x12340
+
+    def test_block_vpns_covers_whole_block(self, layout):
+        vpns = list(layout.block_vpns(3))
+        assert vpns == list(range(48, 64))
+
+    def test_bad_boff_rejected(self, layout):
+        with pytest.raises(AddressError):
+            layout.vpn_of_block(1, 16)
+
+    def test_va_out_of_range(self, layout):
+        with pytest.raises(AddressError):
+            layout.vpn(1 << 64)
+        with pytest.raises(AddressError):
+            layout.vpn(-1)
+
+    def test_vpn_out_of_range(self, layout):
+        with pytest.raises(AddressError):
+            layout.check_vpn(1 << 52)
+
+    def test_ppn_out_of_range(self, layout):
+        with pytest.raises(AddressError):
+            layout.check_ppn(1 << 28)
+
+
+class TestSuperpages:
+    def test_superpage_pages(self, layout):
+        assert layout.superpage_pages(64 * KB) == 16
+        assert layout.superpage_pages(4 * KB) == 1
+
+    def test_superpage_pages_rejects_non_multiple(self, layout):
+        with pytest.raises(AlignmentError):
+            layout.superpage_pages(5000)
+
+    def test_superpage_pages_rejects_non_power_of_two(self, layout):
+        with pytest.raises(AlignmentError):
+            layout.superpage_pages(12 * KB)
+
+    def test_alignment_check(self, layout):
+        assert layout.is_superpage_aligned(32, 16)
+        assert not layout.is_superpage_aligned(33, 16)
+
+    def test_superpage_base(self, layout):
+        assert layout.superpage_base(0x12345, 16) == 0x12340
+
+    def test_properly_placed_matching_offsets(self, layout):
+        assert layout.properly_placed(vpn=0x120, ppn=0x340, npages=16)
+        assert layout.properly_placed(vpn=0x125, ppn=0x345, npages=16)
+
+    def test_improperly_placed(self, layout):
+        assert not layout.properly_placed(vpn=0x125, ppn=0x346, npages=16)
+
+    def test_placement_rejects_bad_npages(self, layout):
+        with pytest.raises(AlignmentError):
+            layout.properly_placed(0, 0, 12)
+
+
+@given(vpn=st.integers(min_value=0, max_value=(1 << 52) - 1))
+def test_split_roundtrip_property(vpn):
+    """split / vpn_of_block are exact inverses over the whole VPN range."""
+    layout = DEFAULT_LAYOUT
+    vpbn, boff = layout.split(vpn)
+    assert layout.vpn_of_block(vpbn, boff) == vpn
+    assert 0 <= boff < layout.subblock_factor
+
+
+@given(
+    vpn=st.integers(min_value=0, max_value=(1 << 52) - 1),
+    shift=st.sampled_from([1, 2, 4, 8, 16, 32]),
+)
+def test_superpage_base_contains_vpn_property(vpn, shift):
+    """The superpage base is aligned and covers the page."""
+    layout = DEFAULT_LAYOUT
+    base = layout.superpage_base(vpn, shift)
+    assert base % shift == 0
+    assert base <= vpn < base + shift
+
+
+@given(
+    factor=st.sampled_from([2, 4, 8, 16, 32, 64]),
+    vpn=st.integers(min_value=0, max_value=(1 << 40) - 1),
+)
+def test_block_arithmetic_consistent_across_factors(factor, vpn):
+    """Block decomposition is self-consistent for any subblock factor."""
+    layout = AddressLayout(subblock_factor=factor)
+    vpbn, boff = layout.split(vpn)
+    assert vpbn * factor + boff == vpn
+    assert layout.block_base_vpn(vpn) == vpbn * factor

@@ -1,0 +1,196 @@
+"""Linear page tables: structures, nested-TLB costs, replication."""
+
+import pytest
+
+from repro.addr.layout import AddressLayout
+from repro.errors import ConfigurationError, MappingExistsError, PageFaultError
+from repro.pagetables.linear import LinearPageTable
+from repro.pagetables.pte import PTEKind
+
+
+class TestConstruction:
+    def test_levels_for_64bit(self, layout):
+        table = LinearPageTable(layout)
+        assert table.levels == 6  # ceil(52 / 9)
+        assert table.ptes_per_page == 512
+
+    def test_structure_names(self, layout):
+        assert LinearPageTable(layout, structure="ideal").name == "linear-1lvl"
+        assert LinearPageTable(layout, structure="multilevel").name == "linear-6lvl"
+        assert LinearPageTable(layout, structure="hashed").name == "linear-hashed"
+
+    def test_unknown_structure_rejected(self, layout):
+        with pytest.raises(ConfigurationError):
+            LinearPageTable(layout, structure="btree")
+
+
+class TestBasicOperation:
+    def test_insert_lookup(self, layout):
+        table = LinearPageTable(layout)
+        table.insert(0x12345, 0x678)
+        assert table.lookup(0x12345).ppn == 0x678
+
+    def test_duplicate_rejected(self, layout):
+        table = LinearPageTable(layout)
+        table.insert(1, 1)
+        with pytest.raises(MappingExistsError):
+            table.insert(1, 2)
+
+    def test_lookup_miss_faults(self, layout):
+        with pytest.raises(PageFaultError):
+            LinearPageTable(layout).lookup(1)
+
+    def test_remove(self, layout):
+        table = LinearPageTable(layout)
+        table.insert(1, 1)
+        table.remove(1)
+        with pytest.raises(PageFaultError):
+            table.lookup(1)
+
+    def test_remove_missing_faults(self, layout):
+        with pytest.raises(PageFaultError):
+            LinearPageTable(layout).remove(1)
+
+
+class TestSizeFormulae:
+    def test_ideal_size_is_leaf_pages(self, layout):
+        table = LinearPageTable(layout, structure="ideal")
+        table.insert(0, 0)          # leaf page 0
+        table.insert(511, 1)        # same leaf page
+        table.insert(512, 2)        # second leaf page
+        assert table.size_bytes() == 2 * 4096
+
+    def test_hashed_backed_size(self, layout):
+        table = LinearPageTable(layout, structure="hashed")
+        table.insert(0, 0)
+        assert table.size_bytes() == 4096 + 24
+
+    def test_multilevel_counts_all_levels(self, layout):
+        table = LinearPageTable(layout, structure="multilevel")
+        table.insert(0, 0)
+        # One node per level: 6 x 4KB.
+        assert table.size_bytes() == 6 * 4096
+
+    def test_multilevel_sparse_pays_per_region(self, layout):
+        table = LinearPageTable(layout, structure="multilevel")
+        table.insert(0, 0)
+        table.insert(1 << 40, 1)  # far away: separate nodes at low levels
+        assert table.size_bytes() > 6 * 4096
+
+    def test_size_empty(self, layout):
+        assert LinearPageTable(layout).size_bytes() == 0
+
+
+class TestNestedTLBCosts:
+    def test_ideal_always_one_line(self, layout):
+        table = LinearPageTable(layout, structure="ideal")
+        for vpn in (0, 1 << 20, 1 << 40):
+            table.insert(vpn, 1)
+        assert all(table.lookup(v).cache_lines == 1 for v in (0, 1 << 20, 1 << 40))
+
+    def test_multilevel_cold_walk_costs_levels(self, layout):
+        table = LinearPageTable(layout, structure="multilevel")
+        table.insert(0x1234, 1)
+        # Cold nested TLB: climb to the pinned root = 6 accesses.
+        assert table.lookup(0x1234).cache_lines == 6
+
+    def test_multilevel_warm_walk_costs_one(self, layout):
+        table = LinearPageTable(layout, structure="multilevel")
+        table.insert(0x1234, 1)
+        table.lookup(0x1234)
+        assert table.lookup(0x1234).cache_lines == 1
+
+    def test_second_page_same_leaf_is_warm(self, layout):
+        table = LinearPageTable(layout, structure="multilevel")
+        table.insert(0x1234, 1)
+        table.insert(0x1235, 2)
+        table.lookup(0x1234)
+        assert table.lookup(0x1235).cache_lines == 1
+
+    def test_nearby_leaf_reuses_upper_levels(self, layout):
+        table = LinearPageTable(layout, structure="multilevel")
+        table.insert(0, 1)
+        table.insert(512, 2)  # next leaf page, same level-2 node
+        table.lookup(0)
+        assert table.lookup(512).cache_lines == 2
+
+    def test_reserved_capacity_evicts_lru(self, layout):
+        table = LinearPageTable(layout, structure="multilevel",
+                                reserved_tlb_entries=2)
+        for i in range(4):
+            table.insert(i * 512 * 512, i)  # distinct level-2 regions
+        for i in range(4):
+            table.lookup(i * 512 * 512)
+        # Cycling through 4 leaf regions with 2 reserved entries: the
+        # first region's translation is long gone.
+        lines = table.lookup(0).cache_lines
+        assert lines > 1
+
+    def test_hashed_backed_miss_costs_two(self, layout):
+        table = LinearPageTable(layout, structure="hashed")
+        table.insert(0x1234, 1)
+        assert table.lookup(0x1234).cache_lines == 2  # probe + leaf
+        assert table.lookup(0x1234).cache_lines == 1  # now cached
+
+    def test_fault_still_counts_lines(self, layout):
+        table = LinearPageTable(layout, structure="multilevel")
+        with pytest.raises(PageFaultError):
+            table.lookup(0x42)
+        assert table.stats.cache_lines == 6
+
+
+class TestReplication:
+    def test_superpage_replicates_at_each_site(self, layout):
+        table = LinearPageTable(layout)
+        table.insert_superpage(0x100, 16, 0x400)
+        assert table.pte_count == 16
+        result = table.lookup(0x105)
+        assert result.kind is PTEKind.SUPERPAGE
+        assert result.ppn == 0x405
+        assert result.base_vpn == 0x100 and result.npages == 16
+
+    def test_replication_gives_no_size_benefit(self, layout):
+        # §4.2 drawback: replicate-PTEs cannot shrink the table.
+        base = LinearPageTable(layout)
+        for i in range(16):
+            base.insert(0x100 + i, 0x400 + i)
+        replicated = LinearPageTable(layout)
+        replicated.insert_superpage(0x100, 16, 0x400)
+        assert replicated.size_bytes() == base.size_bytes()
+
+    def test_partial_subblock_replicates_valid_sites_only(self, layout):
+        table = LinearPageTable(layout)
+        table.insert_partial_subblock(0x10, 0b101, 0x400)
+        assert table.pte_count == 2
+        assert table.lookup(0x102).ppn == 0x402
+        with pytest.raises(PageFaultError):
+            table.lookup(0x101)
+
+    def test_remove_replicated_range(self, layout):
+        table = LinearPageTable(layout)
+        table.insert_superpage(0x100, 16, 0x400)
+        assert table.remove_replicated_range(0x100, 16) == 16
+        assert table.pte_count == 0
+
+    def test_replica_overlap_rejected(self, layout):
+        table = LinearPageTable(layout)
+        table.insert(0x105, 9)
+        with pytest.raises(MappingExistsError):
+            table.insert_superpage(0x100, 16, 0x400)
+
+
+class TestBlockLookup:
+    def test_block_fetch_one_line(self, layout):
+        # 16 adjacent 8-byte PTEs: 128 bytes inside one 256-byte line.
+        table = LinearPageTable(layout)
+        for i in range(16):
+            table.insert(0x100 + i, 0x400 + i)
+        block = table.lookup_block(0x10)
+        assert block.valid_mask == 0xFFFF
+        assert block.cache_lines == 1
+
+    def test_block_fetch_partial(self, layout):
+        table = LinearPageTable(layout)
+        table.insert(0x102, 0x9)
+        block = table.lookup_block(0x10)
+        assert block.valid_mask == 0b100

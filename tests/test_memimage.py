@@ -1,0 +1,119 @@
+"""Byte-exact memory images: raw-memory walks agree with the live tables."""
+
+import random
+
+import pytest
+
+from repro.addr.layout import AddressLayout
+from repro.core.clustered import ClusteredPageTable
+from repro.errors import ConfigurationError, PageFaultError
+from repro.pagetables.hashed import HashedPageTable
+from repro.pagetables.memimage import MemoryImage
+
+
+class TestHashedImage:
+    def test_walk_matches_table(self, layout):
+        table = HashedPageTable(layout, num_buckets=64)
+        mappings = {i * 37: i + 100 for i in range(50)}
+        for vpn, ppn in mappings.items():
+            table.insert(vpn, ppn, attrs=0x5)
+        image = MemoryImage.of_hashed(table)
+        for vpn, ppn in mappings.items():
+            assert image.walk(vpn) == (ppn, 0x5)
+
+    def test_walk_faults_on_unmapped(self, layout):
+        table = HashedPageTable(layout, num_buckets=64)
+        table.insert(1, 2)
+        image = MemoryImage.of_hashed(table)
+        with pytest.raises(PageFaultError):
+            image.walk(999)
+
+    def test_chain_links_work(self, layout):
+        # Force every tag into one bucket: the image must follow next
+        # pointers through overflow nodes.
+        table = HashedPageTable(layout, num_buckets=4,
+                                hash_fn=lambda tag, buckets: 0)
+        for vpn in range(10):
+            table.insert(vpn, vpn + 50)
+        image = MemoryImage.of_hashed(table)
+        for vpn in range(10):
+            assert image.walk(vpn)[0] == vpn + 50
+
+    def test_payload_matches_size_bytes(self, layout):
+        table = HashedPageTable(layout, num_buckets=64)
+        for i in range(30):
+            table.insert(i * 17, i)
+        image = MemoryImage.of_hashed(table)
+        assert image.payload_bytes() == table.size_bytes()
+
+    def test_block_grain_rejected(self, layout):
+        with pytest.raises(ConfigurationError):
+            MemoryImage.of_hashed(HashedPageTable(layout, grain=16))
+
+
+class TestClusteredImage:
+    def build(self, layout):
+        table = ClusteredPageTable(layout, num_buckets=64)
+        for i in range(16):
+            table.insert(0x100 + i, 0x400 + i)        # full clustered node
+        table.insert(0x210, 0x99)                     # sparse clustered node
+        table.insert_superpage(0x300, 16, 0x800)      # block superpage
+        table.insert_superpage(0x408, 8, 0x908)       # small superpage
+        table.insert(0x403, 0x55)                     # base page, same block
+        table.insert_partial_subblock(0x50, 0b1010, 0xA00)
+        return table
+
+    def test_walk_matches_table_everywhere(self, layout):
+        table = self.build(layout)
+        image = MemoryImage.of_clustered(table)
+        probes = (
+            list(range(0x100, 0x110)) + [0x210, 0x305, 0x403, 0x40A, 0x40F,
+                                         0x501, 0x503]
+        )
+        for vpn in probes:
+            expected = table.lookup(vpn)
+            assert image.walk(vpn) == (expected.ppn, expected.attrs), hex(vpn)
+
+    def test_walk_faults_match(self, layout):
+        table = self.build(layout)
+        image = MemoryImage.of_clustered(table)
+        for vpn in (0x211, 0x400, 0x500, 0x502, 0x9999):
+            with pytest.raises(PageFaultError):
+                table.lookup(vpn)
+            with pytest.raises(PageFaultError):
+                image.walk(vpn)
+
+    def test_small_superpage_does_not_leak(self, layout):
+        # The 8-page superpage at 0x408 must not translate 0x400-0x407.
+        table = self.build(layout)
+        image = MemoryImage.of_clustered(table)
+        with pytest.raises(PageFaultError):
+            image.walk(0x404)
+
+    def test_large_superpage_replicas(self, layout):
+        table = ClusteredPageTable(layout, num_buckets=64)
+        table.insert_superpage(0x400, 64, 0x800)
+        image = MemoryImage.of_clustered(table)
+        for vpn in (0x400, 0x41F, 0x43F):
+            assert image.walk(vpn)[0] == 0x800 + (vpn - 0x400)
+
+    def test_payload_matches_size_bytes(self, layout):
+        table = self.build(layout)
+        image = MemoryImage.of_clustered(table)
+        assert image.payload_bytes() == table.size_bytes()
+
+    def test_random_tables_roundtrip(self, layout):
+        rng = random.Random(31)
+        table = ClusteredPageTable(layout, num_buckets=32)
+        reference = {}
+        for _ in range(300):
+            vpn = rng.randrange(0, 4096)
+            if vpn in reference:
+                continue
+            ppn = rng.randrange(0, 1 << 20)
+            table.insert(vpn, ppn)
+            reference[vpn] = ppn
+        image = MemoryImage.of_clustered(table)
+        for vpn, ppn in reference.items():
+            assert image.walk(vpn)[0] == ppn
+        assert image.payload_bytes() == table.size_bytes()

@@ -1,0 +1,98 @@
+"""Analysis helpers: table builders, normalisation, text rendering."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    STANDARD_TABLES,
+    build_standard_tables,
+    make_table,
+    normalised_sizes,
+    table_sizes,
+)
+from repro.analysis.report import render_table
+from repro.errors import ConfigurationError
+from repro.os.promotion import DynamicPageSizePolicy
+from repro.os.translation_map import TranslationMap
+from repro.pagetables.strategies import MultiplePageTables
+
+
+class TestMakeTable:
+    @pytest.mark.parametrize("name", sorted(STANDARD_TABLES))
+    def test_standard_names_construct(self, name):
+        table = make_table(name)
+        assert table.size_bytes() >= 0
+
+    def test_hashed_multi_composition(self):
+        table = make_table("hashed-multi")
+        assert isinstance(table, MultiplePageTables)
+        assert [getattr(t, "grain", 1) for t in table.tables] == [1, 16]
+
+    def test_hashed_multi_reversed_order(self):
+        table = make_table("hashed-multi-reversed")
+        assert [getattr(t, "grain", 1) for t in table.tables] == [16, 1]
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_table("btree")
+
+
+class TestBuildAndSizes:
+    def test_build_populates_all(self, dense_space):
+        tmap = TranslationMap.from_space(dense_space)
+        tables = build_standard_tables(tmap)
+        assert set(tables) == set(STANDARD_TABLES)
+        for table in tables.values():
+            assert table.lookup(0x10000).ppn == 0x4000
+
+    def test_table_sizes_sums_processes(self, dense_space):
+        single = table_sizes([dense_space])
+        double = table_sizes([dense_space, dense_space.copy()])
+        for name in single:
+            assert double[name] == 2 * single[name]
+
+    def test_table_sizes_with_policy_shrinks_clustered(self, dense_space):
+        base = table_sizes([dense_space], names=["clustered", "hashed-multi"])
+        wide = table_sizes(
+            [dense_space], names=["clustered", "hashed-multi"],
+            policy=DynamicPageSizePolicy(), base_pages_only=False,
+        )
+        assert wide["clustered"] < base["clustered"]
+        assert wide["hashed-multi"] < base["hashed-multi"]
+
+    def test_normalised_sizes(self):
+        norm = normalised_sizes({"hashed": 100, "clustered": 40}, "hashed")
+        assert norm == {"hashed": 1.0, "clustered": 0.4}
+
+    def test_normalised_requires_reference(self):
+        with pytest.raises(ConfigurationError):
+            normalised_sizes({"a": 1}, "hashed")
+
+    def test_normalised_rejects_zero_reference(self):
+        with pytest.raises(ConfigurationError):
+            normalised_sizes({"hashed": 0}, "hashed")
+
+
+class TestRenderTable:
+    def test_alignment_and_title(self):
+        text = render_table(
+            ["name", "value"], [["a", 1.5], ["long-name", 20]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "long-name" in text and "1.50" in text
+
+    def test_none_renders_dash(self):
+        text = render_table(["a", "b"], [["x", None]])
+        assert "-" in text.splitlines()[-1]
+
+    def test_precision(self):
+        text = render_table(["a", "b"], [["x", 1.23456]], precision=4)
+        assert "1.2346" in text
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows_ok(self):
+        text = render_table(["a", "b"], [])
+        assert "a" in text

@@ -1,0 +1,154 @@
+"""Integrated MMU: TLB + page table + miss handler."""
+
+import pytest
+
+from repro.addr.layout import AddressLayout
+from repro.core.clustered import ClusteredPageTable
+from repro.errors import PageFaultError
+from repro.mmu.mmu import MMU
+from repro.mmu.subblock_tlb import CompleteSubblockTLB, PartialSubblockTLB
+from repro.mmu.superpage_tlb import SuperpageTLB
+from repro.mmu.tlb import FullyAssociativeTLB
+from repro.pagetables.hashed import HashedPageTable
+from repro.pagetables.pte import PTEKind
+
+
+def full_block_table(layout, blocks=4):
+    table = ClusteredPageTable(layout)
+    for block in range(blocks):
+        for i in range(16):
+            table.insert(0x100 + block * 16 + i, 0x400 + block * 16 + i)
+    return table
+
+
+class TestBasicTranslation:
+    def test_translate_returns_ppn(self, layout):
+        mmu = MMU(FullyAssociativeTLB(4), full_block_table(layout))
+        assert mmu.translate(0x105) == 0x405
+
+    def test_hit_skips_page_table(self, layout):
+        table = full_block_table(layout)
+        mmu = MMU(FullyAssociativeTLB(4), table)
+        mmu.translate(0x105)
+        walks_after_first = table.stats.lookups
+        mmu.translate(0x105)
+        assert table.stats.lookups == walks_after_first
+        assert mmu.stats.tlb_hits == 1
+
+    def test_unmapped_raises(self, layout):
+        mmu = MMU(FullyAssociativeTLB(4), full_block_table(layout))
+        with pytest.raises(PageFaultError):
+            mmu.translate(0x9999)
+        assert mmu.stats.page_faults == 1
+
+    def test_fault_handler_retries(self, layout):
+        table = full_block_table(layout)
+        mmu = MMU(
+            FullyAssociativeTLB(4), table,
+            fault_handler=lambda vpn: table.insert(vpn, 0xAAA),
+        )
+        assert mmu.translate(0x9999) == 0xAAA
+        assert mmu.stats.page_faults == 1
+
+    def test_stats_accumulate(self, layout):
+        mmu = MMU(FullyAssociativeTLB(4), full_block_table(layout))
+        for vpn in (0x100, 0x101, 0x102, 0x100):
+            mmu.translate(vpn)
+        assert mmu.stats.accesses == 4
+        assert mmu.stats.tlb_misses == 3
+        assert mmu.stats.lines_per_miss >= 1.0
+
+    def test_flush_forces_misses(self, layout):
+        mmu = MMU(FullyAssociativeTLB(4), full_block_table(layout))
+        mmu.translate(0x100)
+        mmu.flush_tlb()
+        mmu.translate(0x100)
+        assert mmu.stats.tlb_misses == 2
+
+
+class TestSuperpageIntegration:
+    def test_superpage_fill_covers_block(self, layout):
+        table = ClusteredPageTable(layout)
+        table.insert_superpage(0x100, 16, 0x400)
+        mmu = MMU(SuperpageTLB(4, page_sizes=(1, 16)), table)
+        mmu.translate(0x100)
+        for off in range(1, 16):
+            assert mmu.translate(0x100 + off) == 0x400 + off
+        assert mmu.stats.tlb_misses == 1  # one entry served the block
+        assert mmu.stats.misses_by_kind[PTEKind.SUPERPAGE] == 1
+
+    def test_single_page_tlb_downgrades_superpage(self, layout):
+        table = ClusteredPageTable(layout)
+        table.insert_superpage(0x100, 16, 0x400)
+        mmu = MMU(FullyAssociativeTLB(32), table)
+        for off in range(16):
+            mmu.translate(0x100 + off)
+        assert mmu.stats.tlb_misses == 16  # one miss per page
+
+
+class TestPartialSubblockIntegration:
+    def test_psb_fill_covers_valid_pages(self, layout):
+        table = ClusteredPageTable(layout)
+        table.insert_partial_subblock(0x10, 0b111, 0x400)
+        mmu = MMU(PartialSubblockTLB(4, subblock_factor=16), table)
+        assert mmu.translate(0x100) == 0x400
+        assert mmu.translate(0x101) == 0x401
+        assert mmu.translate(0x102) == 0x402
+        assert mmu.stats.tlb_misses == 1
+
+
+class TestCompleteSubblockIntegration:
+    def test_prefetch_eliminates_subblock_misses(self, layout):
+        table = full_block_table(layout, blocks=1)
+        mmu = MMU(CompleteSubblockTLB(4, subblock_factor=16), table)
+        for off in range(16):
+            mmu.translate(0x100 + off)
+        assert mmu.stats.tlb_misses == 1  # block miss prefetched the rest
+        assert mmu.tlb.stats.subblock_misses == 0
+
+    def test_without_prefetch_subblock_misses_remain(self, layout):
+        table = full_block_table(layout, blocks=1)
+        mmu = MMU(
+            CompleteSubblockTLB(4, subblock_factor=16), table,
+            prefetch_subblocks=False,
+        )
+        for off in range(16):
+            mmu.translate(0x100 + off)
+        assert mmu.stats.tlb_misses == 16
+        assert mmu.tlb.stats.subblock_misses == 15
+
+    def test_prefetch_from_hashed_costs_sixteen_probes(self, layout):
+        # Figure 11d: hashed pays ~16 lines per block miss.
+        table = HashedPageTable(layout)
+        for i in range(16):
+            table.insert(0x100 + i, 0x400 + i)
+        mmu = MMU(CompleteSubblockTLB(4, subblock_factor=16), table)
+        mmu.translate(0x105)
+        assert mmu.stats.cache_lines >= 16
+
+    def test_prefetch_from_clustered_costs_one_line(self, layout):
+        table = full_block_table(layout, blocks=1)
+        mmu = MMU(CompleteSubblockTLB(4, subblock_factor=16), table)
+        mmu.translate(0x105)
+        assert mmu.stats.cache_lines == 1
+
+    def test_block_miss_fault_without_handler(self, layout):
+        table = ClusteredPageTable(layout)
+        mmu = MMU(CompleteSubblockTLB(4, subblock_factor=16), table)
+        with pytest.raises(PageFaultError):
+            mmu.translate(0x9999)
+
+    def test_block_miss_fault_handler(self, layout):
+        table = ClusteredPageTable(layout)
+        mmu = MMU(
+            CompleteSubblockTLB(4, subblock_factor=16), table,
+            fault_handler=lambda vpn: table.insert(vpn, 0xBBB),
+        )
+        assert mmu.translate(0x9999) == 0xBBB
+
+    def test_run_trace(self, layout):
+        mmu = MMU(CompleteSubblockTLB(8, subblock_factor=16),
+                  full_block_table(layout))
+        stats = mmu.run_trace([0x100, 0x101, 0x110, 0x111, 0x100])
+        assert stats.accesses == 5
+        assert stats.tlb_misses == 2  # two blocks, prefetched

@@ -1,0 +1,119 @@
+"""Frame allocators: first-fit baseline and page reservation."""
+
+import pytest
+
+from repro.addr.layout import AddressLayout
+from repro.errors import ConfigurationError, OutOfMemoryError
+from repro.os.physmem import FrameAllocator, ReservationAllocator
+
+
+class TestFrameAllocator:
+    def test_allocates_distinct_frames(self, layout):
+        allocator = FrameAllocator(64, layout)
+        frames = {allocator.allocate(vpn) for vpn in range(64)}
+        assert len(frames) == 64
+
+    def test_exhaustion_raises(self, layout):
+        allocator = FrameAllocator(2, layout)
+        allocator.allocate(0)
+        allocator.allocate(1)
+        with pytest.raises(OutOfMemoryError):
+            allocator.allocate(2)
+
+    def test_release_recycles(self, layout):
+        allocator = FrameAllocator(1, layout)
+        ppn = allocator.allocate(0)
+        allocator.release(ppn)
+        assert allocator.allocate(1) == ppn
+
+    def test_double_free_rejected(self, layout):
+        allocator = FrameAllocator(4, layout)
+        ppn = allocator.allocate(0)
+        allocator.release(ppn)
+        with pytest.raises(ConfigurationError):
+            allocator.release(ppn)
+
+    def test_free_of_unallocated_rejected(self, layout):
+        with pytest.raises(ConfigurationError):
+            FrameAllocator(4, layout).release(99)
+
+    def test_rejects_zero_frames(self, layout):
+        with pytest.raises(ConfigurationError):
+            FrameAllocator(0, layout)
+
+    def test_stats_count(self, layout):
+        allocator = FrameAllocator(16, layout)
+        allocator.allocate(0)
+        allocator.release(0)
+        assert allocator.stats.allocations == 1
+        assert allocator.stats.frees == 1
+
+
+class TestReservationAllocator:
+    def test_block_pages_properly_placed(self, layout):
+        allocator = ReservationAllocator(64, layout)
+        base_vpn = 0x120  # block-aligned (0x120 = 18 * 16)
+        ppns = [allocator.allocate(base_vpn + i) for i in range(16)]
+        base_ppn = ppns[0]
+        assert base_ppn % 16 == 0
+        assert ppns == list(range(base_ppn, base_ppn + 16))
+        assert allocator.stats.placement_rate == 1.0
+
+    def test_interleaved_blocks_each_reserved(self, layout):
+        allocator = ReservationAllocator(64, layout)
+        a = allocator.allocate(0x100)
+        b = allocator.allocate(0x200)
+        a2 = allocator.allocate(0x101)
+        b2 = allocator.allocate(0x201)
+        assert a2 == a + 1 and b2 == b + 1
+        assert a // 16 != b // 16
+
+    def test_pressure_steals_reservations(self, layout):
+        # 2 blocks of frames, 3 virtual blocks touched: the third must
+        # steal and land improperly placed.
+        allocator = ReservationAllocator(32, layout)
+        allocator.allocate(0x100)
+        allocator.allocate(0x200)
+        allocator.allocate(0x300)
+        assert allocator.stats.fallback_placed >= 1
+        assert allocator.stats.reservations_stolen >= 1
+
+    def test_exhaustion_after_stealing(self, layout):
+        allocator = ReservationAllocator(16, layout)
+        for i in range(16):
+            allocator.allocate(0x1000 + i * 16)  # 16 different blocks
+        with pytest.raises(OutOfMemoryError):
+            allocator.allocate(0x9999)
+
+    def test_release_reforms_block(self, layout):
+        allocator = ReservationAllocator(16, layout)
+        ppns = [allocator.allocate(0x100 + i) for i in range(16)]
+        for ppn in ppns:
+            allocator.release(ppn)
+        # The freed reservation is again available as an aligned block.
+        fresh = allocator.allocate(0x200)
+        assert fresh % 16 == 0
+        assert allocator.stats.properly_placed == 17
+
+    def test_rejects_unaligned_frame_count(self, layout):
+        with pytest.raises(ConfigurationError):
+            ReservationAllocator(30, layout)
+
+    def test_reservation_lookup(self, layout):
+        allocator = ReservationAllocator(32, layout)
+        allocator.allocate(0x100)
+        assert allocator.reservation_for(0x10) is not None
+        assert allocator.reservation_for(0x55) is None
+
+    def test_fragmentation_metric(self, layout):
+        allocator = ReservationAllocator(32, layout)
+        assert allocator.fragmentation() == 0.0
+        allocator.allocate(0x100)  # breaks one block
+        assert 0.0 < allocator.fragmentation() <= 1.0
+
+    def test_small_factor_layout(self):
+        layout = AddressLayout(subblock_factor=4)
+        allocator = ReservationAllocator(16, layout)
+        ppns = [allocator.allocate(0x40 + i) for i in range(4)]
+        assert ppns[0] % 4 == 0
+        assert ppns == list(range(ppns[0], ppns[0] + 4))

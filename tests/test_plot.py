@@ -1,0 +1,56 @@
+"""Terminal bar-chart rendering."""
+
+import pytest
+
+from repro.analysis.plot import bar_chart, chart_result
+from repro.errors import ConfigurationError
+from repro.experiments.common import ExperimentResult
+
+
+class TestBarChart:
+    def test_basic_structure(self):
+        text = bar_chart(
+            ["a", "b"], {"x": [1.0, 2.0], "y": [0.5, 1.5]}, title="T"
+        )
+        assert text.startswith("T\n=")
+        assert "a:" in text and "b:" in text
+        assert "1.00" in text and "2.00" in text
+        assert "x" in text.splitlines()[-1]  # legend
+
+    def test_clip_marks_truncation(self):
+        text = bar_chart(["a"], {"x": [10.0]}, clip=5.0)
+        assert "(clipped)" in text and "10.00" in text
+
+    def test_reference_tick_drawn(self):
+        text = bar_chart(["a"], {"x": [0.2], "y": [1.0]}, reference=1.0)
+        assert "|" in text
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bar_chart(["a", "b"], {"x": [1.0]})
+
+    def test_bars_scale_monotonically(self):
+        text = bar_chart(["a"], {"x": [1.0], "y": [2.0]})
+        lines = [l for l in text.splitlines() if "▰" in l or "▱" in l]
+        assert len(lines[0].split()[1]) < len(lines[1].split()[1])
+
+
+class TestChartResult:
+    def make_result(self):
+        return ExperimentResult(
+            experiment="E",
+            headers=["workload", "hashed", "clustered", "note"],
+            rows=[["w1", 1.0, 0.4, "x"], ["w2", 1.0, 0.5, "y"]],
+        )
+
+    def test_numeric_columns_become_series(self):
+        text = chart_result(self.make_result())
+        assert "hashed" in text and "clustered" in text
+        assert "note" not in text.splitlines()[-1]
+
+    def test_no_numeric_columns_rejected(self):
+        result = ExperimentResult(
+            experiment="E", headers=["a", "b"], rows=[["x", "y"]]
+        )
+        with pytest.raises(ConfigurationError):
+            chart_result(result)

@@ -1,0 +1,52 @@
+"""The §7 memory-pressure and §5 promotion-scan studies."""
+
+import pytest
+
+from repro.experiments import pressure, promotion_scan
+
+
+class TestPressure:
+    def test_unloaded_machine_places_everything(self):
+        result = pressure.run(scenarios=((2.0, 0.0),))
+        row = result.rows[0]
+        assert row[2] == 1.0   # placement rate
+        assert row[3] == 1.0   # fss
+
+    def test_fragmentation_destroys_placement(self):
+        result = pressure.run(scenarios=((2.0, 0.0), (1.1, 0.5)))
+        relaxed, pressed = result.rows
+        assert pressed[2] < relaxed[2]          # placement rate drops
+        assert pressed[3] < relaxed[3]          # fss drops
+        assert pressed[4] > relaxed[4]          # size advantage shrinks
+
+    def test_monotone_decay_over_scenarios(self):
+        result = pressure.run(
+            scenarios=((2.0, 0.0), (1.25, 0.3), (1.1, 0.5))
+        )
+        placements = [row[2] for row in result.rows]
+        assert placements == sorted(placements, reverse=True)
+
+    def test_rejects_multiprocess_workload(self):
+        with pytest.raises(ValueError):
+            pressure.run(workload_name="gcc")
+
+
+class TestPromotionScan:
+    def test_cost_ordering(self):
+        result = promotion_scan.run(workloads=("mp3d",))
+        row = dict(zip(result.headers[1:], result.rows[0][1:]))
+        # §5: clustered ~1 line per block, hashed ~subblock-factor probes.
+        assert row["clustered"] < 2.0
+        assert row["linear-1lvl"] < 2.0
+        assert row["hashed"] > 10.0
+
+    def test_promotable_blocks_found(self):
+        result = promotion_scan.run(workloads=("mp3d",))
+        row = dict(zip(result.headers[1:], result.rows[0][1:]))
+        # mp3d is dense and properly placed: most blocks promotable.
+        assert row["promotable blocks"] > 0.8 * row["blocks"]
+
+    def test_sparse_workload_finds_fewer(self):
+        result = promotion_scan.run(workloads=("gcc",))
+        row = dict(zip(result.headers[1:], result.rows[0][1:]))
+        assert row["promotable blocks"] < 0.5 * row["blocks"]

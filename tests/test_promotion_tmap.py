@@ -1,0 +1,201 @@
+"""Page-size policy decisions and the translation map built from them."""
+
+import pytest
+
+from repro.addr.layout import AddressLayout
+from repro.addr.space import AddressSpace
+from repro.core.clustered import ClusteredPageTable
+from repro.os.promotion import (
+    BASE_ONLY_POLICY,
+    BlockFormat,
+    DynamicPageSizePolicy,
+)
+from repro.os.translation_map import TranslationMap
+from repro.pagetables.hashed import HashedPageTable
+from repro.pagetables.linear import LinearPageTable
+from repro.pagetables.pte import PTEKind
+
+
+def placed_block(space, vpbn, mask, base_ppn, attrs=0x7):
+    base = vpbn * space.layout.subblock_factor
+    for boff in range(space.layout.subblock_factor):
+        if (mask >> boff) & 1:
+            space.map(base + boff, base_ppn + boff, attrs)
+
+
+class TestPolicyDecisions:
+    def test_full_placed_block_becomes_superpage(self, layout):
+        space = AddressSpace(layout)
+        placed_block(space, 0x10, 0xFFFF, 0x400)
+        decision = DynamicPageSizePolicy().decide_block(space, 0x10)
+        assert decision.format is BlockFormat.SUPERPAGE
+        assert decision.base_ppn == 0x400
+
+    def test_partial_placed_block_becomes_subblock(self, layout):
+        space = AddressSpace(layout)
+        placed_block(space, 0x10, 0b1011, 0x400)
+        decision = DynamicPageSizePolicy().decide_block(space, 0x10)
+        assert decision.format is BlockFormat.PARTIAL_SUBBLOCK
+        assert decision.valid_mask == 0b1011
+
+    def test_unplaced_block_stays_base(self, layout):
+        space = AddressSpace(layout)
+        space.map(0x100, 0x400)
+        space.map(0x101, 0x999)  # wrong slot
+        decision = DynamicPageSizePolicy().decide_block(space, 0x10)
+        assert decision.format is BlockFormat.BASE
+
+    def test_mixed_attrs_stay_base(self, layout):
+        space = AddressSpace(layout)
+        space.map(0x100, 0x400, attrs=0x1)
+        space.map(0x101, 0x401, attrs=0x7)
+        decision = DynamicPageSizePolicy().decide_block(space, 0x10)
+        assert decision.format is BlockFormat.BASE
+
+    def test_unaligned_physical_base_stays_base(self, layout):
+        space = AddressSpace(layout)
+        # Placed relative to each other but not to an aligned block.
+        space.map(0x100, 0x408)
+        space.map(0x101, 0x409)
+        decision = DynamicPageSizePolicy().decide_block(space, 0x10)
+        assert decision.format is BlockFormat.BASE
+
+    def test_empty_block_is_none(self, layout):
+        assert DynamicPageSizePolicy().decide_block(AddressSpace(layout), 5) is None
+
+    def test_superpages_disabled(self, layout):
+        space = AddressSpace(layout)
+        placed_block(space, 0x10, 0xFFFF, 0x400)
+        policy = DynamicPageSizePolicy(enable_superpages=False)
+        assert policy.decide_block(space, 0x10).format is BlockFormat.PARTIAL_SUBBLOCK
+
+    def test_base_only_policy(self, layout):
+        space = AddressSpace(layout)
+        placed_block(space, 0x10, 0xFFFF, 0x400)
+        assert BASE_ONLY_POLICY.decide_block(space, 0x10).format is BlockFormat.BASE
+
+    def test_threshold_gates_subblocking(self, layout):
+        space = AddressSpace(layout)
+        placed_block(space, 0x10, 0b11, 0x400)
+        policy = DynamicPageSizePolicy(promote_threshold=4)
+        assert policy.decide_block(space, 0x10).format is BlockFormat.BASE
+
+    def test_decide_covers_all_blocks(self, layout):
+        space = AddressSpace(layout)
+        placed_block(space, 0x10, 0xFFFF, 0x400)
+        placed_block(space, 0x20, 0b1, 0x600)
+        decisions = DynamicPageSizePolicy().decide(space)
+        assert set(decisions) == {0x10, 0x20}
+
+    def test_format_fractions(self, layout):
+        space = AddressSpace(layout)
+        placed_block(space, 0x10, 0xFFFF, 0x400)
+        placed_block(space, 0x20, 0b1, 0x600)
+        decisions = DynamicPageSizePolicy().decide(space)
+        fractions = DynamicPageSizePolicy.format_fractions(decisions)
+        assert fractions[BlockFormat.SUPERPAGE] == pytest.approx(0.5)
+        assert fractions[BlockFormat.PARTIAL_SUBBLOCK] == pytest.approx(0.5)
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            DynamicPageSizePolicy(promote_threshold=0)
+
+
+class TestTranslationMap:
+    def make_space(self, layout):
+        space = AddressSpace(layout)
+        placed_block(space, 0x10, 0xFFFF, 0x400)   # superpage
+        placed_block(space, 0x20, 0b101, 0x600)    # partial subblock
+        space.map(0x300, 0x999)                    # unplaced base page
+        space.map(0x301, 0x111)
+        return space
+
+    def test_query_each_kind(self, layout):
+        tmap = TranslationMap.from_space(
+            self.make_space(layout), DynamicPageSizePolicy()
+        )
+        assert tmap.query(0x105).kind is PTEKind.SUPERPAGE
+        assert tmap.query(0x200).kind is PTEKind.PARTIAL_SUBBLOCK
+        assert tmap.query(0x300).kind is PTEKind.BASE
+        assert tmap.query(0x9999) is None
+
+    def test_query_respects_masks(self, layout):
+        tmap = TranslationMap.from_space(
+            self.make_space(layout), DynamicPageSizePolicy()
+        )
+        assert tmap.query(0x201) is None  # invalid bit of the psb block
+
+    def test_query_resolves_ppns(self, layout):
+        tmap = TranslationMap.from_space(
+            self.make_space(layout), DynamicPageSizePolicy()
+        )
+        assert tmap.query(0x105).ppn_for(0x105) == 0x405
+        assert tmap.query(0x202).ppn_for(0x202) == 0x602
+
+    def test_counts_and_fss(self, layout):
+        tmap = TranslationMap.from_space(
+            self.make_space(layout), DynamicPageSizePolicy()
+        )
+        assert tmap.counts() == {"base": 2, "superpage": 1,
+                                 "partial_subblock": 1}
+        assert tmap.wide_fraction() == pytest.approx(2 / 3)
+
+    def test_block_mappings(self, layout):
+        tmap = TranslationMap.from_space(
+            self.make_space(layout), DynamicPageSizePolicy()
+        )
+        mappings = tmap.block_mappings(0x20)
+        assert mappings[0].ppn == 0x600
+        assert mappings[1] is None
+        assert mappings[2].ppn == 0x602
+
+    def test_mapped_vpns_complete(self, layout):
+        space = self.make_space(layout)
+        tmap = TranslationMap.from_space(space, DynamicPageSizePolicy())
+        assert sorted(tmap.mapped_vpns()) == sorted(space)
+
+    def test_populate_native(self, layout):
+        tmap = TranslationMap.from_space(
+            self.make_space(layout), DynamicPageSizePolicy()
+        )
+        table = ClusteredPageTable(layout)
+        tmap.populate(table)
+        assert table.lookup(0x105).kind is PTEKind.SUPERPAGE
+        assert table.lookup(0x202).kind is PTEKind.PARTIAL_SUBBLOCK
+        assert table.lookup(0x300).kind is PTEKind.BASE
+
+    def test_populate_base_only_decomposes(self, layout):
+        space = self.make_space(layout)
+        tmap = TranslationMap.from_space(space, DynamicPageSizePolicy())
+        table = HashedPageTable(layout)
+        tmap.populate(table, base_pages_only=True)
+        assert table.node_count == len(space)
+        assert table.lookup(0x105).kind is PTEKind.BASE
+
+    def test_populate_replicating_table(self, layout):
+        tmap = TranslationMap.from_space(
+            self.make_space(layout), DynamicPageSizePolicy()
+        )
+        table = LinearPageTable(layout)
+        tmap.populate(table)
+        assert table.lookup(0x105).kind is PTEKind.SUPERPAGE
+
+    def test_no_policy_means_base_pages(self, layout):
+        space = self.make_space(layout)
+        tmap = TranslationMap.from_space(space)
+        assert len(tmap) == len(space)
+        assert tmap.counts()["superpage"] == 0
+
+    def test_len_counts_ptes(self, layout):
+        tmap = TranslationMap.from_space(
+            self.make_space(layout), DynamicPageSizePolicy()
+        )
+        assert len(tmap) == 4  # 1 superpage + 1 psb + 2 base
+
+    def test_agreement_with_space(self, layout):
+        # Every mapped page resolves to the same PPN the space holds.
+        space = self.make_space(layout)
+        tmap = TranslationMap.from_space(space, DynamicPageSizePolicy())
+        for vpn, mapping in space.items():
+            pte = tmap.query(vpn)
+            assert pte is not None and pte.ppn_for(vpn) == mapping.ppn

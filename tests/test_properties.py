@@ -1,0 +1,171 @@
+"""Property-based tests: every page table is a faithful dictionary.
+
+The central invariant of the whole library: **any** page table, after any
+sequence of inserts and removes, must translate exactly the set of pages a
+plain dictionary (the AddressSpace oracle) says are mapped, to exactly the
+same frames.  Hypothesis drives randomized operation sequences against
+every organisation.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.addr.layout import AddressLayout
+from repro.addr.space import Mapping
+from repro.core.clustered import ClusteredPageTable
+from repro.core.variable import VariableClusteredPageTable
+from repro.errors import PageFaultError
+from repro.mmu.tlb import FullyAssociativeTLB, TLBEntry
+from repro.os.physmem import ReservationAllocator
+from repro.pagetables.forward import ForwardMappedPageTable
+from repro.pagetables.hashed import HashedPageTable, SuperpageIndexHashedPageTable
+from repro.pagetables.inverted import InvertedPageTable
+from repro.pagetables.linear import LinearPageTable
+from repro.pagetables.pte import PTEKind
+from repro.pagetables.software_tlb import SoftwareTLBTable
+
+LAYOUT = AddressLayout()
+
+TABLE_FACTORIES = [
+    lambda: HashedPageTable(LAYOUT, num_buckets=64),
+    lambda: InvertedPageTable(LAYOUT, num_buckets=64),
+    lambda: SuperpageIndexHashedPageTable(LAYOUT, num_buckets=64),
+    lambda: SoftwareTLBTable(LAYOUT, num_sets=16, associativity=2),
+    lambda: LinearPageTable(LAYOUT, structure="multilevel"),
+    lambda: LinearPageTable(LAYOUT, structure="ideal"),
+    lambda: ForwardMappedPageTable(LAYOUT),
+    lambda: ClusteredPageTable(LAYOUT, num_buckets=64),
+    lambda: VariableClusteredPageTable(LAYOUT, num_buckets=64),
+]
+
+# Operations: (vpn, ppn) pairs; a vpn already mapped means "remove it".
+operations = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=500),
+        st.integers(min_value=0, max_value=(1 << 20)),
+    ),
+    max_size=60,
+)
+
+
+@pytest.mark.parametrize("factory", TABLE_FACTORIES,
+                         ids=lambda f: type(f()).__name__)
+@settings(max_examples=40, deadline=None)
+@given(ops=operations)
+def test_any_table_matches_dictionary_oracle(factory, ops):
+    table = factory()
+    oracle = {}
+    for vpn, ppn in ops:
+        if vpn in oracle:
+            table.remove(vpn)
+            del oracle[vpn]
+        else:
+            table.insert(vpn, ppn)
+            oracle[vpn] = ppn
+    for vpn in range(0, 501, 7):
+        if vpn in oracle:
+            assert table.lookup(vpn).ppn == oracle[vpn]
+        else:
+            with pytest.raises(PageFaultError):
+                table.lookup(vpn)
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops=operations)
+def test_clustered_size_invariant(ops):
+    """Clustered size always equals nodes' format sizes, and node count
+    equals the number of distinct populated (block, kind) units."""
+    table = ClusteredPageTable(LAYOUT, num_buckets=32)
+    live = {}
+    for vpn, ppn in ops:
+        if vpn in live:
+            table.remove(vpn)
+            del live[vpn]
+        else:
+            table.insert(vpn, ppn)
+            live[vpn] = ppn
+    blocks = {vpn // 16 for vpn in live}
+    assert table.node_count == len(blocks)
+    assert table.size_bytes() == len(blocks) * 144
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    mask=st.integers(min_value=1, max_value=(1 << 16) - 1),
+    vpbn=st.integers(min_value=0, max_value=1 << 30),
+)
+def test_partial_subblock_exact_valid_set(mask, vpbn):
+    """A psb PTE translates exactly the pages its mask validates."""
+    table = ClusteredPageTable(LAYOUT)
+    base_ppn = 16 * 5
+    table.insert_partial_subblock(vpbn, mask, base_ppn)
+    block_base = vpbn * 16
+    for boff in range(16):
+        if (mask >> boff) & 1:
+            assert table.lookup(block_base + boff).ppn == base_ppn + boff
+        else:
+            with pytest.raises(PageFaultError):
+                table.lookup(block_base + boff)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    vpns=st.lists(st.integers(min_value=0, max_value=256), min_size=1,
+                  max_size=200),
+)
+def test_tlb_never_exceeds_capacity_and_lru_holds(vpns):
+    """After any reference string, the TLB holds at most `capacity`
+    entries, and they are exactly the most recently used distinct pages."""
+    capacity = 8
+    tlb = FullyAssociativeTLB(capacity)
+    for vpn in vpns:
+        if tlb.lookup(vpn) is None:
+            tlb.fill(TLBEntry(base_vpn=vpn, npages=1, base_ppn=vpn, attrs=0,
+                              valid_mask=1, kind=PTEKind.BASE))
+    assert len(tlb) <= capacity
+    recent = []
+    for vpn in reversed(vpns):
+        if vpn not in recent:
+            recent.append(vpn)
+        if len(recent) == capacity:
+            break
+    resident = {entry.base_vpn for entry in tlb.entries()}
+    assert resident == set(recent[: len(resident)])
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    vpns=st.lists(
+        st.integers(min_value=0, max_value=2000), min_size=1, max_size=64,
+        unique=True,
+    )
+)
+def test_reservation_allocator_invariants(vpns):
+    """No frame is handed out twice, and frames for one block either share
+    its reservation (properly placed) or are counted as fallbacks."""
+    allocator = ReservationAllocator(4096, LAYOUT)
+    seen = set()
+    for vpn in vpns:
+        ppn = allocator.allocate(vpn)
+        assert ppn not in seen
+        seen.add(ppn)
+    stats = allocator.stats
+    assert stats.properly_placed + stats.fallback_placed == len(vpns)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    base_block=st.integers(min_value=0, max_value=1 << 20),
+    npages_log=st.integers(min_value=0, max_value=6),
+)
+def test_superpage_translates_whole_range(base_block, npages_log):
+    """A superpage PTE resolves every covered page with offset arithmetic."""
+    npages = 1 << npages_log
+    table = ClusteredPageTable(LAYOUT)
+    base_vpn = base_block * 64  # aligned for any npages <= 64
+    base_ppn = 64 * 3
+    table.insert_superpage(base_vpn, npages, base_ppn)
+    for off in range(npages):
+        result = table.lookup(base_vpn + off)
+        assert result.ppn == base_ppn + off
+        assert result.base_vpn == base_vpn and result.npages == npages

@@ -1,0 +1,148 @@
+"""Protection enforcement and copy-on-write."""
+
+import pytest
+
+from repro.addr.layout import AddressLayout
+from repro.core.clustered import ClusteredPageTable
+from repro.errors import PageFaultError, ProtectionFaultError
+from repro.mmu.mmu import MMU
+from repro.mmu.tlb import FullyAssociativeTLB
+from repro.os.cow import COWManager
+from repro.pagetables.pte import ATTR_READ, ATTR_WRITE
+
+
+class TestProtectionEnforcement:
+    def make_mmu(self, layout, handler=None):
+        table = ClusteredPageTable(layout)
+        table.insert(0x100, 0x400, attrs=ATTR_READ)          # read-only
+        table.insert(0x101, 0x401, attrs=ATTR_READ | ATTR_WRITE)
+        return MMU(
+            FullyAssociativeTLB(8), table, enforce_protection=True,
+            protection_handler=handler,
+        ), table
+
+    def test_read_of_read_only_page_ok(self, layout):
+        mmu, _ = self.make_mmu(layout)
+        assert mmu.translate(0x100) == 0x400
+
+    def test_write_to_read_only_page_faults(self, layout):
+        mmu, _ = self.make_mmu(layout)
+        with pytest.raises(ProtectionFaultError) as excinfo:
+            mmu.translate(0x100, write=True)
+        assert excinfo.value.vpn == 0x100
+        assert mmu.stats.protection_faults == 1
+
+    def test_write_to_writable_page_ok(self, layout):
+        mmu, _ = self.make_mmu(layout)
+        assert mmu.translate(0x101, write=True) == 0x401
+
+    def test_fault_on_cached_entry_too(self, layout):
+        # Hit path must also enforce (the entry carries the attributes).
+        mmu, _ = self.make_mmu(layout)
+        mmu.translate(0x100)  # load entry via read
+        with pytest.raises(ProtectionFaultError):
+            mmu.translate(0x100, write=True)
+
+    def test_handler_fixes_and_retries(self, layout):
+        table = ClusteredPageTable(layout)
+        table.insert(0x100, 0x400, attrs=ATTR_READ)
+
+        def grant_write(vpn):
+            table.mark(vpn, set_bits=ATTR_WRITE)
+
+        mmu = MMU(FullyAssociativeTLB(8), table, enforce_protection=True,
+                  protection_handler=grant_write)
+        assert mmu.translate(0x100, write=True) == 0x400
+        assert mmu.stats.protection_faults == 1
+        # Second write: no further faults.
+        mmu.translate(0x100, write=True)
+        assert mmu.stats.protection_faults == 1
+
+    def test_handler_that_fixes_nothing_raises_on_retry(self, layout):
+        mmu, _ = self.make_mmu(layout, handler=lambda vpn: None)
+        with pytest.raises(ProtectionFaultError):
+            mmu.translate(0x100, write=True)
+
+    def test_disabled_by_default(self, layout):
+        table = ClusteredPageTable(layout)
+        table.insert(0x100, 0x400, attrs=ATTR_READ)
+        mmu = MMU(FullyAssociativeTLB(8), table)
+        assert mmu.translate(0x100, write=True) == 0x400
+
+
+class TestCOW:
+    def make(self, layout, pages=8):
+        cow = COWManager(
+            ClusteredPageTable(layout), ClusteredPageTable(layout),
+            lambda: FullyAssociativeTLB(16), frames=256,
+        )
+        for i in range(pages):
+            cow.map_parent(0x100 + i)
+        cow.fork()
+        return cow
+
+    def test_fork_shares_frames(self, layout):
+        cow = self.make(layout)
+        assert cow.shared_pages == 8
+        assert cow.read("parent", 0x100) == cow.read("child", 0x100)
+        cow.check_consistency()
+
+    def test_reads_do_not_break_sharing(self, layout):
+        cow = self.make(layout)
+        for i in range(8):
+            cow.read("parent", 0x100 + i)
+            cow.read("child", 0x100 + i)
+        assert cow.shared_pages == 8
+        assert cow.stats.cow_breaks == 0
+
+    def test_child_write_gets_private_copy(self, layout):
+        cow = self.make(layout)
+        original = cow.read("parent", 0x102)
+        new_ppn = cow.write("child", 0x102)
+        assert new_ppn != original
+        assert cow.read("parent", 0x102) == original
+        assert cow.stats.cow_breaks == 1
+        assert cow.shared_pages == 7
+        cow.check_consistency()
+
+    def test_parent_write_also_breaks(self, layout):
+        cow = self.make(layout)
+        child_before = cow.read("child", 0x103)
+        parent_ppn = cow.write("parent", 0x103)
+        assert parent_ppn != child_before
+        assert cow.read("child", 0x103) == child_before
+
+    def test_second_write_after_break_is_cheap(self, layout):
+        cow = self.make(layout)
+        cow.write("child", 0x104)
+        faults = cow.child_mmu.stats.protection_faults
+        cow.write("child", 0x104)
+        assert cow.child_mmu.stats.protection_faults == faults
+
+    def test_other_side_writable_after_break(self, layout):
+        cow = self.make(layout)
+        cow.write("child", 0x105)
+        # The parent's page was restored to writable: no further fault.
+        cow.write("parent", 0x105)
+        assert cow.parent_mmu.stats.protection_faults == 0
+
+    def test_writes_diverge_contents(self, layout):
+        cow = self.make(layout)
+        parent_ppn = cow.write("parent", 0x100)
+        child_ppn = cow.read("child", 0x100)
+        assert parent_ppn != child_ppn
+        cow.check_consistency()
+
+    def test_break_all_pages(self, layout):
+        cow = self.make(layout)
+        for i in range(8):
+            cow.write("child", 0x100 + i)
+        assert cow.shared_pages == 0
+        assert cow.stats.frames_copied == 8
+        cow.check_consistency()
+
+    def test_protection_fault_outside_share_propagates(self, layout):
+        cow = self.make(layout)
+        cow.child.map_page(0x500, attrs=ATTR_READ)  # private read-only
+        with pytest.raises(PageFaultError):
+            cow.write("child", 0x500)

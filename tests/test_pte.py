@@ -1,0 +1,163 @@
+"""Bit-level PTE formats (paper Figures 1, 6, 7)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import EncodingError
+from repro.pagetables.pte import (
+    ATTR_MODIFIED,
+    ATTR_READ,
+    ATTR_WRITE,
+    BasePTE,
+    PartialSubblockPTE,
+    PTEKind,
+    SuperpagePTE,
+    decode_pte,
+    pte_kind,
+)
+
+
+class TestBasePTE:
+    def test_roundtrip(self):
+        pte = BasePTE(ppn=0xABCDEF, attrs=ATTR_READ | ATTR_MODIFIED)
+        assert BasePTE.decode(pte.encode()) == pte
+
+    def test_valid_bit_is_bit_63(self):
+        assert BasePTE(ppn=0, attrs=0, valid=True).encode() >> 63 == 1
+        assert BasePTE(ppn=0, attrs=0, valid=False).encode() >> 63 == 0
+
+    def test_ppn_field_position(self):
+        # Figure 1: PPN occupies bits 12..39.
+        word = BasePTE(ppn=0x1, attrs=0).encode()
+        assert (word >> 12) & 0xFFFFFFF == 0x1
+
+    def test_attr_field_low_bits(self):
+        word = BasePTE(ppn=0, attrs=0xABC).encode()
+        assert word & 0xFFF == 0xABC
+
+    def test_fits_in_64_bits(self):
+        word = BasePTE(ppn=(1 << 28) - 1, attrs=0xFFF).encode()
+        assert word < (1 << 64)
+
+    def test_rejects_oversized_ppn(self):
+        with pytest.raises(EncodingError):
+            BasePTE(ppn=1 << 28, attrs=0).encode()
+
+    def test_rejects_oversized_attrs(self):
+        with pytest.raises(EncodingError):
+            BasePTE(ppn=0, attrs=1 << 12).encode()
+
+    def test_kind_marker(self):
+        assert pte_kind(BasePTE(ppn=1).encode()) is PTEKind.BASE
+
+
+class TestSuperpagePTE:
+    def test_roundtrip(self):
+        pte = SuperpagePTE(ppn=0x4000, npages=16)
+        assert SuperpagePTE.decode(pte.encode()) == pte
+
+    def test_size_stored_as_log2(self):
+        word = SuperpagePTE(ppn=0, npages=16).encode()
+        assert (word >> 59) & 0xF == 4
+
+    def test_rejects_non_power_of_two_size(self):
+        with pytest.raises(EncodingError):
+            SuperpagePTE(ppn=0, npages=12)
+
+    def test_large_superpage_sizes(self):
+        for npages in (2, 64, 1 << 15):
+            pte = SuperpagePTE(ppn=0, npages=npages)
+            assert SuperpagePTE.decode(pte.encode()).npages == npages
+
+    def test_rejects_size_overflowing_sz_field(self):
+        with pytest.raises(EncodingError):
+            SuperpagePTE(ppn=0, npages=1 << 16)
+
+    def test_ppn_for_offsets(self):
+        pte = SuperpagePTE(ppn=0x100, npages=16)
+        assert pte.ppn_for(0) == 0x100
+        assert pte.ppn_for(15) == 0x10F
+
+    def test_ppn_for_out_of_range(self):
+        with pytest.raises(EncodingError):
+            SuperpagePTE(ppn=0x100, npages=16).ppn_for(16)
+
+    def test_kind_marker(self):
+        assert pte_kind(SuperpagePTE(ppn=0, npages=2).encode()) is PTEKind.SUPERPAGE
+
+
+class TestPartialSubblockPTE:
+    def test_roundtrip(self):
+        pte = PartialSubblockPTE(ppn=0x200, valid_mask=0xBEEF)
+        assert PartialSubblockPTE.decode(pte.encode()) == pte
+
+    def test_valid_bits_position(self):
+        word = PartialSubblockPTE(ppn=0, valid_mask=0x8001).encode()
+        assert (word >> 48) & 0xFFFF == 0x8001
+
+    def test_rejects_wide_mask(self):
+        with pytest.raises(EncodingError):
+            PartialSubblockPTE(ppn=0, valid_mask=1 << 16)
+
+    def test_validity_queries(self):
+        pte = PartialSubblockPTE(ppn=0x300, valid_mask=0b1010)
+        assert pte.is_valid(1) and pte.is_valid(3)
+        assert not pte.is_valid(0) and not pte.is_valid(2)
+        assert pte.valid
+        assert pte.population() == 2
+
+    def test_empty_mask_not_valid(self):
+        assert not PartialSubblockPTE(ppn=0, valid_mask=0).valid
+
+    def test_ppn_for_valid_page(self):
+        pte = PartialSubblockPTE(ppn=0x300, valid_mask=0b10)
+        assert pte.ppn_for(1) == 0x301
+
+    def test_ppn_for_invalid_page_rejected(self):
+        with pytest.raises(EncodingError):
+            PartialSubblockPTE(ppn=0x300, valid_mask=0b10).ppn_for(0)
+
+    def test_kind_marker(self):
+        word = PartialSubblockPTE(ppn=0, valid_mask=1).encode()
+        assert pte_kind(word) is PTEKind.PARTIAL_SUBBLOCK
+
+
+class TestDecodeDispatch:
+    def test_decode_selects_by_s_field(self):
+        base = BasePTE(ppn=1, attrs=2)
+        superpage = SuperpagePTE(ppn=16, npages=4)
+        partial = PartialSubblockPTE(ppn=32, valid_mask=0xF)
+        assert decode_pte(base.encode()) == base
+        assert decode_pte(superpage.encode()) == superpage
+        assert decode_pte(partial.encode()) == partial
+
+
+@given(
+    ppn=st.integers(min_value=0, max_value=(1 << 28) - 1),
+    attrs=st.integers(min_value=0, max_value=(1 << 12) - 1),
+    valid=st.booleans(),
+)
+def test_base_pte_roundtrip_property(ppn, attrs, valid):
+    pte = BasePTE(ppn=ppn, attrs=attrs, valid=valid)
+    assert BasePTE.decode(pte.encode()) == pte
+
+
+@given(
+    ppn=st.integers(min_value=0, max_value=(1 << 28) - 1),
+    log_npages=st.integers(min_value=1, max_value=15),
+    attrs=st.integers(min_value=0, max_value=(1 << 12) - 1),
+)
+def test_superpage_pte_roundtrip_property(ppn, log_npages, attrs):
+    pte = SuperpagePTE(ppn=ppn, npages=1 << log_npages, attrs=attrs)
+    assert SuperpagePTE.decode(pte.encode()) == pte
+
+
+@given(
+    ppn=st.integers(min_value=0, max_value=(1 << 28) - 1),
+    mask=st.integers(min_value=0, max_value=(1 << 16) - 1),
+)
+def test_partial_subblock_roundtrip_property(ppn, mask):
+    pte = PartialSubblockPTE(ppn=ppn, valid_mask=mask)
+    decoded = PartialSubblockPTE.decode(pte.encode())
+    assert decoded == pte
+    assert decoded.population() == bin(mask).count("1")

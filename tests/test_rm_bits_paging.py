@@ -1,0 +1,176 @@
+"""Reference/modified bits and demand paging with clock eviction."""
+
+import random
+
+import pytest
+
+from repro.addr.layout import AddressLayout
+from repro.core.clustered import ClusteredPageTable
+from repro.errors import ConfigurationError, PageFaultError
+from repro.mmu.mmu import MMU
+from repro.mmu.tlb import FullyAssociativeTLB
+from repro.os.paging import ClockPager
+from repro.pagetables.forward import ForwardMappedPageTable
+from repro.pagetables.guarded import GuardedPageTable
+from repro.pagetables.hashed import HashedPageTable, SuperpageIndexHashedPageTable
+from repro.pagetables.linear import LinearPageTable
+from repro.pagetables.pte import ATTR_MODIFIED, ATTR_REFERENCED
+from repro.pagetables.strategies import MultiplePageTables
+
+
+TABLES_WITH_MARK = [
+    lambda l: ClusteredPageTable(l),
+    lambda l: HashedPageTable(l),
+    lambda l: SuperpageIndexHashedPageTable(l),
+    lambda l: LinearPageTable(l),
+    lambda l: ForwardMappedPageTable(l),
+    lambda l: GuardedPageTable(l),
+]
+
+
+class TestMark:
+    @pytest.mark.parametrize("factory", TABLES_WITH_MARK,
+                             ids=lambda f: type(f(AddressLayout())).__name__)
+    def test_set_and_clear_bits(self, layout, factory):
+        table = factory(layout)
+        table.insert(0x100, 0x400, attrs=0x3)
+        new = table.mark(0x100, set_bits=ATTR_REFERENCED)
+        assert new & ATTR_REFERENCED
+        assert table.lookup(0x100).attrs == new
+        cleared = table.mark(0x100, clear_bits=ATTR_REFERENCED)
+        assert not cleared & ATTR_REFERENCED
+        assert cleared & 0x3  # original bits survive
+
+    @pytest.mark.parametrize("factory", TABLES_WITH_MARK,
+                             ids=lambda f: type(f(AddressLayout())).__name__)
+    def test_mark_unmapped_faults(self, layout, factory):
+        with pytest.raises(PageFaultError):
+            factory(layout).mark(0x42, set_bits=1)
+
+    def test_clustered_wide_pte_shares_attrs(self, layout):
+        table = ClusteredPageTable(layout)
+        table.insert_superpage(0x100, 16, 0x400, attrs=0x3)
+        table.mark(0x105, set_bits=ATTR_MODIFIED)
+        # One attribute field for the whole superpage.
+        assert table.lookup(0x10F).attrs & ATTR_MODIFIED
+
+    def test_replicated_wide_pte_updates_every_site(self, layout):
+        table = LinearPageTable(layout)
+        table.insert_superpage(0x100, 16, 0x400, attrs=0x3)
+        visited_before = table.stats.op_nodes_visited
+        table.mark(0x105, set_bits=ATTR_MODIFIED)
+        # §4.3: replica updates touch all sixteen sites.
+        assert table.stats.op_nodes_visited - visited_before >= 16
+        for off in (0, 7, 15):
+            assert table.lookup(0x100 + off).attrs & ATTR_MODIFIED
+
+    def test_multiple_tables_route_mark(self, layout):
+        multi = MultiplePageTables(
+            [HashedPageTable(layout), HashedPageTable(layout, grain=16)]
+        )
+        multi.insert_superpage(0x100, 16, 0x400)
+        assert multi.mark(0x105, set_bits=ATTR_REFERENCED) & ATTR_REFERENCED
+
+
+class TestMMURMBits:
+    def test_miss_sets_referenced(self, layout):
+        table = ClusteredPageTable(layout)
+        table.insert(0x100, 0x400, attrs=0x3)
+        mmu = MMU(FullyAssociativeTLB(4), table, maintain_rm_bits=True)
+        mmu.translate(0x100)
+        assert table.lookup(0x100).attrs & ATTR_REFERENCED
+
+    def test_write_miss_sets_modified(self, layout):
+        table = ClusteredPageTable(layout)
+        table.insert(0x100, 0x400, attrs=0x3)
+        mmu = MMU(FullyAssociativeTLB(4), table, maintain_rm_bits=True)
+        mmu.translate(0x100, write=True)
+        assert table.lookup(0x100).attrs & ATTR_MODIFIED
+
+    def test_dirty_trap_on_first_write_hit(self, layout):
+        table = ClusteredPageTable(layout)
+        table.insert(0x100, 0x400, attrs=0x3)
+        mmu = MMU(FullyAssociativeTLB(4), table, maintain_rm_bits=True)
+        mmu.translate(0x100)               # read miss: clean entry
+        mmu.translate(0x100, write=True)   # write hit: dirty trap
+        mmu.translate(0x100, write=True)   # already dirty: no trap
+        assert mmu.stats.dirty_traps == 1
+        assert table.lookup(0x100).attrs & ATTR_MODIFIED
+
+    def test_disabled_by_default(self, layout):
+        table = ClusteredPageTable(layout)
+        table.insert(0x100, 0x400, attrs=0x3)
+        mmu = MMU(FullyAssociativeTLB(4), table)
+        mmu.translate(0x100, write=True)
+        assert not table.lookup(0x100).attrs & ATTR_MODIFIED
+        assert mmu.stats.dirty_traps == 0
+
+
+class TestClockPager:
+    def test_faults_map_on_demand(self, layout):
+        pager = ClockPager(ClusteredPageTable(layout),
+                           FullyAssociativeTLB(16), frames=64)
+        assert pager.access(0x100) == pager.vm.space.translate(0x100).ppn
+        assert pager.stats.demand_faults == 1
+        assert pager.resident_pages == 1
+
+    def test_no_eviction_within_budget(self, layout):
+        pager = ClockPager(ClusteredPageTable(layout),
+                           FullyAssociativeTLB(16), frames=64)
+        for vpn in range(0x100, 0x100 + 48):
+            pager.access(vpn)
+        assert pager.stats.evictions == 0
+
+    def test_eviction_under_pressure(self, layout):
+        pager = ClockPager(ClusteredPageTable(layout),
+                           FullyAssociativeTLB(16), frames=32)
+        for vpn in range(0x100, 0x100 + 80):
+            pager.access(vpn)
+        assert pager.stats.evictions >= 80 - 32
+        assert pager.resident_pages <= 32
+
+    def test_writebacks_only_for_dirty_pages(self, layout):
+        pager = ClockPager(ClusteredPageTable(layout),
+                           FullyAssociativeTLB(16), frames=32)
+        for vpn in range(0x100, 0x100 + 64):
+            pager.access(vpn, write=False)
+        assert pager.stats.writebacks == 0
+        for vpn in range(0x200, 0x200 + 64):
+            pager.access(vpn, write=True)
+        assert pager.stats.writebacks > 0
+
+    def test_second_chance_protects_hot_pages(self, layout):
+        pager = ClockPager(ClusteredPageTable(layout),
+                           FullyAssociativeTLB(16), frames=32)
+        hot = list(range(0x100, 0x110))
+        rng = random.Random(5)
+        for i in range(4_000):
+            pager.access(hot[i % len(hot)])
+            if i % 2:
+                pager.access(0x1000 + rng.randrange(100))
+        assert pager.stats.second_chances > 0
+        # The hot set must still be resident.
+        resident = set(pager._resident)
+        assert set(hot) <= resident
+
+    def test_reaccess_after_eviction_refaults(self, layout):
+        pager = ClockPager(ClusteredPageTable(layout),
+                           FullyAssociativeTLB(16), frames=32)
+        for vpn in range(0x100, 0x100 + 64):
+            pager.access(vpn)
+        faults_before = pager.stats.demand_faults
+        pager.access(0x100)  # long since evicted
+        assert pager.stats.demand_faults == faults_before + 1
+
+    def test_rejects_tiny_budget(self, layout):
+        with pytest.raises(ConfigurationError):
+            ClockPager(ClusteredPageTable(layout),
+                       FullyAssociativeTLB(4), frames=4)
+
+    def test_consistency_under_churn(self, layout):
+        pager = ClockPager(ClusteredPageTable(layout),
+                           FullyAssociativeTLB(16), frames=48)
+        rng = random.Random(8)
+        for i in range(5_000):
+            pager.access(0x100 + rng.randrange(120), write=(i % 4 == 0))
+        assert pager.vm.check_consistency() == pager.resident_pages

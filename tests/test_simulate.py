@@ -1,0 +1,149 @@
+"""Two-phase simulation: equivalence with the integrated MMU.
+
+The fast path's whole validity rests on the miss stream being independent
+of the page table organisation; these tests verify that claim empirically
+by running the same trace through both paths and comparing every metric.
+"""
+
+import numpy as np
+import pytest
+
+from repro.addr.layout import AddressLayout
+from repro.analysis.metrics import make_table
+from repro.core.clustered import ClusteredPageTable
+from repro.errors import PageFaultError
+from repro.mmu.mmu import MMU
+from repro.mmu.simulate import collect_misses, replay_misses
+from repro.mmu.subblock_tlb import CompleteSubblockTLB, PartialSubblockTLB
+from repro.mmu.superpage_tlb import SuperpageTLB
+from repro.mmu.tlb import FullyAssociativeTLB
+from repro.os.promotion import DynamicPageSizePolicy
+from repro.os.translation_map import TranslationMap
+from repro.workloads.suite import load_workload
+from repro.workloads.trace import Trace
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return load_workload("mp3d", trace_length=20_000)
+
+
+@pytest.fixture(scope="module")
+def tmap(workload):
+    return TranslationMap.from_space(workload.union_space())
+
+
+def test_collect_misses_counts_match_tlb(workload, tmap):
+    stream = collect_misses(workload.trace, FullyAssociativeTLB(64), tmap)
+    assert stream.misses == len(stream.vpns)
+    assert stream.accesses == len(workload.trace)
+    assert 0 < stream.misses < stream.accesses
+
+
+def test_unmapped_reference_raises(layout):
+    tmap = TranslationMap.from_space(
+        __import__("repro.addr.space", fromlist=["AddressSpace"]).AddressSpace(layout)
+    )
+    trace = Trace(np.array([5], dtype=np.int64))
+    with pytest.raises(PageFaultError):
+        collect_misses(trace, FullyAssociativeTLB(4), tmap)
+
+
+@pytest.mark.parametrize("table_name", ["hashed", "clustered", "linear-1lvl"])
+def test_two_phase_equals_integrated_mmu(workload, tmap, table_name):
+    """lines-per-miss must agree exactly between the two simulators."""
+    # Two-phase path.
+    stream = collect_misses(workload.trace, FullyAssociativeTLB(64), tmap)
+    fast_table = make_table(table_name)
+    tmap.populate(fast_table, base_pages_only=True)
+    replay = replay_misses(stream, fast_table)
+
+    # Integrated path.
+    slow_table = make_table(table_name)
+    tmap.populate(slow_table, base_pages_only=True)
+    mmu = MMU(FullyAssociativeTLB(64), slow_table)
+    mmu.run_trace(workload.trace)
+
+    assert mmu.stats.tlb_misses == stream.misses
+    assert mmu.stats.cache_lines == replay.cache_lines
+
+
+def test_two_phase_superpage_tlb_equivalence(workload):
+    tmap = TranslationMap.from_space(
+        workload.union_space(), DynamicPageSizePolicy(enable_subblocks=False)
+    )
+    stream = collect_misses(
+        workload.trace, SuperpageTLB(64, page_sizes=(1, 16)), tmap
+    )
+    fast = ClusteredPageTable(workload.layout)
+    tmap.populate(fast)
+    replay = replay_misses(stream, fast)
+
+    slow = ClusteredPageTable(workload.layout)
+    tmap.populate(slow)
+    mmu = MMU(SuperpageTLB(64, page_sizes=(1, 16)), slow)
+    mmu.run_trace(workload.trace)
+    assert mmu.stats.tlb_misses == stream.misses
+    assert mmu.stats.cache_lines == replay.cache_lines
+
+
+def test_two_phase_partial_subblock_equivalence(workload):
+    tmap = TranslationMap.from_space(
+        workload.union_space(), DynamicPageSizePolicy()
+    )
+    stream = collect_misses(
+        workload.trace, PartialSubblockTLB(64, subblock_factor=16), tmap
+    )
+    fast = ClusteredPageTable(workload.layout)
+    tmap.populate(fast)
+    replay = replay_misses(stream, fast)
+
+    slow = ClusteredPageTable(workload.layout)
+    tmap.populate(slow)
+    mmu = MMU(PartialSubblockTLB(64, subblock_factor=16), slow)
+    mmu.run_trace(workload.trace)
+    assert mmu.stats.tlb_misses == stream.misses
+    assert mmu.stats.cache_lines == replay.cache_lines
+
+
+def test_two_phase_complete_subblock_equivalence(workload, tmap):
+    stream = collect_misses(
+        workload.trace, CompleteSubblockTLB(64, subblock_factor=16), tmap
+    )
+    fast = ClusteredPageTable(workload.layout)
+    tmap.populate(fast, base_pages_only=True)
+    replay = replay_misses(stream, fast, complete_subblock=True)
+
+    slow = ClusteredPageTable(workload.layout)
+    tmap.populate(slow, base_pages_only=True)
+    mmu = MMU(CompleteSubblockTLB(64, subblock_factor=16), slow)
+    mmu.run_trace(workload.trace)
+    assert mmu.stats.tlb_misses == stream.misses
+    assert mmu.stats.cache_lines == replay.cache_lines
+
+
+def test_context_switches_flush(workload, tmap):
+    # A trace with switch points must miss more than the same trace
+    # without them.
+    plain = Trace(workload.trace.vpns, name="plain")
+    switchy = Trace(
+        workload.trace.vpns, name="switchy",
+        switch_points=list(range(1000, len(plain), 1000)),
+    )
+    base = collect_misses(plain, FullyAssociativeTLB(64), tmap)
+    flushed = collect_misses(switchy, FullyAssociativeTLB(64), tmap)
+    assert flushed.misses > base.misses
+
+
+def test_replay_counts_kinds(workload):
+    tmap = TranslationMap.from_space(
+        workload.union_space(), DynamicPageSizePolicy()
+    )
+    stream = collect_misses(
+        workload.trace, PartialSubblockTLB(64, subblock_factor=16), tmap
+    )
+    table = ClusteredPageTable(workload.layout)
+    tmap.populate(table)
+    replay = replay_misses(stream, table)
+    assert sum(replay.by_kind.values()) == replay.misses
+    assert replay.faults == 0

@@ -1,0 +1,179 @@
+"""AddressSpace: mapping maintenance and the statistics experiments use."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.addr.layout import AddressLayout
+from repro.addr.space import AddressSpace, Mapping, Segment
+from repro.errors import AddressError, MappingExistsError, PageFaultError
+
+
+class TestMappingOps:
+    def test_map_and_translate(self, layout):
+        space = AddressSpace(layout)
+        space.map(0x100, 0x55, attrs=0x3)
+        mapping = space.translate(0x100)
+        assert mapping == Mapping(0x55, 0x3)
+
+    def test_double_map_rejected(self, layout):
+        space = AddressSpace(layout)
+        space.map(0x100, 0x55)
+        with pytest.raises(MappingExistsError):
+            space.map(0x100, 0x66)
+
+    def test_translate_unmapped_faults(self, layout):
+        with pytest.raises(PageFaultError) as excinfo:
+            AddressSpace(layout).translate(0x77)
+        assert excinfo.value.vpn == 0x77
+
+    def test_get_returns_none_when_unmapped(self, layout):
+        assert AddressSpace(layout).get(1) is None
+
+    def test_unmap_returns_mapping(self, layout):
+        space = AddressSpace(layout)
+        space.map(0x10, 0x20)
+        assert space.unmap(0x10).ppn == 0x20
+        assert not space.is_mapped(0x10)
+
+    def test_unmap_unmapped_faults(self, layout):
+        with pytest.raises(PageFaultError):
+            AddressSpace(layout).unmap(5)
+
+    def test_remap_replaces(self, layout):
+        space = AddressSpace(layout)
+        space.map(0x10, 0x20)
+        space.remap(0x10, 0x30, attrs=0x1)
+        assert space.translate(0x10) == Mapping(0x30, 0x1)
+
+    def test_remap_unmapped_faults(self, layout):
+        with pytest.raises(PageFaultError):
+            AddressSpace(layout).remap(0x10, 0x30)
+
+    def test_protect_changes_attrs_only(self, layout):
+        space = AddressSpace(layout)
+        space.map(0x10, 0x20, attrs=0x7)
+        space.protect(0x10, 0x1)
+        assert space.translate(0x10) == Mapping(0x20, 0x1)
+
+    def test_map_range(self, layout):
+        space = AddressSpace(layout)
+        space.map_range(0x100, [5, 6, 7])
+        assert [space.translate(0x100 + i).ppn for i in range(3)] == [5, 6, 7]
+
+    def test_rejects_out_of_range_vpn(self, layout):
+        with pytest.raises(AddressError):
+            AddressSpace(layout).map(1 << 52, 0)
+
+    def test_rejects_out_of_range_ppn(self, layout):
+        with pytest.raises(AddressError):
+            AddressSpace(layout).map(0, 1 << 28)
+
+
+class TestStatistics:
+    def test_len_counts_mappings(self, dense_space):
+        assert len(dense_space) == 8 * 16
+
+    def test_nactive_one_is_page_count(self, dense_space):
+        assert dense_space.nactive(1) == len(dense_space)
+
+    def test_nactive_block_granularity(self, dense_space, layout):
+        assert dense_space.nactive(layout.subblock_factor) == 8
+
+    def test_nactive_large_region(self, dense_space):
+        # 8 consecutive blocks = 128 pages, inside one 512-page region.
+        assert dense_space.nactive(512) == 1
+
+    def test_nactive_rejects_zero(self, dense_space):
+        with pytest.raises(AddressError):
+            dense_space.nactive(0)
+
+    def test_sparse_nactive_equals_pages(self, sparse_space, layout):
+        # Isolated pages: every block holds exactly one page.
+        assert sparse_space.nactive(layout.subblock_factor) == len(sparse_space)
+
+    def test_block_population_dense(self, dense_space):
+        histogram = dense_space.block_population()
+        assert histogram == {16: 8}
+
+    def test_block_population_sparse(self, sparse_space):
+        assert sparse_space.block_population() == {1: len(sparse_space)}
+
+    def test_mean_block_population(self, dense_space, sparse_space):
+        assert dense_space.mean_block_population() == 16.0
+        assert sparse_space.mean_block_population() == 1.0
+
+    def test_mean_block_population_empty(self, layout):
+        assert AddressSpace(layout).mean_block_population() == 0.0
+
+    def test_density_dense(self, dense_space):
+        assert dense_space.density(128) == 1.0
+
+    def test_density_empty(self, layout):
+        assert AddressSpace(layout).density() == 0.0
+
+    def test_resident_bytes(self, dense_space, layout):
+        assert dense_space.resident_bytes() == 128 * layout.page_size
+
+    def test_vpns_sorted(self, sparse_space):
+        vpns = sparse_space.vpns()
+        assert vpns == sorted(vpns)
+
+
+class TestSegmentsAndCopy:
+    def test_segments_recorded(self, layout):
+        space = AddressSpace(layout)
+        seg = Segment("heap", 0x100, 64)
+        space.add_segment(seg)
+        assert space.segments == (seg,)
+        assert 0x120 in seg and 0x140 not in seg
+        assert seg.end_vpn == 0x140
+
+    def test_copy_is_independent(self, dense_space):
+        clone = dense_space.copy()
+        clone.unmap(next(iter(clone)))
+        assert len(clone) == len(dense_space) - 1
+
+    def test_repr_mentions_counts(self, dense_space):
+        text = repr(dense_space)
+        assert "128" in text and "8" in text
+
+
+@given(
+    vpns=st.lists(
+        st.integers(min_value=0, max_value=(1 << 30)), min_size=1,
+        max_size=80, unique=True,
+    ),
+    region=st.sampled_from([1, 16, 512, 1 << 18]),
+)
+def test_nactive_matches_definition(vpns, region):
+    """Nactive(P) equals the count of distinct P-aligned regions touched."""
+    layout = AddressLayout()
+    space = AddressSpace(layout)
+    for i, vpn in enumerate(vpns):
+        space.map(vpn, i)
+    assert space.nactive(region) == len({vpn // region for vpn in vpns})
+
+
+@given(
+    data=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=1000),
+            st.integers(min_value=0, max_value=1000),
+        ),
+        max_size=60,
+    )
+)
+def test_map_unmap_sequence_keeps_counts(data):
+    """Interleaved map/unmap never corrupts the mapping count."""
+    layout = AddressLayout()
+    space = AddressSpace(layout)
+    reference = {}
+    for vpn, ppn in data:
+        if vpn in reference:
+            assert space.unmap(vpn).ppn == reference.pop(vpn)
+        else:
+            space.map(vpn, ppn)
+            reference[vpn] = ppn
+    assert len(space) == len(reference)
+    for vpn, ppn in reference.items():
+        assert space.translate(vpn).ppn == ppn

@@ -1,0 +1,153 @@
+"""Stateful (model-based) tests: long random operation interleavings.
+
+Hypothesis drives random sequences of OS-level operations against the
+whole stack — VM manager, allocator, page table, TLB — checking global
+invariants after every step.  These find interleaving bugs that directed
+unit tests cannot.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.addr.layout import AddressLayout
+from repro.core.clustered import ClusteredPageTable
+from repro.errors import OutOfMemoryError, PageFaultError
+from repro.mmu.mmu import MMU
+from repro.mmu.tlb import FullyAssociativeTLB
+from repro.os.physmem import ReservationAllocator
+from repro.os.vm import VirtualMemoryManager
+
+LAYOUT = AddressLayout()
+VPN_POOL = st.integers(min_value=0x100, max_value=0x2FF)  # 32 page blocks
+
+
+class VMMachine(RuleBasedStateMachine):
+    """Random map/unmap/protect/translate against a clustered table."""
+
+    @initialize()
+    def setup(self):
+        self.table = ClusteredPageTable(LAYOUT, num_buckets=32)
+        self.allocator = ReservationAllocator(2048, LAYOUT)
+        self.vm = VirtualMemoryManager(
+            self.table, self.allocator, auto_promote=True
+        )
+        self.mmu = MMU(
+            FullyAssociativeTLB(16), self.table,
+            fault_handler=self.vm.fault_in, maintain_rm_bits=True,
+        )
+        self.model = {}
+
+    # ------------------------------------------------------------------
+    @rule(vpn=VPN_POOL)
+    def map_page(self, vpn):
+        if vpn in self.model:
+            return
+        try:
+            ppn = self.vm.map_page(vpn)
+        except OutOfMemoryError:
+            return
+        self.model[vpn] = ppn
+
+    @rule(vpn=VPN_POOL)
+    def unmap_page(self, vpn):
+        if vpn not in self.model:
+            return
+        self.vm.unmap_page(vpn)
+        self.mmu.tlb.invalidate(vpn)
+        del self.model[vpn]
+
+    @rule(vpn=VPN_POOL, attrs=st.integers(min_value=1, max_value=0x7))
+    def protect(self, vpn, attrs):
+        if vpn not in self.model:
+            return
+        self.vm.protect_range(vpn, 1, attrs)
+        self.mmu.tlb.invalidate(vpn)  # a real kernel shoots stale entries
+
+    @rule(vpn=VPN_POOL, write=st.booleans())
+    def translate(self, vpn, write):
+        if vpn in self.model:
+            assert self.mmu.translate(vpn, write=write) == self.model[vpn]
+        # Unmapped pages demand-fault through vm.fault_in and then must
+        # resolve consistently.
+        else:
+            ppn = self.mmu.translate(vpn, write=write)
+            self.model[vpn] = ppn
+
+    @rule(base=st.integers(min_value=0x10, max_value=0x2F))
+    def map_whole_block(self, base):
+        block_base = base * 16
+        if any(block_base + i in self.model for i in range(16)):
+            return
+        try:
+            self.vm.map_range(block_base, 16)
+        except OutOfMemoryError:
+            return
+        for i in range(16):
+            self.model[block_base + i] = self.vm.space.translate(
+                block_base + i
+            ).ppn
+
+    # ------------------------------------------------------------------
+    @invariant()
+    def table_matches_model(self):
+        # Spot-check a slice of the model each step (full scans are too
+        # slow inside an invariant).
+        for vpn in list(self.model)[:20]:
+            assert self.table.lookup(vpn).ppn == self.model[vpn]
+
+    @invariant()
+    def space_and_table_sizes_agree(self):
+        assert len(self.vm.space) == len(self.model)
+
+    @invariant()
+    def no_phantom_translations(self):
+        probe = 0x300  # outside the pool, never mapped
+        with pytest.raises(PageFaultError):
+            self.table.lookup(probe)
+
+
+TestVMMachine = VMMachine.TestCase
+TestVMMachine.settings = settings(
+    max_examples=25, stateful_step_count=40, deadline=None
+)
+
+
+class PagerMachine(RuleBasedStateMachine):
+    """Random accesses against the clock pager under tight memory."""
+
+    @initialize()
+    def setup(self):
+        from repro.os.paging import ClockPager
+
+        self.pager = ClockPager(
+            ClusteredPageTable(LAYOUT, num_buckets=32),
+            FullyAssociativeTLB(16),
+            frames=48,
+        )
+
+    @rule(vpn=st.integers(min_value=0x1000, max_value=0x10FF),
+          write=st.booleans())
+    def access(self, vpn, write):
+        ppn = self.pager.access(vpn, write=write)
+        assert self.pager.vm.space.translate(vpn).ppn == ppn
+
+    @invariant()
+    def never_over_budget(self):
+        assert self.pager.resident_pages <= 48
+
+    @invariant()
+    def bookkeeping_is_consistent(self):
+        assert self.pager.resident_pages == len(self.pager.vm.space)
+
+
+TestPagerMachine = PagerMachine.TestCase
+TestPagerMachine.settings = settings(
+    max_examples=20, stateful_step_count=60, deadline=None
+)

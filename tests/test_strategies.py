@@ -1,0 +1,126 @@
+"""Superpage strategies: replicate-PTEs and multiple page tables (§4.2)."""
+
+import pytest
+
+from repro.addr.layout import AddressLayout
+from repro.core.clustered import ClusteredPageTable
+from repro.errors import AlignmentError, ConfigurationError, PageFaultError
+from repro.pagetables.hashed import HashedPageTable
+from repro.pagetables.pte import PTEKind
+from repro.pagetables.strategies import MultiplePageTables, ReplicaPTE
+
+
+class TestReplicaPTE:
+    def test_result_resolves_offsets(self):
+        replica = ReplicaPTE(
+            kind=PTEKind.SUPERPAGE, base_vpn=0x100, npages=16,
+            base_ppn=0x400, attrs=0x3, valid_mask=0xFFFF,
+        )
+        result = replica.result_for(0x105, cache_lines=2, probes=3)
+        assert result.ppn == 0x405
+        assert result.base_vpn == 0x100
+        assert result.cache_lines == 2 and result.probes == 3
+
+
+def make_multi(layout, reverse=False):
+    base = HashedPageTable(layout)
+    wide = HashedPageTable(layout, grain=layout.subblock_factor)
+    tables = [wide, base] if reverse else [base, wide]
+    return MultiplePageTables(tables), base, wide
+
+
+class TestMultiplePageTables:
+    def test_requires_tables(self):
+        with pytest.raises(ConfigurationError):
+            MultiplePageTables([])
+
+    def test_requires_shared_layout(self, layout):
+        other = AddressLayout(subblock_factor=4)
+        with pytest.raises(ConfigurationError):
+            MultiplePageTables(
+                [HashedPageTable(layout), HashedPageTable(other)]
+            )
+
+    def test_base_routed_to_grain_one(self, layout):
+        multi, base, wide = make_multi(layout)
+        multi.insert(0x123, 0x456)
+        assert base.node_count == 1 and wide.node_count == 0
+        assert multi.lookup(0x123).ppn == 0x456
+
+    def test_superpage_routed_to_block_table(self, layout):
+        multi, base, wide = make_multi(layout)
+        multi.insert_superpage(0x100, 16, 0x400)
+        assert wide.node_count == 1 and base.node_count == 0
+
+    def test_miss_in_first_table_adds_cost(self, layout):
+        # §4.2: "it will make TLB miss handling slower, unless most TLB
+        # misses go to one page size" — the first table's miss walk is
+        # paid before the second finds the PTE.
+        multi, _, _ = make_multi(layout)
+        multi.insert_superpage(0x100, 16, 0x400)
+        result = multi.lookup(0x105)
+        assert result.ppn == 0x405
+        assert result.cache_lines == 2  # empty 4KB bucket + 64KB hit
+
+    def test_hit_in_first_table_costs_one(self, layout):
+        multi, _, _ = make_multi(layout)
+        multi.insert(0x123, 0x456)
+        assert multi.lookup(0x123).cache_lines == 1
+
+    def test_reversed_order_flips_costs(self, layout):
+        multi, _, _ = make_multi(layout, reverse=True)
+        multi.insert_superpage(0x100, 16, 0x400)
+        multi.insert(0x999, 0x1)
+        assert multi.lookup(0x105).cache_lines == 1   # wide table first
+        assert multi.lookup(0x999).cache_lines == 2   # base pays the probe
+
+    def test_total_miss_walks_everything(self, layout):
+        multi, _, _ = make_multi(layout)
+        multi.insert(0x123, 0x456)
+        with pytest.raises(PageFaultError):
+            multi.lookup(0x9999)
+        assert multi.stats.faults == 1
+
+    def test_partial_subblock_routed(self, layout):
+        multi, _, wide = make_multi(layout)
+        multi.insert_partial_subblock(0x10, 0b11, 0x400)
+        assert wide.node_count == 1
+        assert multi.lookup(0x101).valid_mask == 0b11
+
+    def test_unroutable_superpage_rejected(self, layout):
+        multi, _, _ = make_multi(layout)
+        with pytest.raises(AlignmentError):
+            multi.insert_superpage(0x100, 64, 0x400)
+
+    def test_remove_searches_tables(self, layout):
+        multi, base, wide = make_multi(layout)
+        multi.insert(0x123, 0x456)
+        multi.insert_superpage(0x200, 16, 0x800)
+        multi.remove(0x123)
+        multi.remove(0x205)
+        assert base.node_count == 0 and wide.node_count == 0
+
+    def test_remove_missing_faults(self, layout):
+        multi, _, _ = make_multi(layout)
+        with pytest.raises(PageFaultError):
+            multi.remove(0x1)
+
+    def test_size_sums_constituents(self, layout):
+        multi, base, wide = make_multi(layout)
+        multi.insert(0x123, 0x456)
+        multi.insert_superpage(0x200, 16, 0x800)
+        assert multi.size_bytes() == base.size_bytes() + wide.size_bytes()
+
+    def test_block_lookup_merges_views(self, layout):
+        multi, _, _ = make_multi(layout)
+        multi.insert(0x100, 0x1)  # base page in block 0x10
+        block = multi.lookup_block(0x10)
+        assert block.valid_mask == 0b1
+
+    def test_composes_with_clustered(self, layout):
+        # The strategy composes over any PageTable, e.g. two clustered
+        # tables for the §7 multi-size configuration.
+        small = ClusteredPageTable(layout)
+        multi = MultiplePageTables([small])
+        multi.insert(0x123, 0x456)
+        assert multi.lookup(0x123).ppn == 0x456

@@ -1,0 +1,125 @@
+"""Breadth smoke tests: describe()/repr strings and the error hierarchy.
+
+These catch the small regressions that break reports and CLI output —
+format strings referencing renamed attributes, errors losing their base
+classes — without asserting exact wording.
+"""
+
+import pytest
+
+from repro import errors
+from repro.addr.layout import AddressLayout
+from repro.core.clustered import ClusteredPageTable
+from repro.core.multisize import MultiSizeClusteredPageTables
+from repro.core.variable import VariableClusteredPageTable
+from repro.mmu.asid import ASIDTaggedTLB
+from repro.mmu.cache_sim import CacheSim
+from repro.mmu.mmu import MMU
+from repro.mmu.subblock_tlb import CompleteSubblockTLB, PartialSubblockTLB
+from repro.mmu.superpage_tlb import SuperpageTLB
+from repro.mmu.tlb import FullyAssociativeTLB, SetAssociativeTLB
+from repro.os.paging import ClockPager
+from repro.os.shootdown import SMPSystem
+from repro.pagetables.forward import ForwardMappedPageTable
+from repro.pagetables.guarded import GuardedPageTable
+from repro.pagetables.hashed import HashedPageTable, SuperpageIndexHashedPageTable
+from repro.pagetables.inverted import FrameInvertedPageTable, InvertedPageTable
+from repro.pagetables.linear import LinearPageTable
+from repro.pagetables.powerpc import PowerPCPageTable
+from repro.pagetables.software_tlb import SoftwareTLBTable
+from repro.pagetables.strategies import MultiplePageTables
+
+LAYOUT = AddressLayout()
+
+ALL_TABLES = [
+    ClusteredPageTable(LAYOUT),
+    VariableClusteredPageTable(LAYOUT),
+    MultiSizeClusteredPageTables(LAYOUT),
+    HashedPageTable(LAYOUT),
+    HashedPageTable(LAYOUT, grain=16, packed=True),
+    SuperpageIndexHashedPageTable(LAYOUT),
+    InvertedPageTable(LAYOUT),
+    FrameInvertedPageTable(LAYOUT, total_frames=256, num_anchors=16),
+    PowerPCPageTable(LAYOUT, num_groups=64),
+    LinearPageTable(LAYOUT, structure="multilevel"),
+    LinearPageTable(LAYOUT, structure="ideal"),
+    LinearPageTable(LAYOUT, structure="hashed"),
+    ForwardMappedPageTable(LAYOUT),
+    GuardedPageTable(LAYOUT),
+    SoftwareTLBTable(LAYOUT, num_sets=16),
+    MultiplePageTables([HashedPageTable(LAYOUT)]),
+]
+
+ALL_TLBS = [
+    FullyAssociativeTLB(8),
+    SetAssociativeTLB(4, 2),
+    SuperpageTLB(8),
+    PartialSubblockTLB(8),
+    CompleteSubblockTLB(8),
+    ASIDTaggedTLB(FullyAssociativeTLB(8)),
+]
+
+
+@pytest.mark.parametrize("table", ALL_TABLES,
+                         ids=lambda t: type(t).__name__ + "/" + t.name)
+def test_table_describe_and_repr(table):
+    text = table.describe()
+    assert isinstance(text, str) and text
+    assert table.name.split("-")[0] in text or table.name in text
+    assert type(table).__name__ in repr(table) or text in repr(table)
+
+
+@pytest.mark.parametrize("tlb", ALL_TLBS, ids=lambda t: t.name)
+def test_tlb_describe(tlb):
+    text = tlb.describe()
+    assert isinstance(text, str) and text
+
+
+def test_composite_describes():
+    table = ClusteredPageTable(LAYOUT)
+    assert "MMU[" in MMU(FullyAssociativeTLB(8), table).describe()
+    assert "SMP" in SMPSystem(table, lambda: FullyAssociativeTLB(8)).describe()
+    assert "clock pager" in ClockPager(
+        ClusteredPageTable(LAYOUT), FullyAssociativeTLB(8), frames=64
+    ).describe()
+    assert "KB" in CacheSim().describe()
+
+
+class TestErrorHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for name in (
+            "ConfigurationError", "AddressError", "PageFaultError",
+            "MappingExistsError", "AlignmentError", "OutOfMemoryError",
+            "EncodingError", "ProtectionFaultError",
+        ):
+            assert issubclass(getattr(errors, name), errors.ReproError), name
+
+    def test_value_error_compatibility(self):
+        # Address and encoding problems are also ValueErrors, so generic
+        # validation code can catch them idiomatically.
+        assert issubclass(errors.AddressError, ValueError)
+        assert issubclass(errors.AlignmentError, ValueError)
+        assert issubclass(errors.EncodingError, ValueError)
+
+    def test_page_fault_carries_vpn(self):
+        error = errors.PageFaultError(0x123)
+        assert error.vpn == 0x123
+        assert "0x123" in str(error)
+
+    def test_protection_fault_carries_details(self):
+        error = errors.ProtectionFaultError(0x55, write=True)
+        assert error.vpn == 0x55 and error.write
+        assert "write" in str(error)
+
+    def test_one_except_clause_catches_all(self):
+        caught = []
+        for factory in (
+            lambda: ClusteredPageTable(LAYOUT).lookup(1),
+            lambda: AddressLayout(subblock_factor=3),
+            lambda: FullyAssociativeTLB(0),
+        ):
+            try:
+                factory()
+            except errors.ReproError as error:
+                caught.append(type(error).__name__)
+        assert len(caught) == 3

@@ -1,0 +1,271 @@
+"""TLB models: LRU, eviction, range tags, block/subblock miss accounting."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mmu.subblock_tlb import CompleteSubblockTLB, PartialSubblockTLB
+from repro.mmu.superpage_tlb import SuperpageTLB
+from repro.mmu.tlb import FullyAssociativeTLB, SetAssociativeTLB, TLBEntry
+from repro.pagetables.pte import PTEKind
+
+
+def base_entry(vpn, ppn=None, attrs=0):
+    return TLBEntry(
+        base_vpn=vpn, npages=1, base_ppn=ppn if ppn is not None else vpn + 0x100,
+        attrs=attrs, valid_mask=1, kind=PTEKind.BASE,
+    )
+
+
+def superpage_entry(base_vpn, npages, base_ppn):
+    return TLBEntry(
+        base_vpn=base_vpn, npages=npages, base_ppn=base_ppn, attrs=0,
+        valid_mask=(1 << npages) - 1, kind=PTEKind.SUPERPAGE,
+    )
+
+
+def psb_entry(base_vpn, mask, base_ppn):
+    return TLBEntry(
+        base_vpn=base_vpn, npages=16, base_ppn=base_ppn, attrs=0,
+        valid_mask=mask, kind=PTEKind.PARTIAL_SUBBLOCK,
+    )
+
+
+def csb_entry(base_vpn, ppns):
+    mask = 0
+    for i, ppn in enumerate(ppns):
+        if ppn is not None:
+            mask |= 1 << i
+    return TLBEntry(
+        base_vpn=base_vpn, npages=len(ppns), base_ppn=0, attrs=0,
+        valid_mask=mask, kind=PTEKind.BASE, ppns=tuple(ppns),
+    )
+
+
+class TestTLBEntry:
+    def test_covers_and_translates(self):
+        entry = superpage_entry(0x100, 16, 0x400)
+        assert entry.covers(0x100) and entry.covers(0x10F)
+        assert not entry.covers(0x110)
+        assert entry.translates(0x105)
+        assert entry.ppn_for(0x105) == 0x405
+
+    def test_mask_gates_translation(self):
+        entry = psb_entry(0x100, 0b10, 0x400)
+        assert not entry.translates(0x100)
+        assert entry.translates(0x101)
+
+    def test_ppns_array_translation(self):
+        entry = csb_entry(0x100, [None, 0x99] + [None] * 14)
+        assert entry.translates(0x101)
+        assert not entry.translates(0x100)
+        assert entry.ppn_for(0x101) == 0x99
+
+
+class TestFullyAssociative:
+    def test_miss_then_hit(self):
+        tlb = FullyAssociativeTLB(4)
+        assert tlb.lookup(5) is None
+        tlb.fill(base_entry(5))
+        assert tlb.lookup(5).ppn_for(5) == 0x105
+        assert tlb.stats.hits == 1 and tlb.stats.misses == 1
+
+    def test_lru_eviction_order(self):
+        tlb = FullyAssociativeTLB(2)
+        tlb.fill(base_entry(1))
+        tlb.fill(base_entry(2))
+        tlb.lookup(1)            # 2 becomes LRU
+        tlb.fill(base_entry(3))  # evicts 2
+        assert tlb.lookup(2) is None
+        assert tlb.lookup(1) is not None
+        assert tlb.stats.evictions == 1
+
+    def test_refill_same_tag_replaces(self):
+        tlb = FullyAssociativeTLB(2)
+        tlb.fill(base_entry(1, ppn=0x10))
+        tlb.fill(base_entry(1, ppn=0x20))
+        assert len(tlb) == 1
+        assert tlb.lookup(1).ppn_for(1) == 0x20
+
+    def test_rejects_multi_page_entries(self):
+        tlb = FullyAssociativeTLB(2)
+        with pytest.raises(ConfigurationError):
+            tlb.fill(superpage_entry(0x100, 16, 0x400))
+
+    def test_flush(self):
+        tlb = FullyAssociativeTLB(4)
+        tlb.fill(base_entry(1))
+        tlb.flush()
+        assert len(tlb) == 0 and tlb.stats.flushes == 1
+
+    def test_invalidate(self):
+        tlb = FullyAssociativeTLB(4)
+        tlb.fill(base_entry(1))
+        assert tlb.invalidate(1) == 1
+        assert tlb.lookup(1) is None
+
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ConfigurationError):
+            FullyAssociativeTLB(0)
+
+    def test_miss_ratio(self):
+        tlb = FullyAssociativeTLB(4)
+        tlb.lookup(1)
+        tlb.fill(base_entry(1))
+        tlb.lookup(1)
+        assert tlb.stats.miss_ratio == pytest.approx(0.5)
+
+
+class TestSetAssociative:
+    def test_conflict_within_set(self):
+        tlb = SetAssociativeTLB(num_sets=2, ways=1)
+        tlb.fill(base_entry(0))
+        tlb.fill(base_entry(2))  # same set (even), evicts 0
+        assert tlb.lookup(0) is None
+        assert tlb.lookup(2) is not None
+
+    def test_different_sets_coexist(self):
+        tlb = SetAssociativeTLB(num_sets=2, ways=1)
+        tlb.fill(base_entry(0))
+        tlb.fill(base_entry(1))
+        assert tlb.lookup(0) is not None and tlb.lookup(1) is not None
+
+    def test_per_set_lru(self):
+        tlb = SetAssociativeTLB(num_sets=1, ways=2)
+        tlb.fill(base_entry(0))
+        tlb.fill(base_entry(1))
+        tlb.lookup(0)
+        tlb.fill(base_entry(2))
+        assert tlb.lookup(1) is None and tlb.lookup(0) is not None
+
+    def test_flush_and_len(self):
+        tlb = SetAssociativeTLB(num_sets=4, ways=2)
+        for i in range(6):
+            tlb.fill(base_entry(i))
+        assert len(tlb) == 6
+        tlb.flush()
+        assert len(tlb) == 0
+
+    def test_rejects_multi_page(self):
+        with pytest.raises(ConfigurationError):
+            SetAssociativeTLB(2, 2).fill(superpage_entry(0, 16, 0))
+
+
+class TestSuperpageTLB:
+    def test_superpage_hit_covers_range(self):
+        tlb = SuperpageTLB(4, page_sizes=(1, 16))
+        tlb.fill(superpage_entry(0x100, 16, 0x400))
+        for off in (0, 7, 15):
+            assert tlb.lookup(0x100 + off).ppn_for(0x100 + off) == 0x400 + off
+
+    def test_mixed_sizes_coexist(self):
+        tlb = SuperpageTLB(4, page_sizes=(1, 16))
+        tlb.fill(superpage_entry(0x100, 16, 0x400))
+        tlb.fill(base_entry(0x200))
+        assert tlb.lookup(0x105) is not None
+        assert tlb.lookup(0x200) is not None
+
+    def test_rejects_unsupported_size(self):
+        tlb = SuperpageTLB(4, page_sizes=(1, 16))
+        with pytest.raises(ConfigurationError):
+            tlb.fill(superpage_entry(0x100, 8, 0x400))
+
+    def test_rejects_unaligned_superpage(self):
+        tlb = SuperpageTLB(4, page_sizes=(1, 16))
+        with pytest.raises(ConfigurationError):
+            tlb.fill(
+                TLBEntry(base_vpn=0x101, npages=16, base_ppn=0, attrs=0,
+                         valid_mask=0xFFFF, kind=PTEKind.SUPERPAGE)
+            )
+
+    def test_accepts_matrix(self):
+        tlb = SuperpageTLB(4, page_sizes=(1, 16))
+        assert tlb.accepts(PTEKind.SUPERPAGE, 16)
+        assert not tlb.accepts(PTEKind.SUPERPAGE, 8)
+        assert not tlb.accepts(PTEKind.PARTIAL_SUBBLOCK, 16)
+
+    def test_rejects_bad_page_size_config(self):
+        with pytest.raises(ConfigurationError):
+            SuperpageTLB(4, page_sizes=(3,))
+
+
+class TestPartialSubblockTLB:
+    def test_block_entry_hits_valid_pages_only(self):
+        tlb = PartialSubblockTLB(4, subblock_factor=16)
+        tlb.fill(psb_entry(0x100, 0b101, 0x400))
+        assert tlb.lookup(0x100).ppn_for(0x100) == 0x400
+        assert tlb.lookup(0x102).ppn_for(0x102) == 0x402
+        assert tlb.lookup(0x101) is None
+
+    def test_unplaced_page_uses_own_entry(self):
+        tlb = PartialSubblockTLB(4, subblock_factor=16)
+        tlb.fill(base_entry(0x105, ppn=0x77))
+        assert tlb.lookup(0x105).ppn_for(0x105) == 0x77
+
+    def test_block_and_page_entries_coexist(self):
+        tlb = PartialSubblockTLB(4, subblock_factor=16)
+        tlb.fill(psb_entry(0x100, 0b1, 0x400))
+        tlb.fill(base_entry(0x103, ppn=0x88))
+        assert tlb.lookup(0x100) is not None
+        assert tlb.lookup(0x103).ppn_for(0x103) == 0x88
+
+    def test_subblock_miss_classification(self):
+        tlb = PartialSubblockTLB(4, subblock_factor=16)
+        tlb.fill(psb_entry(0x100, 0b1, 0x400))
+        tlb.lookup(0x101)  # tag present, bit clear
+        tlb.lookup(0x200)  # no tag
+        assert tlb.stats.subblock_misses == 1
+        assert tlb.stats.block_misses == 1
+
+    def test_rejects_wrong_block_size(self):
+        tlb = PartialSubblockTLB(4, subblock_factor=16)
+        with pytest.raises(ConfigurationError):
+            tlb.fill(superpage_entry(0x100, 8, 0x400))
+
+    def test_rejects_ppn_array(self):
+        tlb = PartialSubblockTLB(4, subblock_factor=16)
+        with pytest.raises(ConfigurationError):
+            tlb.fill(csb_entry(0x100, [1] * 16))
+
+
+class TestCompleteSubblockTLB:
+    def test_per_page_ppns(self):
+        tlb = CompleteSubblockTLB(4, subblock_factor=16)
+        ppns = [0x900 + i if i % 2 else None for i in range(16)]
+        tlb.fill(csb_entry(0x100, ppns))
+        assert tlb.lookup(0x101).ppn_for(0x101) == 0x901
+        assert tlb.lookup(0x100) is None  # subblock miss
+
+    def test_merge_fill_adds_page(self):
+        tlb = CompleteSubblockTLB(4, subblock_factor=16)
+        tlb.fill(csb_entry(0x100, [None] * 16))
+        assert tlb.merge_fill(0x105, 0x55, 0)
+        assert tlb.lookup(0x105).ppn_for(0x105) == 0x55
+
+    def test_merge_fill_without_tag_fails(self):
+        tlb = CompleteSubblockTLB(4, subblock_factor=16)
+        assert not tlb.merge_fill(0x105, 0x55, 0)
+
+    def test_block_vs_subblock_misses(self):
+        tlb = CompleteSubblockTLB(4, subblock_factor=16)
+        tlb.lookup(0x100)           # block miss
+        tlb.fill(csb_entry(0x100, [0x1] + [None] * 15))
+        tlb.lookup(0x101)           # subblock miss
+        assert tlb.stats.block_misses == 1
+        assert tlb.stats.subblock_misses == 1
+
+    def test_requires_ppn_array(self):
+        tlb = CompleteSubblockTLB(4, subblock_factor=16)
+        with pytest.raises(ConfigurationError):
+            tlb.fill(psb_entry(0x100, 0b1, 0x400))
+
+    def test_current_entry_does_not_touch_lru(self):
+        tlb = CompleteSubblockTLB(2, subblock_factor=16)
+        tlb.fill(csb_entry(0x100, [0x1] * 16))
+        tlb.fill(csb_entry(0x200, [0x2] * 16))
+        tlb.current_entry(0x100)       # no LRU refresh
+        tlb.fill(csb_entry(0x300, [0x3] * 16))
+        assert tlb.current_entry(0x100) is None  # 0x100 was LRU, evicted
+
+    def test_rejects_bad_subblock_factor(self):
+        with pytest.raises(ConfigurationError):
+            CompleteSubblockTLB(4, subblock_factor=3)

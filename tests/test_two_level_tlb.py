@@ -1,0 +1,126 @@
+"""Two-level TLB hierarchies."""
+
+import pytest
+
+from repro.addr.layout import AddressLayout
+from repro.core.clustered import ClusteredPageTable
+from repro.errors import ConfigurationError
+from repro.mmu.mmu import MMU
+from repro.mmu.subblock_tlb import CompleteSubblockTLB
+from repro.mmu.superpage_tlb import SuperpageTLB
+from repro.mmu.tlb import FullyAssociativeTLB, TLBEntry
+from repro.mmu.two_level import TwoLevelTLB
+from repro.pagetables.pte import PTEKind
+
+
+def base_entry(vpn, ppn):
+    return TLBEntry(base_vpn=vpn, npages=1, base_ppn=ppn, attrs=0,
+                    valid_mask=1, kind=PTEKind.BASE)
+
+
+def superpage_entry(base_vpn, npages, base_ppn):
+    return TLBEntry(base_vpn=base_vpn, npages=npages, base_ppn=base_ppn,
+                    attrs=0, valid_mask=(1 << npages) - 1,
+                    kind=PTEKind.SUPERPAGE)
+
+
+class TestHierarchy:
+    def make(self, l1=4, l2=16):
+        return TwoLevelTLB(FullyAssociativeTLB(l1), FullyAssociativeTLB(l2))
+
+    def test_fill_lands_in_both_levels(self):
+        tlb = self.make()
+        tlb.fill(base_entry(1, 2))
+        assert tlb.level1.peek(1) is not None
+        assert tlb.level2.peek(1) is not None
+
+    def test_l2_hit_promotes_to_l1(self):
+        tlb = self.make(l1=2, l2=16)
+        for vpn in range(5):
+            tlb.fill(base_entry(vpn, vpn))
+        # VPN 0 was evicted from the 2-entry L1 but survives in L2.
+        assert tlb.level1.peek(0) is None
+        assert tlb.lookup(0) is not None
+        assert tlb.l2_promotions == 1
+        assert tlb.level1.peek(0) is not None
+
+    def test_miss_in_both_counts_once(self):
+        tlb = self.make()
+        assert tlb.lookup(99) is None
+        assert tlb.stats.misses == 1
+
+    def test_invalidate_reaches_both(self):
+        tlb = self.make()
+        tlb.fill(base_entry(7, 8))
+        assert tlb.invalidate(7) == 2
+        assert tlb.lookup(7) is None
+
+    def test_flush_clears_both(self):
+        tlb = self.make()
+        tlb.fill(base_entry(1, 1))
+        tlb.flush()
+        assert len(tlb) == 0
+
+    def test_capacity_ordering_enforced(self):
+        with pytest.raises(ConfigurationError):
+            TwoLevelTLB(FullyAssociativeTLB(16), FullyAssociativeTLB(4))
+
+    def test_complete_subblock_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TwoLevelTLB(FullyAssociativeTLB(4), CompleteSubblockTLB(16))
+
+
+class TestFormatDowngrades:
+    def test_superpage_l2_with_single_page_l1(self):
+        tlb = TwoLevelTLB(
+            FullyAssociativeTLB(4), SuperpageTLB(16, page_sizes=(1, 16))
+        )
+        tlb.fill(superpage_entry(0x100, 16, 0x400))
+        # The superpage lives in L2 only; L1 cannot hold it.
+        assert tlb.level2.peek(0x105) is not None
+        assert tlb.level1.peek(0x105) is None
+        # An access promotes a single-page downgrade into L1.
+        entry = tlb.lookup(0x105)
+        assert entry.ppn_for(0x105) == 0x405
+        promoted = tlb.level1.peek(0x105)
+        assert promoted is not None and promoted.npages == 1
+
+    def test_supported_sizes_follow_l2(self):
+        tlb = TwoLevelTLB(
+            FullyAssociativeTLB(4), SuperpageTLB(16, page_sizes=(1, 16))
+        )
+        assert tuple(tlb.supported_sizes) == (1, 16)
+        assert tlb.accepts(PTEKind.SUPERPAGE, 16)
+
+
+class TestWithMMU:
+    def test_end_to_end_with_clustered_table(self, layout):
+        table = ClusteredPageTable(layout)
+        table.insert_superpage(0x100, 16, 0x400)
+        for i in range(32):
+            table.insert(0x200 + i, 0x800 + i)
+        tlb = TwoLevelTLB(
+            FullyAssociativeTLB(4), SuperpageTLB(64, page_sizes=(1, 16))
+        )
+        mmu = MMU(tlb, table)
+        for vpn in list(range(0x100, 0x110)) + list(range(0x200, 0x220)):
+            assert mmu.translate(vpn) == table.lookup(vpn).ppn
+        # The superpage covered its block with one miss.
+        assert mmu.stats.misses_by_kind[PTEKind.SUPERPAGE] == 1
+
+    def test_l2_reduces_walks(self, layout):
+        table = ClusteredPageTable(layout)
+        for i in range(64):
+            table.insert(0x100 + i, 0x400 + i)
+        small = MMU(FullyAssociativeTLB(8), table)
+        layered = MMU(
+            TwoLevelTLB(FullyAssociativeTLB(8), FullyAssociativeTLB(128)),
+            ClusteredPageTable(layout),
+        )
+        for i in range(64):
+            layered.page_table.insert(0x100 + i, 0x400 + i)
+        trace = [0x100 + (i * 7) % 64 for i in range(2000)]
+        for vpn in trace:
+            small.translate(vpn)
+            layered.translate(vpn)
+        assert layered.stats.tlb_misses < small.stats.tlb_misses

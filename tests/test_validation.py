@@ -1,0 +1,60 @@
+"""The workload calibration audit."""
+
+import pytest
+
+from repro.workloads.suite import PAPER_WORKLOADS
+from repro.workloads.validation import (
+    CalibrationCheck,
+    audit,
+    check_workload,
+    implied_miss_ratio,
+    report,
+)
+
+
+class TestImpliedMissRatio:
+    def test_inverts_time_model(self):
+        # 50% time at 40-cycle penalty, 30 cycles/ref -> 0.75 misses/ref.
+        assert implied_miss_ratio(50) == pytest.approx(0.75)
+        assert implied_miss_ratio(21) == pytest.approx(0.19937, rel=1e-3)
+
+    def test_zero_has_no_target(self):
+        assert implied_miss_ratio(0) is None
+
+
+class TestAudit:
+    @pytest.mark.parametrize("name", ["coral", "gcc", "kernel"])
+    def test_representative_workloads_pass(self, name):
+        check = check_workload(name, trace_length=30_000)
+        assert check.ok, check.problems
+
+    def test_full_audit_passes(self):
+        checks = audit(trace_length=30_000)
+        failures = {
+            name: check.problems
+            for name, check in checks.items() if not check.ok
+        }
+        assert not failures, failures
+
+    def test_kernel_skips_miss_check(self):
+        check = check_workload("kernel")
+        assert check.miss_ratio is None
+        assert check.target_miss_ratio is None
+
+    def test_report_has_row_per_workload(self):
+        checks = audit(names=("mp3d", "gcc"), trace_length=20_000)
+        result = report(checks)
+        assert {row[0] for row in result.rows} == {"mp3d", "gcc"}
+        assert all(row[-1] == "ok" for row in result.rows)
+
+    def test_detects_footprint_drift(self):
+        # Manufacture a drifted check via an undersized fake workload.
+        from repro.workloads.suite import load_workload
+
+        workload = load_workload("mp3d", with_trace=False)
+        workload.spaces[0].unmap(next(iter(workload.spaces[0])))
+        for vpn in list(workload.spaces[0])[: len(workload.spaces[0]) // 2]:
+            workload.spaces[0].unmap(vpn)
+        check = check_workload("mp3d", workload=workload)
+        assert not check.ok
+        assert any("footprint" in problem for problem in check.problems)

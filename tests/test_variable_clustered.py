@@ -1,0 +1,112 @@
+"""Variable-subblock-factor clustered page tables ([Tall95] extension)."""
+
+import pytest
+
+from repro.addr.layout import AddressLayout
+from repro.core.variable import VariableClusteredPageTable
+from repro.errors import ConfigurationError, MappingExistsError, PageFaultError
+
+
+class TestConstruction:
+    def test_default_factors(self, layout):
+        table = VariableClusteredPageTable(layout)
+        assert table.factors == (16, 4, 1)
+
+    def test_largest_factor_must_match_subblock(self, layout):
+        with pytest.raises(ConfigurationError):
+            VariableClusteredPageTable(layout, factors=(8, 4, 1))
+
+    def test_factors_must_divide(self, layout):
+        with pytest.raises(ConfigurationError):
+            VariableClusteredPageTable(layout, factors=(16, 3))
+
+
+class TestAllocationGranularity:
+    def test_single_page_gets_smallest_node(self, layout):
+        table = VariableClusteredPageTable(layout)
+        table.insert(0x105, 0x9)
+        assert table.node_count == 1
+        assert table.size_bytes() == 16 + 8  # one-slot node
+
+    def test_sparse_block_cheaper_than_fixed_factor(self, layout):
+        # One isolated page: 24 bytes here vs 144 in the fixed-16 table.
+        table = VariableClusteredPageTable(layout)
+        table.insert(0x105, 0x9)
+        assert table.size_bytes() < 144
+
+    def test_filling_a_quad_coalesces(self, layout):
+        table = VariableClusteredPageTable(layout)
+        for i in range(4):
+            table.insert(0x104 + i, i)
+        assert table.node_count == 1
+        assert table.size_bytes() == 16 + 8 * 4
+
+    def test_filling_a_block_coalesces_to_full_node(self, layout):
+        table = VariableClusteredPageTable(layout)
+        for i in range(16):
+            table.insert(0x100 + i, i)
+        assert table.node_count == 1
+        assert table.size_bytes() == 16 + 8 * 16
+
+    def test_partial_fill_keeps_small_nodes(self, layout):
+        table = VariableClusteredPageTable(layout)
+        for i in (0, 5, 10, 15):  # four separate quads
+            table.insert(0x100 + i, i)
+        assert table.node_count == 4
+        assert table.size_bytes() == 4 * 24
+
+
+class TestLookup:
+    def test_lookup_after_coalescing(self, layout):
+        table = VariableClusteredPageTable(layout)
+        for i in range(16):
+            table.insert(0x100 + i, 0x400 + i)
+        for i in range(16):
+            assert table.lookup(0x100 + i).ppn == 0x400 + i
+
+    def test_lookup_in_small_node(self, layout):
+        table = VariableClusteredPageTable(layout)
+        table.insert(0x107, 0x9)
+        assert table.lookup(0x107).ppn == 0x9
+
+    def test_miss_in_covered_range_faults(self, layout):
+        table = VariableClusteredPageTable(layout)
+        table.insert(0x104, 0x9)
+        with pytest.raises(PageFaultError):
+            table.lookup(0x105)  # same quad node, empty slot
+
+    def test_duplicate_rejected(self, layout):
+        table = VariableClusteredPageTable(layout)
+        table.insert(0x104, 1)
+        with pytest.raises(MappingExistsError):
+            table.insert(0x104, 2)
+
+    def test_block_fetch_merges_nodes(self, layout):
+        table = VariableClusteredPageTable(layout)
+        for i in (0, 1, 2, 3, 12):
+            table.insert(0x100 + i, 0x400 + i)
+        block = table.lookup_block(0x10)
+        assert block.valid_mask == 0b0001000000001111
+
+
+class TestRemoval:
+    def test_remove_and_free(self, layout):
+        table = VariableClusteredPageTable(layout)
+        table.insert(0x104, 1)
+        table.remove(0x104)
+        assert table.node_count == 0
+        with pytest.raises(PageFaultError):
+            table.lookup(0x104)
+
+    def test_remove_from_coalesced_node(self, layout):
+        table = VariableClusteredPageTable(layout)
+        for i in range(16):
+            table.insert(0x100 + i, i)
+        table.remove(0x103)
+        with pytest.raises(PageFaultError):
+            table.lookup(0x103)
+        assert table.lookup(0x104).ppn == 4
+
+    def test_remove_missing_faults(self, layout):
+        with pytest.raises(PageFaultError):
+            VariableClusteredPageTable(AddressLayout()).remove(1)

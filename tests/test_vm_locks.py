@@ -1,0 +1,170 @@
+"""VM manager integration and the §3.1 lock-granularity comparisons."""
+
+import pytest
+
+from repro.addr.layout import AddressLayout
+from repro.core.clustered import ClusteredPageTable
+from repro.errors import ConfigurationError, MappingExistsError
+from repro.mmu.mmu import MMU
+from repro.mmu.tlb import FullyAssociativeTLB
+from repro.os.locks import BucketLockManager, ReadersWriterLockManager
+from repro.os.physmem import ReservationAllocator
+from repro.os.vm import VirtualMemoryManager
+from repro.pagetables.hashed import HashedPageTable
+
+
+class TestVMBasics:
+    def test_map_page_syncs_everything(self, layout):
+        vm = VirtualMemoryManager(ClusteredPageTable(layout))
+        ppn = vm.map_page(0x100)
+        assert vm.space.translate(0x100).ppn == ppn
+        assert vm.page_table.lookup(0x100).ppn == ppn
+
+    def test_double_map_rejected(self, layout):
+        vm = VirtualMemoryManager(ClusteredPageTable(layout))
+        vm.map_page(0x100)
+        with pytest.raises(MappingExistsError):
+            vm.map_page(0x100)
+
+    def test_unmap_returns_frame(self, layout):
+        allocator = ReservationAllocator(32, layout)
+        vm = VirtualMemoryManager(ClusteredPageTable(layout), allocator)
+        vm.map_page(0x100)
+        free_before = allocator.free_frames()
+        vm.unmap_page(0x100)
+        assert allocator.free_frames() == free_before + 1
+
+    def test_consistency_check(self, layout):
+        vm = VirtualMemoryManager(ClusteredPageTable(layout))
+        vm.map_range(0x100, 20)
+        assert vm.check_consistency() == 20
+
+    def test_fault_in_idempotent(self, layout):
+        vm = VirtualMemoryManager(ClusteredPageTable(layout))
+        first = vm.fault_in(0x42)
+        assert vm.fault_in(0x42) == first
+
+    def test_fault_in_as_mmu_handler(self, layout):
+        vm = VirtualMemoryManager(ClusteredPageTable(layout))
+        mmu = MMU(FullyAssociativeTLB(8), vm.page_table,
+                  fault_handler=vm.fault_in)
+        ppn = mmu.translate(0x77)
+        assert vm.space.translate(0x77).ppn == ppn
+
+    def test_protect_range_updates_attrs(self, layout):
+        vm = VirtualMemoryManager(ClusteredPageTable(layout))
+        vm.map_range(0x100, 8)
+        vm.protect_range(0x100, 8, attrs=0x1)
+        assert vm.space.translate(0x103).attrs == 0x1
+        assert vm.page_table.lookup(0x103).attrs == 0x1
+
+    def test_unmap_range(self, layout):
+        vm = VirtualMemoryManager(ClusteredPageTable(layout))
+        vm.map_range(0x100, 16)
+        vm.unmap_range(0x100, 16)
+        assert len(vm.space) == 0
+        assert vm.page_table.node_count == 0
+
+
+class TestPromotionIntegration:
+    def test_auto_promotion_on_full_block(self, layout):
+        vm = VirtualMemoryManager(
+            ClusteredPageTable(layout),
+            ReservationAllocator(256, layout),
+            auto_promote=True,
+        )
+        vm.map_range(0x100, 32)
+        assert vm.stats.promotions == 2
+        assert vm.page_table.size_bytes() == 2 * 24
+        assert vm.check_consistency() == 32
+
+    def test_no_promotion_when_disabled(self, layout):
+        vm = VirtualMemoryManager(
+            ClusteredPageTable(layout), ReservationAllocator(256, layout)
+        )
+        vm.map_range(0x100, 32)
+        assert vm.stats.promotions == 0
+
+    def test_no_promotion_without_placement(self, layout):
+        # A first-fit allocator that happens to misalign the block start.
+        from repro.os.physmem import FrameAllocator
+
+        allocator = FrameAllocator(256, layout)
+        allocator.allocate(0)  # skew: block frames now start at 1
+        vm = VirtualMemoryManager(
+            ClusteredPageTable(layout), allocator, auto_promote=True
+        )
+        vm.map_range(0x100, 16)
+        assert vm.stats.promotions == 0
+
+
+class TestLockGranularity:
+    def test_clustered_locks_once_per_block(self, layout):
+        vm = VirtualMemoryManager(ClusteredPageTable(layout))
+        vm.map_range(0x100, 64)  # four blocks
+        assert vm.locks.stats.acquisitions == 4
+
+    def test_hashed_locks_once_per_page(self, layout):
+        vm = VirtualMemoryManager(HashedPageTable(layout))
+        vm.map_range(0x100, 64)
+        assert vm.locks.stats.acquisitions == 64
+
+    def test_range_op_node_visits_favour_clustered(self, layout):
+        # §3.1: range modification searches the hash once per block for
+        # clustered, once per page for hashed.
+        clustered_vm = VirtualMemoryManager(ClusteredPageTable(layout))
+        hashed_vm = VirtualMemoryManager(HashedPageTable(layout))
+        clustered_vm.map_range(0x100, 64)
+        hashed_vm.map_range(0x100, 64)
+        assert (
+            clustered_vm.page_table.stats.op_nodes_allocated
+            < hashed_vm.page_table.stats.op_nodes_allocated
+        )
+
+
+class TestLockManagers:
+    def test_acquire_release_cycle(self):
+        locks = BucketLockManager(4)
+        locks.acquire(2)
+        assert locks.held(2)
+        locks.release(2)
+        assert not locks.held(2)
+
+    def test_release_unheld_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BucketLockManager(4).release(0)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BucketLockManager(4).acquire(4)
+
+    def test_contention_counted(self):
+        locks = BucketLockManager(2)
+        locks.acquire(0)
+        locks.acquire(0)
+        assert locks.stats.contended == 1
+
+    def test_rw_readers_share(self):
+        locks = ReadersWriterLockManager(2)
+        locks.acquire_read(0)
+        locks.acquire_read(0)
+        assert locks.readers(0) == 2
+        assert locks.stats.contended == 0
+
+    def test_rw_writer_contends_with_readers(self):
+        locks = ReadersWriterLockManager(2)
+        locks.acquire_read(0)
+        locks.acquire(0)
+        assert locks.stats.contended == 1
+
+    def test_rw_release_read_unheld_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ReadersWriterLockManager(2).release_read(0)
+
+    def test_stats_split_read_write(self):
+        locks = ReadersWriterLockManager(2)
+        locks.acquire_read(1)
+        locks.release_read(1)
+        locks.acquire(1)
+        assert locks.stats.read_acquisitions == 1
+        assert locks.stats.write_acquisitions == 1

@@ -1,0 +1,79 @@
+"""Trace and snapshot persistence round trips."""
+
+import numpy as np
+import pytest
+
+from repro.addr.layout import AddressLayout
+from repro.errors import ConfigurationError
+from repro.workloads.io import load_space, load_trace, save_space, save_trace
+from repro.workloads.suite import load_workload
+from repro.workloads.trace import Trace
+
+
+class TestTraceIO:
+    def test_roundtrip(self, tmp_path):
+        trace = Trace(
+            [1, 2, 3, 4, 5], name="t", switch_points=[2],
+            subblock_factor=8, segment_owners=[0, 1],
+        )
+        path = save_trace(trace, str(tmp_path / "t.npz"))
+        loaded = load_trace(str(path))
+        assert np.array_equal(loaded.vpns, trace.vpns)
+        assert loaded.switch_points == (2,)
+        assert loaded.segment_owners == (0, 1)
+        assert loaded.subblock_factor == 8
+        assert loaded.name == "t"
+
+    def test_workload_trace_roundtrip(self, tmp_path):
+        workload = load_workload("compress", trace_length=5_000)
+        path = save_trace(workload.trace, str(tmp_path / "c.npz"))
+        loaded = load_trace(str(path))
+        assert np.array_equal(loaded.vpns, workload.trace.vpns)
+        assert loaded.switch_points == workload.trace.switch_points
+
+    def test_bad_format_rejected(self, tmp_path):
+        target = tmp_path / "bad.npz"
+        np.savez(target, format=np.int64(99), vpns=np.arange(3))
+        with pytest.raises(ConfigurationError):
+            load_trace(str(target))
+
+
+class TestSpaceIO:
+    def test_roundtrip(self, tmp_path, dense_space):
+        path = save_space(dense_space, str(tmp_path / "s.json"))
+        loaded = load_space(str(path))
+        assert len(loaded) == len(dense_space)
+        assert loaded.layout.subblock_factor == dense_space.layout.subblock_factor
+        for vpn, mapping in dense_space.items():
+            assert loaded.translate(vpn) == mapping
+
+    def test_segments_survive(self, tmp_path, layout):
+        from repro.addr.space import AddressSpace, Segment
+
+        space = AddressSpace(layout, "segtest")
+        space.add_segment(Segment("heap", 0x100, 64))
+        space.map(0x100, 0x1)
+        loaded = load_space(str(save_space(space, str(tmp_path / "s.json"))))
+        assert loaded.segments[0].name == "heap"
+        assert loaded.name == "segtest"
+
+    def test_custom_layout_survives(self, tmp_path):
+        layout = AddressLayout(subblock_factor=4, pa_bits=36)
+        from repro.addr.space import AddressSpace
+
+        space = AddressSpace(layout)
+        space.map(5, 6)
+        loaded = load_space(str(save_space(space, str(tmp_path / "s.json"))))
+        assert loaded.layout.subblock_factor == 4
+        assert loaded.layout.pa_bits == 36
+
+    def test_bad_format_rejected(self, tmp_path):
+        target = tmp_path / "bad.json"
+        target.write_text('{"format": 99}')
+        with pytest.raises(ConfigurationError):
+            load_space(str(target))
+
+    def test_deterministic_output(self, tmp_path, dense_space):
+        a = save_space(dense_space, str(tmp_path / "a.json")).read_text()
+        b = save_space(dense_space, str(tmp_path / "b.json")).read_text()
+        assert a == b
