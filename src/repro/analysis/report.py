@@ -61,3 +61,29 @@ def render_table(
     out.append(line(["-" * w for w in widths]))
     out.extend(line(row) for row in formatted)
     return "\n".join(out)
+
+
+def render_run_metrics(metrics) -> str:
+    """Render a runner's :class:`~repro.experiments.runner.RunMetrics`.
+
+    Duck-typed (any object with ``timings``/``cache``/``jobs``/…) so this
+    low-level module needs no import from the experiment layer.  Shows
+    per-experiment wall time and stream-cache traffic, then the pool
+    summary: jobs, prewarm stage, busy time, and worker utilisation.
+    """
+    rows = [
+        [t.key, t.seconds, t.cache.hits, t.cache.misses, t.cache.errors]
+        for t in metrics.timings
+    ]
+    table = render_table(
+        ["experiment", "seconds", "stream hits", "computed", "errors"],
+        rows, title="Run metrics", precision=3,
+    )
+    summary = [
+        f"jobs: {metrics.jobs}   wall: {metrics.wall_seconds:.2f}s   "
+        f"busy: {metrics.busy_seconds:.2f}s   "
+        f"utilisation: {100.0 * metrics.utilisation:.0f}%",
+        f"stream prewarm: {metrics.prewarm_tasks} task(s), "
+        f"{metrics.prewarm_seconds:.2f}s",
+    ]
+    return table + "\n\n" + "\n".join(summary)

@@ -1,0 +1,31 @@
+"""Persistent artefact caches.
+
+Phase-1 trace simulation dominates experiment run time, and its output —
+the :class:`~repro.mmu.simulate.MissStream` — depends only on the trace,
+the TLB configuration, and the logical PTE contents.  This package stores
+those streams on disk, content-addressed, so repeat runs (and parallel
+workers sharing one cache directory) are bounded by the cheap phase-2
+replay cost instead.
+"""
+
+from repro.cache.stream_cache import (
+    SCHEMA_VERSION,
+    CacheStats,
+    StreamCache,
+    StreamCacheError,
+    default_cache_dir,
+    load_stream,
+    save_stream,
+    stream_cache_key,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "CacheStats",
+    "StreamCache",
+    "StreamCacheError",
+    "default_cache_dir",
+    "load_stream",
+    "save_stream",
+    "stream_cache_key",
+]

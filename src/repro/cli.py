@@ -6,7 +6,7 @@ Commands
     The calibrated suite with Table 1 characteristics.
 ``describe WORKLOAD``
     Layout, density, and page-table sizes for one workload.
-``experiment ID [--chart]``
+``experiment ID [--chart] [--jobs N] [--cache-dir DIR | --no-cache]``
     Regenerate one table/figure or extension study: ``table1``, ``fig9``,
     ``fig10``, ``fig11a``–``fig11d``, ``table2``, ``sensitivity``,
     ``softtlb``, ``multisize``, ``multiprog``, ``guarded``, ``sasos``,
@@ -83,7 +83,21 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     trace_length = 50_000 if args.fast else 200_000
     exp_id = args.id
     if exp_id == "all":
-        return runner.main(["--fast"] if args.fast else [])
+        argv: List[str] = ["--fast"] if args.fast else []
+        argv += ["--jobs", str(args.jobs)]
+        if args.no_cache:
+            argv.append("--no-cache")
+        elif args.cache_dir:
+            argv += ["--cache-dir", args.cache_dir]
+        if args.only:
+            argv += ["--only", args.only]
+        if args.workloads:
+            argv += ["--workloads", args.workloads]
+        return runner.main(argv)
+    if args.cache_dir and not args.no_cache:
+        from repro.experiments.common import configure_stream_cache
+
+        configure_stream_cache(args.cache_dir)
     producers = {
         "table1": lambda: table1.run(trace_length=trace_length),
         "fig9": lambda: fig9.run(),
@@ -178,6 +192,26 @@ def build_parser() -> argparse.ArgumentParser:
                             help="shorter traces")
     experiment.add_argument("--chart", action="store_true",
                             help="render as a terminal bar chart")
+    experiment.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for 'all' (forwarded to the runner)",
+    )
+    experiment.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="persistent miss-stream cache directory",
+    )
+    experiment.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the persistent miss-stream cache",
+    )
+    experiment.add_argument(
+        "--only", metavar="IDS", default=None,
+        help="for 'all': comma-separated experiment subset, paper order kept",
+    )
+    experiment.add_argument(
+        "--workloads", metavar="NAMES", default=None,
+        help="for 'all': workload subset for trace-driven experiments",
+    )
 
     compare = sub.add_parser("compare", help="quick page-table shoot-out")
     compare.add_argument(

@@ -3,7 +3,11 @@
 Workload construction and phase-1 TLB simulation dominate experiment run
 time, and several figures need the same artefacts; this module memoises
 both behind small keyed caches so ``runner.run_all`` pays for each
-(workload, TLB configuration) pair once.
+(workload, TLB configuration) pair once.  A persistent on-disk layer
+(:mod:`repro.cache.stream_cache`, enabled via
+:func:`configure_stream_cache`) extends that across processes and runs:
+parallel workers share artefacts, and repeat invocations skip phase 1
+entirely.
 """
 
 from __future__ import annotations
@@ -12,7 +16,9 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.report import render_table
+from repro.cache.stream_cache import CacheStats, StreamCache, stream_cache_key
 from repro.mmu.simulate import MissStream, collect_misses
+from repro.workloads.trace import Trace
 from repro.mmu.subblock_tlb import CompleteSubblockTLB, PartialSubblockTLB
 from repro.mmu.superpage_tlb import SuperpageTLB
 from repro.mmu.tlb import BaseTLB, FullyAssociativeTLB
@@ -111,6 +117,71 @@ def policy_for(tlb_kind: str) -> Optional[DynamicPageSizePolicy]:
 
 
 # ---------------------------------------------------------------------------
+# Persistent stream cache (process-wide, opt-in)
+# ---------------------------------------------------------------------------
+#: The active on-disk MissStream cache, or None (library default: off).
+#: The runner/CLI configure this; worker processes configure their own.
+_STREAM_CACHE: Optional[StreamCache] = None
+
+
+def configure_stream_cache(directory: Optional[str]) -> Optional[StreamCache]:
+    """Enable (or, with None, disable) the persistent miss-stream cache.
+
+    Returns the active cache so callers can inspect its statistics.
+    """
+    global _STREAM_CACHE
+    _STREAM_CACHE = StreamCache(directory) if directory else None
+    return _STREAM_CACHE
+
+
+def stream_cache() -> Optional[StreamCache]:
+    """The active persistent cache, if any."""
+    return _STREAM_CACHE
+
+
+def set_stream_cache(cache: Optional[StreamCache]) -> None:
+    """Install (or remove) a cache instance directly.
+
+    The runner uses this to restore a previously active cache after a
+    scoped run; most callers want :func:`configure_stream_cache`.
+    """
+    global _STREAM_CACHE
+    _STREAM_CACHE = cache
+
+
+def stream_cache_stats() -> CacheStats:
+    """This process's hit/miss counts (zeros when the cache is off)."""
+    return _STREAM_CACHE.stats.snapshot() if _STREAM_CACHE else CacheStats()
+
+
+def collect_misses_cached(
+    trace: Trace,
+    tlb: BaseTLB,
+    tmap: TranslationMap,
+    prefetch_subblocks: bool = True,
+) -> MissStream:
+    """Phase 1 behind the persistent cache.
+
+    Content-addresses the (trace, TLB config, logical PTEs) triple; a hit
+    skips :func:`~repro.mmu.simulate.collect_misses` entirely, a miss
+    computes and persists the stream for the next run (and for parallel
+    workers sharing the cache directory).  With no cache configured this
+    is exactly ``collect_misses``.
+    """
+    cache = _STREAM_CACHE
+    key = None
+    if cache is not None:
+        key = stream_cache_key(trace, tlb, tmap, prefetch_subblocks)
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+    stream = collect_misses(trace, tlb, tmap, prefetch_subblocks)
+    if cache is not None and key is not None:
+        cache.put(key, stream)
+    return stream
+
+
+# ---------------------------------------------------------------------------
 # Cached artefacts
 # ---------------------------------------------------------------------------
 _WORKLOADS: Dict[Tuple[str, int, int], Workload] = {}
@@ -150,12 +221,18 @@ def get_translation_map(workload: Workload, tlb_kind: str) -> TranslationMap:
 def get_miss_stream(
     workload: Workload, tlb_kind: str, entries: int = TLB_ENTRIES
 ) -> MissStream:
-    """Memoised phase-1 simulation: the miss stream of one TLB config."""
+    """Memoised phase-1 simulation: the miss stream of one TLB config.
+
+    In-process memoisation sits in front of the persistent on-disk cache
+    (when configured), so a warm cache directory makes this a pure read.
+    """
     key = (id(workload), tlb_kind, entries)
     if key not in _STREAMS:
         tmap = get_translation_map(workload, tlb_kind)
         tlb = TLB_FACTORIES[tlb_kind](entries)
-        _STREAMS[key] = (workload, collect_misses(workload.trace, tlb, tmap))
+        _STREAMS[key] = (
+            workload, collect_misses_cached(workload.trace, tlb, tmap)
+        )
     return _STREAMS[key][1]
 
 

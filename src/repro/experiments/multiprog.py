@@ -13,9 +13,12 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-from repro.experiments.common import ExperimentResult, get_workload
+from repro.experiments.common import (
+    ExperimentResult,
+    collect_misses_cached,
+    get_workload,
+)
 from repro.mmu.asid import ASIDTaggedTLB
-from repro.mmu.simulate import collect_misses
 from repro.mmu.tlb import FullyAssociativeTLB
 from repro.os.translation_map import TranslationMap
 from repro.workloads.trace import Trace
@@ -61,8 +64,10 @@ def run(
         tmap = TranslationMap.from_space(workload.union_space())
         trace = _requantise(workload.trace, quantum)
         for entries in tlb_sizes:
-            flush = collect_misses(trace, FullyAssociativeTLB(entries), tmap)
-            asid = collect_misses(
+            flush = collect_misses_cached(
+                trace, FullyAssociativeTLB(entries), tmap
+            )
+            asid = collect_misses_cached(
                 trace, ASIDTaggedTLB(FullyAssociativeTLB(entries)), tmap
             )
             rows.append(

@@ -1,8 +1,25 @@
 """Run every experiment and emit a combined report.
 
 ``python -m repro.experiments.runner`` regenerates all reproduced tables
-and figures in one pass (sharing the memoised workloads and miss streams)
-and prints them in paper order.  Pass ``--fast`` for shorter traces.
+and figures and prints them in paper order.  The orchestration is a small
+two-stage dependency graph:
+
+1. **Stream collection** — every (workload, TLB configuration) miss
+   stream the selected experiments will replay, fanned out across worker
+   processes and persisted to the on-disk cache
+   (:mod:`repro.cache.stream_cache`);
+2. **Replays / report rows** — the experiments themselves, fanned out
+   once their stream artefacts exist, each worker reading phase-1 results
+   from the shared cache instead of re-simulating.
+
+Results are merged deterministically in paper order, so ``--jobs 8``
+produces byte-identical output to the serial run.  With a warm cache a
+repeat invocation performs *zero* phase-1 simulations — run time is
+bounded by the cheap phase-2 replay cost.
+
+Pass ``--fast`` for shorter traces, ``--jobs N`` to parallelise,
+``--cache-dir``/``--no-cache`` to control the persistent stream cache,
+and ``--only``/``--workloads`` to restrict the experiment set.
 """
 
 from __future__ import annotations
@@ -10,8 +27,12 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Dict, List
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.cache.stream_cache import CacheStats, default_cache_dir
+from repro.errors import ConfigurationError
 from repro.experiments import (
     cachesim,
     fig9,
@@ -28,37 +49,324 @@ from repro.experiments import (
     table1,
     table2,
 )
-from repro.experiments.common import ExperimentResult
+from repro.experiments import common
+from repro.experiments.common import (
+    ExperimentResult,
+    LINEAR_TLB_ENTRIES,
+    TLB_ENTRIES,
+    TRACED_WORKLOADS,
+)
+
+#: Paper order: the merge order of every report, serial or parallel.
+EXPERIMENT_ORDER: Tuple[str, ...] = (
+    "table1", "fig9", "fig10", "fig11a", "fig11b", "fig11c", "fig11d",
+    "table2", "sens_cacheline", "sens_subblock", "sens_buckets",
+    "sens_tlb_geometry", "sens_hash_quality", "sens_shared_private",
+    "softtlb", "multisize", "multiprog", "guarded", "sasos", "cachesim",
+    "pressure", "promotion_scan",
+)
+
+#: Experiments replaying a "single" TLB stream per traced workload.
+_SINGLE_STREAM_EXPERIMENTS = ("table1", "softtlb", "guarded", "cachesim")
 
 
-def run_all(trace_length: int = 200_000) -> Dict[str, ExperimentResult]:
-    """Regenerate every table and figure; returns results keyed by id."""
-    results: Dict[str, ExperimentResult] = {}
-    results["table1"] = table1.run(trace_length=trace_length)
-    results["fig9"] = fig9.run()
-    results["fig10"] = fig10.run()
-    for figure, result in fig11.run_all(trace_length=trace_length).items():
-        results[f"fig{figure}"] = result
-    results["table2"] = table2.run()
-    results["sens_cacheline"] = sensitivity.cache_line_sweep()
-    results["sens_subblock"] = sensitivity.subblock_factor_sweep()
-    results["sens_buckets"] = sensitivity.bucket_count_sweep()
-    results["sens_tlb_geometry"] = sensitivity.tlb_geometry_sweep()
-    results["sens_hash_quality"] = sensitivity.hash_quality_sweep()
-    results["sens_shared_private"] = sensitivity.shared_vs_private_tables()
-    # §2/§7 extension studies.
-    results["softtlb"] = softtlb.run(trace_length=trace_length)
-    results["multisize"] = multisize.run()
-    results["multiprog"] = multiprog.run(trace_length=trace_length)
-    results["guarded"] = guarded.run(trace_length=trace_length)
-    results["sasos"] = sasos.run()
-    results["cachesim"] = cachesim.run(trace_length=trace_length)
-    results["pressure"] = pressure.run()
-    results["promotion_scan"] = promotion_scan.run()
+def _producers(
+    trace_length: int,
+    workloads: Optional[Sequence[str]] = None,
+) -> Dict[str, Callable[[], ExperimentResult]]:
+    """Experiment id → zero-argument producer, for one configuration.
+
+    ``workloads`` restricts every experiment that accepts a workload
+    subset; the rest (synthetic-space and analytic studies) ignore it.
+    """
+    w = {"workloads": tuple(workloads)} if workloads else {}
+    return {
+        "table1": lambda: table1.run(trace_length=trace_length, **w),
+        "fig9": lambda: fig9.run(**w),
+        "fig10": lambda: fig10.run(**w),
+        "fig11a": lambda: fig11.run_subfigure(
+            "11a", trace_length=trace_length, **w),
+        "fig11b": lambda: fig11.run_subfigure(
+            "11b", trace_length=trace_length, **w),
+        "fig11c": lambda: fig11.run_subfigure(
+            "11c", trace_length=trace_length, **w),
+        "fig11d": lambda: fig11.run_subfigure(
+            "11d", trace_length=trace_length, **w),
+        "table2": lambda: table2.run(**w),
+        "sens_cacheline": lambda: sensitivity.cache_line_sweep(),
+        "sens_subblock": lambda: sensitivity.subblock_factor_sweep(),
+        "sens_buckets": lambda: sensitivity.bucket_count_sweep(),
+        "sens_tlb_geometry": lambda: sensitivity.tlb_geometry_sweep(),
+        "sens_hash_quality": lambda: sensitivity.hash_quality_sweep(),
+        "sens_shared_private": lambda: sensitivity.shared_vs_private_tables(),
+        "softtlb": lambda: softtlb.run(trace_length=trace_length, **w),
+        "multisize": lambda: multisize.run(),
+        "multiprog": lambda: multiprog.run(trace_length=trace_length, **w),
+        "guarded": lambda: guarded.run(trace_length=trace_length, **w),
+        "sasos": lambda: sasos.run(),
+        "cachesim": lambda: cachesim.run(trace_length=trace_length, **w),
+        "pressure": lambda: pressure.run(),
+        "promotion_scan": lambda: promotion_scan.run(**w),
+    }
+
+
+def select_experiments(only: Optional[Sequence[str]] = None) -> Tuple[str, ...]:
+    """The experiment ids to run, validated, in paper order."""
+    if not only:
+        return EXPERIMENT_ORDER
+    unknown = sorted(set(only) - set(EXPERIMENT_ORDER))
+    if unknown:
+        raise ConfigurationError(
+            f"unknown experiment ids {unknown}; known: {EXPERIMENT_ORDER}"
+        )
+    wanted = set(only)
+    return tuple(key for key in EXPERIMENT_ORDER if key in wanted)
+
+
+# ---------------------------------------------------------------------------
+# Stage 1: the stream-collection plan
+# ---------------------------------------------------------------------------
+#: One phase-1 task: (workload name, TLB kind, TLB entries).
+StreamTask = Tuple[str, str, int]
+
+
+def stream_prewarm_plan(
+    keys: Sequence[str],
+    workloads: Optional[Sequence[str]] = None,
+) -> Tuple[StreamTask, ...]:
+    """Every miss stream the selected experiments replay.
+
+    This is the dependency frontier of the run: each task is independent
+    of every other, and every experiment in ``keys`` depends only on its
+    tasks' artefacts (plus cheap phase-2 work).  Experiments outside this
+    plan (synthetic-space studies, quantum sweeps) compute any remaining
+    streams in their own worker, still through the persistent cache.
+    """
+    names = tuple(workloads or TRACED_WORKLOADS)
+    tasks: List[StreamTask] = []
+    for key in keys:
+        if key in _SINGLE_STREAM_EXPERIMENTS:
+            configs = [("single", TLB_ENTRIES)]
+        elif key.startswith("fig11"):
+            kind = fig11.SUBFIGURES[key[3:]]["tlb"]
+            # Reference stream plus the linear tables' 56-entry stream
+            # (reserved-entry opportunity cost, §6.1).
+            configs = [(kind, TLB_ENTRIES), (kind, LINEAR_TLB_ENTRIES)]
+        else:
+            continue
+        for name in names:
+            for kind, entries in configs:
+                task = (name, kind, entries)
+                if task not in tasks:
+                    tasks.append(task)
+    return tuple(tasks)
+
+
+# ---------------------------------------------------------------------------
+# Worker entry points (module-level: picklable by the process pool)
+# ---------------------------------------------------------------------------
+def _worker_init(cache_dir: Optional[str]) -> None:
+    """Per-worker setup: fresh memo caches, shared persistent cache."""
+    common.clear_caches()
+    common.configure_stream_cache(cache_dir)
+
+
+def _prewarm_worker(
+    task: StreamTask, trace_length: int
+) -> Tuple[StreamTask, float, CacheStats]:
+    """Stage-1 task: materialise one miss stream into the shared cache."""
+    before = common.stream_cache_stats()
+    started = time.perf_counter()
+    name, tlb_kind, entries = task
+    workload = common.get_workload(name, trace_length)
+    common.get_miss_stream(workload, tlb_kind, entries)
+    elapsed = time.perf_counter() - started
+    return task, elapsed, common.stream_cache_stats().delta(before)
+
+
+def _experiment_worker(
+    key: str,
+    trace_length: int,
+    workloads: Optional[Tuple[str, ...]],
+) -> Tuple[str, ExperimentResult, float, CacheStats]:
+    """Stage-2 task: produce one experiment's result table."""
+    before = common.stream_cache_stats()
+    started = time.perf_counter()
+    result = _producers(trace_length, workloads)[key]()
+    elapsed = time.perf_counter() - started
+    return key, result, elapsed, common.stream_cache_stats().delta(before)
+
+
+# ---------------------------------------------------------------------------
+# Metrics
+# ---------------------------------------------------------------------------
+@dataclass
+class ExperimentTiming:
+    """Wall time and cache traffic of one experiment."""
+
+    key: str
+    seconds: float
+    cache: CacheStats = field(default_factory=CacheStats)
+
+
+@dataclass
+class RunMetrics:
+    """Instrumentation of one ``run_all`` invocation."""
+
+    jobs: int = 1
+    cache_dir: Optional[str] = None
+    wall_seconds: float = 0.0
+    prewarm_tasks: int = 0
+    prewarm_seconds: float = 0.0
+    timings: List[ExperimentTiming] = field(default_factory=list)
+    cache: CacheStats = field(default_factory=CacheStats)
+
+    @property
+    def busy_seconds(self) -> float:
+        """Summed task time (prewarm + experiments) across workers."""
+        return self.prewarm_seconds + sum(t.seconds for t in self.timings)
+
+    @property
+    def utilisation(self) -> float:
+        """busy / (jobs × wall): how well the fan-out filled the pool."""
+        if self.wall_seconds <= 0 or self.jobs <= 0:
+            return 0.0
+        return min(1.0, self.busy_seconds / (self.jobs * self.wall_seconds))
+
+    def cache_summary(self) -> str:
+        """The one-line cache report (stable format, parsed by tooling)."""
+        c = self.cache
+        where = f" dir={self.cache_dir}" if self.cache_dir else " disabled"
+        return (
+            f"[stream cache: hits={c.hits} computed={c.misses} "
+            f"stored={c.stores} errors={c.errors}{where}]"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Orchestration
+# ---------------------------------------------------------------------------
+def run_all(
+    trace_length: int = 200_000,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    workloads: Optional[Sequence[str]] = None,
+    only: Optional[Sequence[str]] = None,
+    metrics: Optional[RunMetrics] = None,
+) -> Dict[str, ExperimentResult]:
+    """Regenerate every table and figure; returns results keyed by id.
+
+    ``jobs > 1`` fans the work out over a process pool; results are
+    identical to the serial path (experiments are deterministic, and the
+    merge is always in paper order).  ``cache_dir`` enables the
+    persistent miss-stream cache for this run; pass a ``metrics`` object
+    to receive timing and cache instrumentation.
+    """
+    keys = select_experiments(only)
+    metrics = metrics if metrics is not None else RunMetrics()
+    metrics.jobs = max(1, jobs)
+    metrics.cache_dir = str(cache_dir) if cache_dir else None
+    started = time.perf_counter()
+    workloads = tuple(workloads) if workloads else None
+
+    if metrics.jobs == 1:
+        results = _run_serial(keys, trace_length, cache_dir, workloads, metrics)
+    else:
+        results = _run_parallel(keys, trace_length, cache_dir, workloads, metrics)
+    metrics.wall_seconds = time.perf_counter() - started
     return results
 
 
-def main(argv: List[str] = None) -> int:
+def _run_serial(
+    keys: Sequence[str],
+    trace_length: int,
+    cache_dir: Optional[str],
+    workloads: Optional[Tuple[str, ...]],
+    metrics: RunMetrics,
+) -> Dict[str, ExperimentResult]:
+    previous = common.stream_cache()
+    cache = common.configure_stream_cache(cache_dir)
+    try:
+        producers = _producers(trace_length, workloads)
+        results: Dict[str, ExperimentResult] = {}
+        for key in keys:
+            before = common.stream_cache_stats()
+            task_start = time.perf_counter()
+            results[key] = producers[key]()
+            metrics.timings.append(
+                ExperimentTiming(
+                    key, time.perf_counter() - task_start,
+                    common.stream_cache_stats().delta(before),
+                )
+            )
+        if cache is not None:
+            metrics.cache.merge(cache.stats)
+        return results
+    finally:
+        common.set_stream_cache(previous)
+
+
+def _run_parallel(
+    keys: Sequence[str],
+    trace_length: int,
+    cache_dir: Optional[str],
+    workloads: Optional[Tuple[str, ...]],
+    metrics: RunMetrics,
+) -> Dict[str, ExperimentResult]:
+    with ProcessPoolExecutor(
+        max_workers=metrics.jobs,
+        initializer=_worker_init,
+        initargs=(cache_dir,),
+    ) as pool:
+        # Stage 1: fan out the stream-collection frontier.  Only useful
+        # when artefacts persist — without a cache directory the streams
+        # could not cross process boundaries.
+        if cache_dir is not None:
+            plan = stream_prewarm_plan(keys, workloads)
+            futures = [
+                pool.submit(_prewarm_worker, task, trace_length)
+                for task in plan
+            ]
+            wait(futures, return_when=FIRST_EXCEPTION)
+            for future in futures:
+                _, elapsed, delta = future.result()
+                metrics.prewarm_tasks += 1
+                metrics.prewarm_seconds += elapsed
+                metrics.cache.merge(delta)
+
+        # Stage 2: fan out the experiments themselves.
+        by_key = {
+            key: pool.submit(_experiment_worker, key, trace_length, workloads)
+            for key in keys
+        }
+        wait(list(by_key.values()), return_when=FIRST_EXCEPTION)
+        # Deterministic merge: paper order, regardless of completion order.
+        results: Dict[str, ExperimentResult] = {}
+        for key in keys:
+            _, result, elapsed, delta = by_key[key].result()
+            results[key] = result
+            metrics.timings.append(ExperimentTiming(key, elapsed, delta))
+            metrics.cache.merge(delta)
+    return results
+
+
+def run_all_with_metrics(
+    trace_length: int = 200_000,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    workloads: Optional[Sequence[str]] = None,
+    only: Optional[Sequence[str]] = None,
+) -> Tuple[Dict[str, ExperimentResult], RunMetrics]:
+    """:func:`run_all` plus its instrumentation."""
+    metrics = RunMetrics()
+    results = run_all(
+        trace_length, jobs=jobs, cache_dir=cache_dir,
+        workloads=workloads, only=only, metrics=metrics,
+    )
+    return results, metrics
+
+
+def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     parser = argparse.ArgumentParser(
         description="Reproduce every table and figure of the paper."
@@ -66,6 +374,27 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument(
         "--fast", action="store_true",
         help="use shorter traces (50k references) for a quick pass",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="fan experiments out over N worker processes (default 1)",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="persistent miss-stream cache directory "
+        "(default: the user cache dir)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the persistent miss-stream cache",
+    )
+    parser.add_argument(
+        "--only", metavar="IDS",
+        help="comma-separated experiment ids to run (paper order kept)",
+    )
+    parser.add_argument(
+        "--workloads", metavar="NAMES",
+        help="comma-separated workload subset for trace-driven experiments",
     )
     parser.add_argument(
         "--json", metavar="FILE",
@@ -77,9 +406,19 @@ def main(argv: List[str] = None) -> int:
     )
     args = parser.parse_args(argv)
     trace_length = 50_000 if args.fast else 200_000
+    if args.jobs < 1:
+        parser.error("--jobs must be at least 1")
+    cache_dir: Optional[str] = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir or str(default_cache_dir())
 
-    started = time.time()
-    results = run_all(trace_length)
+    results, metrics = run_all_with_metrics(
+        trace_length,
+        jobs=args.jobs,
+        cache_dir=cache_dir,
+        workloads=args.workloads.split(",") if args.workloads else None,
+        only=args.only.split(",") if args.only else None,
+    )
     for key, result in results.items():
         print(result.render(precision=3))
         print()
@@ -92,7 +431,14 @@ def main(argv: List[str] = None) -> int:
 
         paths = write_csv(results, args.csv)
         print(f"[{len(paths)} CSV files written to {args.csv}/]")
-    print(f"[all experiments regenerated in {time.time() - started:.1f}s]")
+    from repro.analysis.report import render_run_metrics
+
+    print(render_run_metrics(metrics))
+    print(metrics.cache_summary())
+    print(
+        f"[{len(results)} experiments regenerated in "
+        f"{metrics.wall_seconds:.1f}s with {metrics.jobs} job(s)]"
+    )
     return 0
 
 

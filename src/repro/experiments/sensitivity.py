@@ -180,9 +180,8 @@ def tlb_geometry_sweep(
     designs of equal capacity miss more through conflicts, and capacity
     dominates once the working set exceeds reach.
     """
-    from repro.mmu.simulate import collect_misses
+    from repro.experiments.common import collect_misses_cached
     from repro.mmu.tlb import FullyAssociativeTLB, SetAssociativeTLB
-    from repro.os.translation_map import TranslationMap
 
     workload = load_workload(workload_name, trace_length=trace_length)
     tmap = TranslationMap.from_space(workload.union_space())
@@ -192,7 +191,7 @@ def tlb_geometry_sweep(
             tlb = FullyAssociativeTLB(entries)
         else:
             tlb = SetAssociativeTLB(num_sets=sets_ways[0], ways=sets_ways[1])
-        stream = collect_misses(workload.trace, tlb, tmap)
+        stream = collect_misses_cached(workload.trace, tlb, tmap)
         rows.append(
             [label, entries, stream.misses,
              round(1000.0 * stream.miss_ratio, 2)]
@@ -289,14 +288,16 @@ def shared_vs_private_tables(
     chain interference; private tables pay one bucket array per process.
     """
     from repro.core.clustered import ClusteredPageTable
-    from repro.mmu.simulate import collect_misses, replay_misses
+    from repro.experiments.common import collect_misses_cached
+    from repro.mmu.simulate import replay_misses
     from repro.mmu.tlb import FullyAssociativeTLB
-    from repro.os.translation_map import TranslationMap
     from repro.pagetables.hashed import HashedPageTable
 
     workload = load_workload(workload_name, trace_length=trace_length)
     union_map = TranslationMap.from_space(workload.union_space())
-    stream = collect_misses(workload.trace, FullyAssociativeTLB(64), union_map)
+    stream = collect_misses_cached(
+        workload.trace, FullyAssociativeTLB(64), union_map
+    )
 
     rows: List[List] = []
     for label, factory in (

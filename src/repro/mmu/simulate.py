@@ -154,6 +154,9 @@ def replay_misses(
 
     ``complete_subblock`` replays block misses as §4.4 prefetching block
     walks (``lookup_block``) and subblock misses as single-PTE walks.
+
+    A miss whose walk ends in a page fault is counted in ``faults`` and
+    charged no cache lines, identically in both replay modes.
     """
     lines = 0
     probes = 0
@@ -170,7 +173,11 @@ def replay_misses(
                     faults += 1
                 by_kind[PTEKind.BASE] += 1
             else:
-                result = table.lookup(vpn)
+                try:
+                    result = table.lookup(vpn)
+                except PageFaultError:
+                    faults += 1
+                    continue
                 lines += result.cache_lines
                 probes += result.probes
                 by_kind[result.kind] += 1

@@ -16,6 +16,8 @@ page-size policy — and provides:
 
 from __future__ import annotations
 
+import hashlib
+import struct
 from dataclasses import dataclass
 from typing import Dict, Iterable, Optional, Tuple
 
@@ -135,6 +137,38 @@ class TranslationMap:
             else:
                 result.append(Mapping(pte.ppn_for(vpn), pte.attrs))
         return tuple(result)
+
+    def content_digest(self) -> bytes:
+        """SHA-256 over the logical PTEs and the address layout.
+
+        Everything a TLB fill can observe: per-page mappings, wide PTEs
+        (format, coverage, frames, attributes), and the layout geometry.
+        Used by persistent caches to content-address phase-1 miss streams.
+        Maps are treated as immutable once built; the digest is memoised.
+        """
+        cached = getattr(self, "_content_digest", None)
+        if cached is None:
+            digest = hashlib.sha256()
+            layout = self.layout
+            digest.update(
+                struct.pack(
+                    "<4q", layout.page_shift, layout.subblock_factor,
+                    layout.va_bits, layout.pa_bits,
+                )
+            )
+            for vpn in sorted(self._base):
+                mapping = self._base[vpn]
+                digest.update(struct.pack("<3q", vpn, mapping.ppn, mapping.attrs))
+            for vpbn in sorted(self._wide):
+                pte = self._wide[vpbn]
+                digest.update(
+                    struct.pack(
+                        "<6q", vpbn, int(pte.kind), pte.npages,
+                        pte.base_ppn, pte.attrs, pte.valid_mask,
+                    )
+                )
+            cached = self._content_digest = digest.digest()
+        return cached
 
     def mapped_vpns(self) -> Iterable[int]:
         """Every VPN with a valid translation."""

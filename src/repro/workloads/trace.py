@@ -9,6 +9,7 @@ process changes, where a TLB without address-space identifiers must flush
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence, Tuple
 
@@ -107,6 +108,24 @@ class Trace:
                 continue
             yield owner, (not first), self.vpns[start:end]
             first = False
+
+    def content_digest(self) -> bytes:
+        """SHA-256 over everything that affects a TLB simulation.
+
+        Covers the reference stream, scheduling structure, and block
+        geometry — the trace inputs of a phase-1 run — so persistent
+        caches can content-address miss streams.  Memoised: traces are
+        immutable once built.
+        """
+        cached = getattr(self, "_content_digest", None)
+        if cached is None:
+            digest = hashlib.sha256()
+            digest.update(np.ascontiguousarray(self.vpns).tobytes())
+            digest.update(repr(self.switch_points).encode())
+            digest.update(repr(self.segment_owners).encode())
+            digest.update(str(self.subblock_factor).encode())
+            cached = self._content_digest = digest.digest()
+        return cached
 
     def stats(self) -> TraceStats:
         """Compute summary statistics."""

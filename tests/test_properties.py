@@ -153,6 +153,60 @@ def test_reservation_allocator_invariants(vpns):
     assert stats.properly_placed + stats.fallback_placed == len(vpns)
 
 
+@settings(max_examples=25, deadline=None)
+@given(
+    mapped=st.lists(
+        st.integers(min_value=0, max_value=2000), min_size=1, max_size=60,
+        unique=True,
+    ),
+    picks=st.lists(
+        st.integers(min_value=0, max_value=10_000), min_size=1, max_size=250,
+    ),
+    entries=st.sampled_from([2, 4, 8]),
+    table_factory=st.sampled_from(
+        [lambda: HashedPageTable(LAYOUT, num_buckets=32),
+         lambda: ClusteredPageTable(LAYOUT, num_buckets=32)]
+    ),
+)
+def test_lines_per_miss_invariant_under_stream_round_trip(
+    mapped, picks, entries, table_factory
+):
+    """Serialising a miss stream to disk and back changes no replay cost.
+
+    For arbitrary synthetic workloads (random sparse mappings, random
+    reference strings, tiny TLBs so eviction churn is high), the phase-2
+    ``ReplayResult`` — and in particular ``lines_per_miss`` — must be
+    identical whether the stream came straight from ``collect_misses`` or
+    from a ``.npz`` round trip.
+    """
+    import tempfile
+
+    from repro.addr.space import AddressSpace
+    from repro.cache.stream_cache import load_stream, save_stream
+    from repro.mmu.simulate import collect_misses, replay_misses
+    from repro.os.translation_map import TranslationMap
+    from repro.workloads.trace import Trace
+
+    space = AddressSpace(LAYOUT)
+    for index, vpn in enumerate(mapped):
+        space.map(vpn, 0x1000 + index)
+    tmap = TranslationMap.from_space(space)
+    trace = Trace([mapped[p % len(mapped)] for p in picks], name="synthetic")
+    stream = collect_misses(trace, FullyAssociativeTLB(entries), tmap)
+
+    with tempfile.TemporaryDirectory() as directory:
+        reloaded = load_stream(save_stream(stream, f"{directory}/s.npz"))
+
+    def replay(s):
+        table = table_factory()
+        tmap.populate(table, base_pages_only=True)
+        return replay_misses(s, table)
+
+    fresh, cached = replay(stream), replay(reloaded)
+    assert cached == fresh
+    assert cached.lines_per_miss == fresh.lines_per_miss
+
+
 @settings(max_examples=30, deadline=None)
 @given(
     base_block=st.integers(min_value=0, max_value=1 << 20),

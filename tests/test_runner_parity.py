@@ -1,0 +1,156 @@
+"""Differential tests: parallel runner ≡ serial runner ≡ cached replays.
+
+Three layers of cross-validation:
+
+1. ``run_all(jobs>1)`` must produce bit-identical ``ExperimentResult``
+   tables to the serial path (deterministic merge, deterministic
+   experiments).
+2. A warm persistent cache must change *nothing* except the work done:
+   identical tables with zero phase-1 computations.
+3. Replaying a cached (serialised + reloaded) stream must match both a
+   fresh ``collect_misses`` replay and the integrated ``MMU`` oracle on
+   randomized (trace, TLB, table) configurations.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.metrics import make_table
+from repro.cache.stream_cache import StreamCache, stream_cache_key
+from repro.experiments import common, runner
+from repro.mmu.mmu import MMU
+from repro.mmu.simulate import collect_misses, replay_misses
+from repro.os.translation_map import TranslationMap
+
+#: A small but representative runner subset: stream-replay experiments
+#: (table1, fig11d with block prefetch) plus the direct-collect_misses
+#: multiprogramming study.
+SUBSET = ("table1", "fig11d", "multiprog")
+WORKLOADS = ("mp3d", "compress")
+TRACE_LENGTH = 12_000
+
+
+def results_fingerprint(results):
+    """Rendered text of every result, keyed by id, order preserved."""
+    return [(key, result.render(precision=3))
+            for key, result in results.items()]
+
+
+@pytest.fixture(autouse=True)
+def _isolated(tmp_path):
+    common.clear_caches()
+    yield
+    common.clear_caches()
+    common.configure_stream_cache(None)
+
+
+class TestRunnerParity:
+    def test_parallel_matches_serial_and_warm_cache_is_pure(self, tmp_path):
+        cache_dir = str(tmp_path / "streams")
+
+        serial, serial_metrics = runner.run_all_with_metrics(
+            TRACE_LENGTH, jobs=1, cache_dir=cache_dir,
+            workloads=WORKLOADS, only=SUBSET,
+        )
+        assert list(serial) == list(SUBSET)
+        assert serial_metrics.cache.misses > 0  # cold cache computed streams
+
+        common.clear_caches()
+        parallel, parallel_metrics = runner.run_all_with_metrics(
+            TRACE_LENGTH, jobs=2, cache_dir=cache_dir,
+            workloads=WORKLOADS, only=SUBSET,
+        )
+        assert results_fingerprint(parallel) == results_fingerprint(serial)
+        # Warm cache: the parallel run performed zero phase-1 simulations.
+        assert parallel_metrics.cache.misses == 0
+        assert parallel_metrics.cache.hits > 0
+        assert parallel_metrics.prewarm_tasks > 0
+
+        # And a cache-less parallel run still agrees bit-for-bit.
+        common.clear_caches()
+        uncached = runner.run_all(
+            TRACE_LENGTH, jobs=2, cache_dir=None,
+            workloads=WORKLOADS, only=SUBSET,
+        )
+        assert results_fingerprint(uncached) == results_fingerprint(serial)
+
+    def test_select_experiments_keeps_paper_order(self):
+        assert runner.select_experiments(None) == runner.EXPERIMENT_ORDER
+        assert runner.select_experiments(
+            ["multiprog", "table1"]
+        ) == ("table1", "multiprog")
+        with pytest.raises(Exception, match="unknown experiment"):
+            runner.select_experiments(["nope"])
+
+    def test_prewarm_plan_covers_selected_streams(self):
+        plan = runner.stream_prewarm_plan(
+            ("table1", "fig11d"), workloads=("mp3d",)
+        )
+        assert ("mp3d", "single", 64) in plan
+        assert ("mp3d", "complete-subblock", 64) in plan
+        assert ("mp3d", "complete-subblock", 56) in plan
+        assert len(plan) == len(set(plan))  # deduplicated
+        # Experiments with no replayed streams contribute nothing.
+        assert runner.stream_prewarm_plan(("fig9", "pressure")) == ()
+
+
+#: Randomized differential configs: (tlb kind, table, base_pages_only)
+#: mirrors the Figure 11 pairings of TLB architecture and PTE formats.
+_TLB_TABLE_CHOICES = (
+    ("single", ("hashed", "clustered", "linear-1lvl", "forward-mapped"), True),
+    ("superpage", ("clustered",), False),
+    ("partial-subblock", ("clustered",), False),
+    ("complete-subblock", ("hashed", "clustered"), True),
+)
+
+
+class TestCachedReplayDifferential:
+    def test_cached_stream_replays_match_fresh_and_mmu(self, tmp_path, rng):
+        cache = StreamCache(tmp_path / "streams")
+        seen_kinds = set()
+        for trial in range(6):
+            workload_name = rng.choice(("mp3d", "coral"))
+            tlb_kind, tables, base_only = rng.choice(_TLB_TABLE_CHOICES)
+            table_name = rng.choice(tables)
+            seen_kinds.add(tlb_kind)
+            entries = rng.choice((32, 64))
+            workload = common.get_workload(
+                workload_name, trace_length=5_000, seed=rng.randrange(10_000)
+            )
+            tmap = TranslationMap.from_space(
+                workload.union_space(), common.policy_for(tlb_kind)
+            )
+            tlb = common.TLB_FACTORIES[tlb_kind](entries)
+            complete = tlb_kind == "complete-subblock"
+
+            fresh = collect_misses(workload.trace, tlb, tmap)
+            key = stream_cache_key(
+                workload.trace, common.TLB_FACTORIES[tlb_kind](entries), tmap
+            )
+            cache.put(key, fresh)
+            reloaded = cache.get(key)
+            assert reloaded is not None
+
+            def build_table():
+                table = make_table(table_name, num_buckets=512)
+                tmap.populate(table, base_pages_only=base_only)
+                return table
+
+            fresh_replay = replay_misses(
+                fresh, build_table(), complete_subblock=complete
+            )
+            cached_replay = replay_misses(
+                reloaded, build_table(), complete_subblock=complete
+            )
+            assert cached_replay == fresh_replay, (
+                f"trial {trial}: {workload_name}/{tlb_kind}/{table_name}"
+            )
+
+            # Integrated oracle: one MMU run must agree on both the miss
+            # count and the replayed cache-line total.
+            mmu = MMU(common.TLB_FACTORIES[tlb_kind](entries), build_table())
+            mmu.run_trace(workload.trace)
+            assert mmu.stats.tlb_misses == reloaded.misses
+            assert mmu.stats.cache_lines == cached_replay.cache_lines
+        assert len(seen_kinds) >= 2  # the rng actually varied the hardware

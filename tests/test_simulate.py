@@ -147,3 +147,34 @@ def test_replay_counts_kinds(workload):
     replay = replay_misses(stream, table)
     assert sum(replay.by_kind.values()) == replay.misses
     assert replay.faults == 0
+
+
+def test_complete_subblock_replay_survives_faulting_lookup(layout):
+    """Regression: the complete-subblock branch let PageFaultError escape.
+
+    A subblock miss (``block_miss[i]`` False) whose VPN the page table no
+    longer maps must be counted in ``faults`` — same contract as the
+    non-block replay path — not crash the replay.
+    """
+    import numpy as np
+
+    from repro.core.clustered import ClusteredPageTable
+    from repro.mmu.simulate import MissStream
+
+    table = ClusteredPageTable(layout)
+    mapped = 0x100
+    table.insert(mapped, 0x40)
+    unmapped = 0x900  # different block, never inserted
+    stream = MissStream(
+        trace_name="synthetic", tlb_description="complete-subblock",
+        vpns=np.array([mapped, unmapped], dtype=np.int64),
+        block_miss=np.array([False, False]),
+        accesses=10, misses=2, tlb_block_misses=0, tlb_subblock_misses=2,
+    )
+    replay = replay_misses(stream, table, complete_subblock=True)
+    assert replay.faults == 1
+    assert replay.misses == 2
+    assert sum(replay.by_kind.values()) == 1  # only the successful walk
+
+    # Identical fault accounting on the non-block path.
+    assert replay_misses(stream, table, complete_subblock=False).faults == 1
