@@ -10,7 +10,12 @@ Commands
     Regenerate one table/figure or extension study: ``table1``, ``fig9``,
     ``fig10``, ``fig11a``–``fig11d``, ``table2``, ``sensitivity``,
     ``softtlb``, ``multisize``, ``multiprog``, ``guarded``, ``sasos``,
-    ``cachesim``, ``pressure``, ``promotion-scan``, or ``all``.
+    ``cachesim``, ``pressure``, ``promotion-scan``, ``numa``, or
+    ``all``.  The ``numa`` study accepts ``--topology`` (preset name or
+    topology JSON file) and ``--replication`` (policy subset).
+``topology [NAME|FILE] [--validate FILE]``
+    NUMA machine models: list the presets, print one preset's (or a JSON
+    file's) latency matrix, or validate a topology JSON file.
 ``compare WORKLOAD``
     Quick both-metrics shoot-out for one workload.
 ``validate``
@@ -32,7 +37,7 @@ EXPERIMENT_IDS = (
     "table1", "fig9", "fig10", "fig11a", "fig11b", "fig11c", "fig11d",
     "table2", "sensitivity", "softtlb", "multisize", "multiprog",
     "guarded", "sasos", "cachesim", "pressure", "promotion-scan",
-    "claims", "all",
+    "numa", "claims", "all",
 )
 
 
@@ -115,6 +120,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         "cachesim": lambda: cachesim.run(trace_length=trace_length),
         "pressure": lambda: pressure.run(),
         "promotion-scan": lambda: promotion_scan.run(),
+        "numa": lambda: _run_numa_experiment(args, trace_length),
     }
     if exp_id == "sensitivity":
         sensitivity.main()
@@ -135,6 +141,65 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         print(chart_result(result, clip=clip))
     else:
         print(result.render(precision=3))
+    return 0
+
+
+def _run_numa_experiment(args: argparse.Namespace, trace_length: int):
+    """The numa study with its --topology / --replication restrictions."""
+    from repro.experiments import numa as numa_experiment
+    from repro.numa.policy import POLICY_NAMES
+    from repro.numa.topology import get_topology
+
+    kwargs: dict = {"trace_length": trace_length}
+    topology = getattr(args, "topology", None)
+    if topology:
+        kwargs["topologies"] = (get_topology(topology),)
+    replication = getattr(args, "replication", None)
+    if replication:
+        policies = tuple(replication.split(","))
+        unknown = sorted(set(policies) - set(POLICY_NAMES))
+        if unknown:
+            raise SystemExit(
+                f"unknown replication policies {unknown}; "
+                f"known: {POLICY_NAMES}"
+            )
+        kwargs["policies"] = policies
+    return numa_experiment.run(**kwargs)
+
+
+def _cmd_topology(args: argparse.Namespace) -> int:
+    from repro.numa.topology import (
+        PRESETS,
+        get_topology,
+        render_latency_matrix,
+    )
+
+    if args.validate:
+        from repro.errors import ConfigurationError
+
+        try:
+            topology = get_topology(args.validate)
+        except ConfigurationError as exc:
+            print(f"invalid topology: {exc}")
+            return 1
+        print(f"OK: {topology.describe()}")
+        return 0
+    if args.name:
+        topology = get_topology(args.name)
+        print(topology.describe())
+        print()
+        print(render_latency_matrix(topology))
+        return 0
+    rows = [
+        [name, preset.num_nodes, preset.total_frames,
+         preset.local_latency(0),
+         max(max(row) for row in preset.latency)]
+        for name, preset in PRESETS.items()
+    ]
+    print(render_table(
+        ["preset", "nodes", "frames", "local cyc/line", "max remote"],
+        rows, title="NUMA topology presets",
+    ))
     return 0
 
 
@@ -212,6 +277,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--workloads", metavar="NAMES", default=None,
         help="for 'all': workload subset for trace-driven experiments",
     )
+    experiment.add_argument(
+        "--topology", metavar="NAME|FILE", default=None,
+        help="for 'numa': restrict to one machine (preset name or "
+        "topology JSON file)",
+    )
+    experiment.add_argument(
+        "--replication", metavar="POLICIES", default=None,
+        help="for 'numa': comma-separated policy subset "
+        "(none,mitosis,migrate)",
+    )
+
+    topology = sub.add_parser(
+        "topology", help="list/inspect/validate NUMA machine models"
+    )
+    topology.add_argument(
+        "name", nargs="?", default=None, metavar="NAME|FILE",
+        help="preset name or topology JSON file to print (omit to list "
+        "the presets)",
+    )
+    topology.add_argument(
+        "--validate", metavar="FILE", default=None,
+        help="check a topology JSON file and exit non-zero on errors",
+    )
 
     compare = sub.add_parser("compare", help="quick page-table shoot-out")
     compare.add_argument(
@@ -234,6 +322,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "list-workloads": _cmd_list_workloads,
         "describe": _cmd_describe,
         "experiment": _cmd_experiment,
+        "topology": _cmd_topology,
         "compare": _cmd_compare,
         "validate": _cmd_validate,
     }

@@ -259,6 +259,7 @@ class ClusteredPageTable(PageTable):
         probes = 0
         if not chain:
             self.stats.record_walk(1, 1, fault=True)
+            self._charge_numa(1)
             return BlockLookupResult(vpbn, tuple(mappings), 1, 1)
         block_base = self.layout.vpn_of_block(vpbn)
         found = False
@@ -274,6 +275,7 @@ class ClusteredPageTable(PageTable):
                     mappings[boff] = node.mapping_for(block_base + boff, self.layout)
         fault = not found
         self.stats.record_walk(lines, probes, fault)
+        self._charge_numa(lines)
         return BlockLookupResult(vpbn, tuple(mappings), lines, probes)
 
     # ------------------------------------------------------------------

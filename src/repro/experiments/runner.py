@@ -41,6 +41,7 @@ from repro.experiments import (
     guarded,
     multiprog,
     multisize,
+    numa,
     pressure,
     promotion_scan,
     sasos,
@@ -63,11 +64,13 @@ EXPERIMENT_ORDER: Tuple[str, ...] = (
     "table2", "sens_cacheline", "sens_subblock", "sens_buckets",
     "sens_tlb_geometry", "sens_hash_quality", "sens_shared_private",
     "softtlb", "multisize", "multiprog", "guarded", "sasos", "cachesim",
-    "pressure", "promotion_scan",
+    "pressure", "promotion_scan", "numa",
 )
 
 #: Experiments replaying a "single" TLB stream per traced workload.
-_SINGLE_STREAM_EXPERIMENTS = ("table1", "softtlb", "guarded", "cachesim")
+_SINGLE_STREAM_EXPERIMENTS = (
+    "table1", "softtlb", "guarded", "cachesim", "numa",
+)
 
 
 def _producers(
@@ -107,6 +110,7 @@ def _producers(
         "cachesim": lambda: cachesim.run(trace_length=trace_length, **w),
         "pressure": lambda: pressure.run(),
         "promotion_scan": lambda: promotion_scan.run(**w),
+        "numa": lambda: numa.run(trace_length=trace_length, **w),
     }
 
 

@@ -1,0 +1,83 @@
+"""Where page-table cache lines live: byte address → home node.
+
+A :class:`TablePlacement` answers one question for the costing layer:
+which NUMA node's DRAM holds the cache line at a given byte address of a
+page-table region (a :class:`~repro.pagetables.memimage.MemoryImage`, a
+linear-table leaf array, …)?  Two policies are modelled:
+
+- :class:`FirstTouchPlacement` — the whole structure lives on the node
+  whose CPU first touched (allocated) it.  This is the Linux default and
+  the pathological starting point of the Mitosis paper: every other
+  node's walks are remote.
+- :class:`InterleavedPlacement` — lines are striped round-robin across
+  nodes (``numactl --interleave``): walk cost is averaged rather than
+  polarised.
+
+Placements are immutable; *migration* (numaPTE-style) is an overlay the
+:class:`~repro.numa.policy.MigrateOnThresholdPolicy` keeps on top of the
+base placement, so the original homes stay inspectable.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.errors import ConfigurationError
+from repro.numa.topology import NumaTopology
+
+#: Line granularity used for home attribution; matches the paper's
+#: 256-byte level-two cache line (repro.mmu.cache_model.DEFAULT_CACHE).
+DEFAULT_LINE_SIZE = 256
+
+
+class TablePlacement(abc.ABC):
+    """Maps page-table byte addresses (as cache-line indices) to nodes."""
+
+    def __init__(
+        self, topology: NumaTopology, line_size: int = DEFAULT_LINE_SIZE
+    ):
+        if line_size <= 0 or line_size & (line_size - 1):
+            raise ConfigurationError(
+                f"line size must be a positive power of two, got {line_size}"
+            )
+        self.topology = topology
+        self.line_size = line_size
+
+    def line_of(self, address: int) -> int:
+        """Cache-line index covering a byte address."""
+        return address // self.line_size
+
+    @abc.abstractmethod
+    def home_of(self, line: int) -> int:
+        """Node holding cache line ``line`` (index, not byte address)."""
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        return f"{type(self).__name__} over {self.topology.describe()}"
+
+
+class FirstTouchPlacement(TablePlacement):
+    """Every line of the structure lives on one node (the allocator's)."""
+
+    def __init__(
+        self,
+        topology: NumaTopology,
+        node: int = 0,
+        line_size: int = DEFAULT_LINE_SIZE,
+    ):
+        super().__init__(topology, line_size)
+        if not 0 <= node < topology.num_nodes:
+            raise ConfigurationError(
+                f"first-touch node {node} outside 0..{topology.num_nodes - 1}"
+            )
+        self.node = node
+
+    def home_of(self, line: int) -> int:
+        return self.node
+
+
+class InterleavedPlacement(TablePlacement):
+    """Lines striped round-robin across every node."""
+
+    def home_of(self, line: int) -> int:
+        return line % self.topology.num_nodes

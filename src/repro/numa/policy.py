@@ -1,0 +1,181 @@
+"""Replication and migration policies for page-table memory.
+
+A :class:`ReplicationPolicy` sits between the walk coster and the base
+:class:`~repro.numa.placement.TablePlacement` and decides, per cache
+line, which node actually services a read — plus what every page-table
+*write* costs in return:
+
+- :class:`NoReplicationPolicy` — reads go wherever the placement put the
+  line; writes touch one copy.  The Linux-default baseline.
+- :class:`MitosisPolicy` — full per-node page-table replicas (Mitosis,
+  ASPLOS '20): every read is local, but the memory footprint multiplies
+  by the node count and every PTE update must be applied to all replicas
+  (write coherence, charged via :meth:`update_fanout` and fanned through
+  the shootdown model by
+  :class:`~repro.numa.replication.NumaSMPSystem`).
+- :class:`MigrateOnThresholdPolicy` — numaPTE-style: a line whose
+  accesses from some remote node sufficiently outnumber those from its
+  current home migrates there, paying a one-time copy.
+
+Policies are stateful per run (migration counters); construct a fresh
+one per replay, exactly like TLBs and page tables.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.errors import ConfigurationError
+from repro.numa.placement import TablePlacement
+
+#: Remote accesses (in excess of the home's) a line needs before the
+#: migrate-on-threshold policy moves it.  numaPTE uses small per-page
+#: counters; 16 keeps migration responsive on short replays.
+DEFAULT_MIGRATE_THRESHOLD = 16
+
+
+@dataclass
+class PolicyStats:
+    """Bookkeeping a replication policy accumulates during a replay."""
+
+    #: Lines migrated between nodes (migrate-on-threshold only).
+    migrations: int = 0
+    #: Cycles spent copying migrated lines (remote read + local write).
+    migration_cycles: int = 0
+    #: Extra PTE-write operations caused by replication fan-out.
+    coherence_writes: int = 0
+    #: Per-node read-service counts (which node's DRAM answered).
+    served_by_node: Counter = field(default_factory=Counter)
+
+
+class ReplicationPolicy(abc.ABC):
+    """Decides which node services each page-table line access."""
+
+    #: CLI/experiment identifier (``none``, ``mitosis``, ``migrate``).
+    name: str = "abstract"
+
+    def __init__(self, placement: TablePlacement):
+        self.placement = placement
+        self.topology = placement.topology
+        self.stats = PolicyStats()
+
+    @abc.abstractmethod
+    def holder_of(self, line: int, accessing_node: int) -> int:
+        """Node servicing a read of ``line`` issued by ``accessing_node``."""
+
+    def update_fanout(self) -> int:
+        """Copies a single PTE update must write (1 without replication)."""
+        return 1
+
+    def replica_factor(self) -> int:
+        """Memory multiplier over the unreplicated table (1 by default)."""
+        return 1
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        return f"{self.name} policy over {self.placement.describe()}"
+
+
+class NoReplicationPolicy(ReplicationPolicy):
+    """Reads served wherever the base placement put the line."""
+
+    name = "none"
+
+    def holder_of(self, line: int, accessing_node: int) -> int:
+        home = self.placement.home_of(line)
+        self.stats.served_by_node[home] += 1
+        return home
+
+
+class MitosisPolicy(ReplicationPolicy):
+    """Full per-node replicas: reads always local, writes fan out."""
+
+    name = "mitosis"
+
+    def holder_of(self, line: int, accessing_node: int) -> int:
+        self.stats.served_by_node[accessing_node] += 1
+        return accessing_node
+
+    def update_fanout(self) -> int:
+        return self.topology.num_nodes
+
+    def replica_factor(self) -> int:
+        return self.topology.num_nodes
+
+
+class MigrateOnThresholdPolicy(ReplicationPolicy):
+    """numaPTE-style: migrate a line to the node that keeps missing it.
+
+    Per line, per accessing node, a counter accumulates; once a remote
+    node's count exceeds the current home's by ``threshold``, the line
+    migrates there.  The copy is charged at one remote read plus one
+    local write of the line (both at the mover's latencies), and the
+    counters reset so the line must re-earn any further move —
+    hysteresis against ping-ponging between two hot nodes.
+    """
+
+    name = "migrate"
+
+    def __init__(
+        self,
+        placement: TablePlacement,
+        threshold: int = DEFAULT_MIGRATE_THRESHOLD,
+    ):
+        super().__init__(placement)
+        if threshold < 1:
+            raise ConfigurationError(
+                f"migration threshold must be >= 1, got {threshold}"
+            )
+        self.threshold = threshold
+        self._homes: Dict[int, int] = {}
+        self._counters: Dict[int, Counter] = {}
+
+    def current_home(self, line: int) -> int:
+        """The line's home after any migrations so far."""
+        return self._homes.get(line, self.placement.home_of(line))
+
+    def holder_of(self, line: int, accessing_node: int) -> int:
+        home = self.current_home(line)
+        counts = self._counters.setdefault(line, Counter())
+        counts[accessing_node] += 1
+        if (
+            accessing_node != home
+            and counts[accessing_node] - counts[home] >= self.threshold
+        ):
+            self._migrate(line, home, accessing_node)
+            home = accessing_node
+        self.stats.served_by_node[home] += 1
+        return home
+
+    def _migrate(self, line: int, old_home: int, new_home: int) -> None:
+        self._homes[line] = new_home
+        self.stats.migrations += 1
+        # The mover pulls the line from the old home and writes it locally.
+        self.stats.migration_cycles += self.topology.access_cycles(
+            new_home, old_home
+        ) + self.topology.local_latency(new_home)
+        self._counters[line] = Counter()
+
+
+#: Policy name → constructor; the experiment/CLI vocabulary.
+POLICY_NAMES = ("none", "mitosis", "migrate")
+
+
+def make_policy(
+    name: str,
+    placement: TablePlacement,
+    threshold: int = DEFAULT_MIGRATE_THRESHOLD,
+) -> ReplicationPolicy:
+    """Instantiate one policy by its CLI/experiment name."""
+    if name == "none":
+        return NoReplicationPolicy(placement)
+    if name == "mitosis":
+        return MitosisPolicy(placement)
+    if name == "migrate":
+        return MigrateOnThresholdPolicy(placement, threshold=threshold)
+    raise ConfigurationError(
+        f"unknown replication policy {name!r}; known: {POLICY_NAMES}"
+    )

@@ -1,0 +1,291 @@
+"""The NUMA machine model: nodes, capacities, and an access-latency matrix.
+
+A :class:`NumaTopology` is deliberately small: ``n`` memory nodes, each
+with a physical-frame capacity, and an ``n x n`` matrix of access
+latencies in *cycles per cache line* — the unit that composes directly
+with the paper's lines-touched metric (§6.1).  ``cycles = sum over
+touched lines of latency[accessing node][holding node]``, so on a
+single-node machine the metric degenerates to ``lines x local_latency``
+and the paper's flat-memory numbers are recovered exactly.
+
+Preset latencies follow the shape (not the exact nanoseconds) of the
+machines measured by the Mitosis paper: a local DRAM line costs ~90
+cycles, one QPI/UPI hop ~150, and two hops ~210.  The 8-socket preset
+uses a two-group board (two fully-connected 4-socket clumps, one hop
+between clumps), the worst case the replication papers target.
+
+Custom machines load from JSON::
+
+    {"name": "my-box",
+     "node_frames": [262144, 262144],
+     "latency": [[90, 150], [150, 90]]}
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Sequence, Tuple, Union
+
+from repro.errors import ConfigurationError
+
+#: Cycles to fetch one cache line from this socket's DRAM.
+LOCAL_CYCLES = 90
+#: Cycles for a line one interconnect hop away.
+ONE_HOP_CYCLES = 150
+#: Cycles for a line two interconnect hops away.
+TWO_HOP_CYCLES = 210
+
+#: Default per-node frame capacity used by the presets (1 GiB of 4 KB
+#: frames per socket; ample for every paper workload).
+PRESET_NODE_FRAMES = 1 << 18
+
+
+@dataclass(frozen=True)
+class NumaTopology:
+    """An ``n``-node machine: frame capacities plus a latency matrix.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier (preset name or JSON ``name`` field).
+    node_frames:
+        Physical frames belonging to each node; node boundaries split the
+        flat PPN space contiguously in this order.
+    latency:
+        ``latency[i][j]`` is the cycles node *i* pays per cache line held
+        by node *j*.  Row/column order matches ``node_frames``.
+    """
+
+    name: str
+    node_frames: Tuple[int, ...]
+    latency: Tuple[Tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        n = len(self.node_frames)
+        if n < 1:
+            raise ConfigurationError("a topology needs at least one node")
+        if any(frames < 1 for frames in self.node_frames):
+            raise ConfigurationError(
+                f"every node needs at least one frame, got {self.node_frames}"
+            )
+        if len(self.latency) != n or any(len(row) != n for row in self.latency):
+            raise ConfigurationError(
+                f"latency matrix must be {n}x{n} for {n} node(s)"
+            )
+        for i, row in enumerate(self.latency):
+            for j, cycles in enumerate(row):
+                if cycles < 1:
+                    raise ConfigurationError(
+                        f"latency[{i}][{j}] must be a positive cycle count, "
+                        f"got {cycles}"
+                    )
+        for i in range(n):
+            for j in range(n):
+                if self.latency[i][j] < self.latency[i][i]:
+                    raise ConfigurationError(
+                        f"remote latency[{i}][{j}]={self.latency[i][j]} is "
+                        f"below local latency[{i}][{i}]={self.latency[i][i]}"
+                    )
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of memory nodes."""
+        return len(self.node_frames)
+
+    @property
+    def total_frames(self) -> int:
+        """Frames summed over every node."""
+        return sum(self.node_frames)
+
+    def local_latency(self, node: int) -> int:
+        """Cycles per line for a node hitting its own DRAM."""
+        return self.latency[node][node]
+
+    def access_cycles(self, from_node: int, holder_node: int) -> int:
+        """Cycles for ``from_node`` to fetch one line held by ``holder_node``."""
+        return self.latency[from_node][holder_node]
+
+    def is_single_node(self) -> bool:
+        """True when the machine degenerates to the paper's flat memory."""
+        return self.num_nodes == 1
+
+    # ------------------------------------------------------------------
+    def node_of_frame(self, ppn: int) -> int:
+        """The node whose DRAM holds physical frame ``ppn``.
+
+        Frames are split contiguously in ``node_frames`` order; a PPN past
+        the end belongs to the last node (the allocator never hands one
+        out, but costing must not crash on synthetic addresses).
+        """
+        remaining = ppn
+        for node, frames in enumerate(self.node_frames):
+            if remaining < frames:
+                return node
+            remaining -= frames
+        return self.num_nodes - 1
+
+    def frame_base(self, node: int) -> int:
+        """First PPN belonging to ``node``."""
+        return sum(self.node_frames[:node])
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        """The JSON document :func:`from_json` accepts."""
+        return json.dumps(
+            {
+                "name": self.name,
+                "node_frames": list(self.node_frames),
+                "latency": [list(row) for row in self.latency],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, document: Union[str, Dict]) -> "NumaTopology":
+        """Build a topology from a JSON document (string or parsed dict).
+
+        Raises :class:`~repro.errors.ConfigurationError` with a pointed
+        message on any structural problem — the CLI ``topology validate``
+        subcommand surfaces these verbatim.
+        """
+        if isinstance(document, str):
+            try:
+                obj = json.loads(document)
+            except ValueError as exc:
+                raise ConfigurationError(f"topology JSON does not parse: {exc}")
+        else:
+            obj = document
+        if not isinstance(obj, dict):
+            raise ConfigurationError(
+                f"topology JSON must be an object, got {type(obj).__name__}"
+            )
+        unknown = sorted(set(obj) - {"name", "node_frames", "latency"})
+        if unknown:
+            raise ConfigurationError(f"unknown topology keys: {unknown}")
+        for key in ("node_frames", "latency"):
+            if key not in obj:
+                raise ConfigurationError(f"topology JSON lacks {key!r}")
+        node_frames = obj["node_frames"]
+        latency = obj["latency"]
+        if not isinstance(node_frames, list) or not all(
+            isinstance(v, int) and not isinstance(v, bool) for v in node_frames
+        ):
+            raise ConfigurationError("node_frames must be a list of integers")
+        if not isinstance(latency, list) or not all(
+            isinstance(row, list)
+            and all(isinstance(v, int) and not isinstance(v, bool) for v in row)
+            for row in latency
+        ):
+            raise ConfigurationError(
+                "latency must be a list of integer rows"
+            )
+        return cls(
+            name=str(obj.get("name", "custom")),
+            node_frames=tuple(node_frames),
+            latency=tuple(tuple(row) for row in latency),
+        )
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        if self.is_single_node():
+            return f"{self.name}: 1 node (flat memory, {LOCAL_CYCLES} cy/line)"
+        remote = max(max(row) for row in self.latency)
+        return (
+            f"{self.name}: {self.num_nodes} nodes, "
+            f"{self.local_latency(0)}/{remote} cy/line local/far"
+        )
+
+
+def _uniform_remote(nnodes: int, name: str) -> NumaTopology:
+    """Fully-connected machine: every remote node is one hop away."""
+    latency = tuple(
+        tuple(
+            LOCAL_CYCLES if i == j else ONE_HOP_CYCLES for j in range(nnodes)
+        )
+        for i in range(nnodes)
+    )
+    return NumaTopology(
+        name=name,
+        node_frames=(PRESET_NODE_FRAMES,) * nnodes,
+        latency=latency,
+    )
+
+
+def _two_group(nnodes: int, name: str) -> NumaTopology:
+    """Two fully-connected halves with one extra hop between them."""
+    half = nnodes // 2
+
+    def cycles(i: int, j: int) -> int:
+        if i == j:
+            return LOCAL_CYCLES
+        if (i < half) == (j < half):
+            return ONE_HOP_CYCLES
+        return TWO_HOP_CYCLES
+
+    latency = tuple(
+        tuple(cycles(i, j) for j in range(nnodes)) for i in range(nnodes)
+    )
+    return NumaTopology(
+        name=name,
+        node_frames=(PRESET_NODE_FRAMES,) * nnodes,
+        latency=latency,
+    )
+
+
+#: The canonical machine presets, keyed by CLI/experiment name.
+PRESETS: Dict[str, NumaTopology] = {
+    "1-node": NumaTopology(
+        name="1-node",
+        node_frames=(PRESET_NODE_FRAMES,),
+        latency=((LOCAL_CYCLES,),),
+    ),
+    "2-node": _uniform_remote(2, "2-node"),
+    "4-node": _uniform_remote(4, "4-node"),
+    "8-node": _two_group(8, "8-node"),
+}
+
+#: The default: the paper's flat single-node memory.
+SINGLE_NODE = PRESETS["1-node"]
+
+
+def get_topology(spec: Union[str, NumaTopology, None]) -> NumaTopology:
+    """Resolve a topology from a preset name, JSON path, or instance.
+
+    ``None`` yields the single-node default.  A string is tried first as
+    a preset name, then as a path to a JSON topology file.
+    """
+    if spec is None:
+        return SINGLE_NODE
+    if isinstance(spec, NumaTopology):
+        return spec
+    if spec in PRESETS:
+        return PRESETS[spec]
+    path = Path(spec)
+    if path.exists():
+        return NumaTopology.from_json(path.read_text())
+    raise ConfigurationError(
+        f"unknown topology {spec!r}; presets: {sorted(PRESETS)} "
+        "(or pass a JSON topology file path)"
+    )
+
+
+def render_latency_matrix(topology: NumaTopology) -> str:
+    """The latency matrix as an aligned text table (CLI ``topology show``)."""
+    from repro.analysis.report import render_table
+
+    labels = [f"node{i}" for i in range(topology.num_nodes)]
+    rows = [
+        [labels[i], *topology.latency[i]] for i in range(topology.num_nodes)
+    ]
+    return render_table(
+        ["cycles/line from\\to", *labels],
+        rows,
+        title=topology.describe(),
+    )

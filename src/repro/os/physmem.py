@@ -23,10 +23,13 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import TYPE_CHECKING, Dict, List, Optional, Set
 
 from repro.addr.layout import AddressLayout, DEFAULT_LAYOUT
 from repro.errors import ConfigurationError, OutOfMemoryError
+
+if TYPE_CHECKING:  # typing-only; a runtime import would cycle the package
+    from repro.numa.topology import NumaTopology
 
 
 @dataclass
@@ -39,6 +42,10 @@ class AllocatorStats:
     fallback_placed: int = 0
     reservations_made: int = 0
     reservations_stolen: int = 0
+    #: NUMA placement quality (zero unless a topology is attached and
+    #: callers request node-local frames).
+    node_local: int = 0
+    node_remote: int = 0
 
     @property
     def placement_rate(self) -> float:
@@ -56,11 +63,17 @@ class FrameAllocator:
     while memory is unfragmented.
     """
 
-    def __init__(self, total_frames: int, layout: AddressLayout = DEFAULT_LAYOUT):
+    def __init__(
+        self,
+        total_frames: int,
+        layout: AddressLayout = DEFAULT_LAYOUT,
+        topology: Optional["NumaTopology"] = None,
+    ):
         if total_frames < 1:
             raise ConfigurationError(f"need at least one frame, got {total_frames}")
         self.layout = layout
         self.total_frames = total_frames
+        self.topology = topology
         self._free: Set[int] = set(range(total_frames))
         self._next_hint = 0
         self.stats = AllocatorStats()
@@ -70,17 +83,65 @@ class FrameAllocator:
         """Number of currently free frames."""
         return len(self._free)
 
-    def allocate(self, vpn: int) -> int:
-        """Allocate one frame for ``vpn``; placement is not attempted."""
+    def node_of_frame(self, ppn: int) -> int:
+        """The NUMA node holding frame ``ppn`` (0 without a topology).
+
+        With an attached topology the frame space is split contiguously
+        across nodes in proportion to their capacities, scaled to this
+        allocator's ``total_frames``.
+        """
+        if self.topology is None or self.topology.is_single_node():
+            return 0
+        scaled = ppn * self.topology.total_frames // self.total_frames
+        return self.topology.node_of_frame(scaled)
+
+    def _node_frame_range(self, node: int) -> range:
+        """The PPN range belonging to ``node`` under the scaled split."""
+        assert self.topology is not None
+        total = self.topology.total_frames
+        base = self.topology.frame_base(node)
+        first = -(-base * self.total_frames // total)  # ceil
+        end = base + self.topology.node_frames[node]
+        last = -(-end * self.total_frames // total)
+        return range(first, min(last, self.total_frames))
+
+    def _record_node_placement(self, ppn: int, node: Optional[int]) -> None:
+        if node is None or self.topology is None:
+            return
+        if self.node_of_frame(ppn) == node:
+            self.stats.node_local += 1
+        else:
+            self.stats.node_remote += 1
+
+    def allocate(self, vpn: int, node: Optional[int] = None) -> int:
+        """Allocate one frame for ``vpn``; placement is not attempted.
+
+        ``node`` (with an attached topology) asks for a frame in that
+        node's local memory first, falling back to any frame — the
+        first-touch behaviour a NUMA-aware OS implements.
+        """
         if not self._free:
             raise OutOfMemoryError("no free frames")
-        ppn = self._take_any()
+        ppn = self._take_node_local(node)
+        if ppn is None:
+            ppn = self._take_any()
+        self._record_node_placement(ppn, node)
         self.stats.allocations += 1
         if self.layout.properly_placed(vpn, ppn, self.layout.subblock_factor):
             self.stats.properly_placed += 1
         else:
             self.stats.fallback_placed += 1
         return ppn
+
+    def _take_node_local(self, node: Optional[int]) -> Optional[int]:
+        """A free frame from ``node``'s local range, if one exists."""
+        if node is None or self.topology is None:
+            return None
+        for candidate in self._node_frame_range(node):
+            if candidate in self._free:
+                self._free.discard(candidate)
+                return candidate
+        return None
 
     def _take_any(self) -> int:
         # Scan forward from the hint for rough address-ordered behaviour.
@@ -121,8 +182,13 @@ class ReservationAllocator(FrameAllocator):
     oldest reservation (breaking its future placement) before giving up.
     """
 
-    def __init__(self, total_frames: int, layout: AddressLayout = DEFAULT_LAYOUT):
-        super().__init__(total_frames, layout)
+    def __init__(
+        self,
+        total_frames: int,
+        layout: AddressLayout = DEFAULT_LAYOUT,
+        topology: Optional["NumaTopology"] = None,
+    ):
+        super().__init__(total_frames, layout, topology)
         s = layout.subblock_factor
         if total_frames % s:
             raise ConfigurationError(
@@ -137,8 +203,13 @@ class ReservationAllocator(FrameAllocator):
         self._block_of_frame: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
-    def allocate(self, vpn: int) -> int:
-        """Allocate a frame for ``vpn``, properly placed when possible."""
+    def allocate(self, vpn: int, node: Optional[int] = None) -> int:
+        """Allocate a frame for ``vpn``, properly placed when possible.
+
+        ``node`` (with an attached topology) prefers reserving an aligned
+        block from that node's local frame range, so proper placement and
+        NUMA locality compose rather than compete.
+        """
         if not self._free:
             raise OutOfMemoryError("no free frames")
         s = self.layout.subblock_factor
@@ -148,7 +219,7 @@ class ReservationAllocator(FrameAllocator):
 
         reservation = self._reservations.get(vpbn)
         if reservation is None and self._free_blocks:
-            base = min(self._free_blocks)
+            base = self._pick_free_block(node)
             self._free_blocks.discard(base)
             reservation = _Reservation(base_ppn=base)
             self._reservations[vpbn] = reservation
@@ -161,12 +232,26 @@ class ReservationAllocator(FrameAllocator):
                 reservation.used_mask |= 1 << boff
                 self._block_of_frame[ppn] = vpbn
                 self.stats.properly_placed += 1
+                self._record_node_placement(ppn, node)
                 return ppn
             # Our slot was stolen under memory pressure: fall through.
 
         ppn = self._steal_frame()
         self.stats.fallback_placed += 1
+        self._record_node_placement(ppn, node)
         return ppn
+
+    def _pick_free_block(self, node: Optional[int]) -> int:
+        """Choose a fully-free aligned block, preferring ``node``'s range."""
+        if node is not None and self.topology is not None:
+            local = self._node_frame_range(node)
+            candidates = [
+                base for base in self._free_blocks
+                if base in local and base + self.layout.subblock_factor - 1 in local
+            ]
+            if candidates:
+                return min(candidates)
+        return min(self._free_blocks)
 
     def _steal_frame(self) -> int:
         """Take a free frame, preferring unused slots of old reservations."""

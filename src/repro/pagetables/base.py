@@ -26,7 +26,8 @@ raising so every table records costs identically.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
+from collections import Counter
+from dataclasses import dataclass, field
 from typing import Optional, Sequence, Tuple
 
 from repro.addr.layout import AddressLayout, DEFAULT_LAYOUT
@@ -108,6 +109,12 @@ class WalkStats:
     faults (a fault still walks the table).  ``op_*`` counters track the
     §3.1 maintenance costs: nodes visited and allocated by insert/remove
     traffic, and hash-bucket lock acquisitions for range operations.
+
+    The ``numa_*`` counters stay zero on the default single-node
+    machine; a table with an attached NUMA coster (see
+    :meth:`PageTable.attach_numa`) additionally reports latency-weighted
+    cycles and per-node line counts alongside the untouched
+    ``cache_lines`` metric.
     """
 
     lookups: int = 0
@@ -119,6 +126,8 @@ class WalkStats:
     op_nodes_visited: int = 0
     op_nodes_allocated: int = 0
     op_locks_acquired: int = 0
+    numa_cycles: int = 0
+    numa_lines_by_node: Counter = field(default_factory=Counter)
 
     def record_walk(self, cache_lines: int, probes: int, fault: bool) -> None:
         """Record one translation walk."""
@@ -127,6 +136,18 @@ class WalkStats:
         self.probes += probes
         if fault:
             self.faults += 1
+
+    def record_numa(self, cycles: int, by_node: "Counter") -> None:
+        """Record one walk's latency-weighted cost (NUMA costing only)."""
+        self.numa_cycles += cycles
+        self.numa_lines_by_node.update(by_node)
+
+    @property
+    def cycles_per_lookup(self) -> float:
+        """Latency-weighted cycles per walk (0 without NUMA costing)."""
+        if self.lookups == 0:
+            return 0.0
+        return self.numa_cycles / self.lookups
 
     @property
     def lines_per_lookup(self) -> float:
@@ -153,6 +174,8 @@ class WalkStats:
         self.op_nodes_visited = 0
         self.op_nodes_allocated = 0
         self.op_locks_acquired = 0
+        self.numa_cycles = 0
+        self.numa_lines_by_node = Counter()
 
 
 #: Type of a raw walk: (result or None on fault, cache lines, probes).
@@ -173,6 +196,43 @@ class PageTable(abc.ABC):
         self.layout = layout
         self.cache = cache
         self.stats = WalkStats()
+        #: Optional NUMA coster + accessing node; see :meth:`attach_numa`.
+        self._numa_coster = None
+        self.numa_node = 0
+
+    # ------------------------------------------------------------------
+    # NUMA costing (opt-in; absent by default)
+    # ------------------------------------------------------------------
+    def attach_numa(self, coster, node: int = 0) -> "PageTable":
+        """Attach a :class:`~repro.numa.costing.WalkCoster` to this table.
+
+        Every subsequent walk is *additionally* charged latency-weighted
+        cycles into ``stats.numa_cycles``/``numa_lines_by_node`` as if
+        issued from NUMA node ``node`` (mutable via ``self.numa_node``).
+        The table is treated as one placement unit — exact for
+        first-touch placement; byte-granular attribution lives in
+        :mod:`repro.numa.replay`.  ``cache_lines`` is never affected.
+        Returns ``self`` for chaining.
+        """
+        self._numa_coster = coster
+        self.numa_node = node
+        return self
+
+    def _charge_numa(self, lines: int) -> None:
+        if self._numa_coster is None or lines <= 0:
+            return
+        coster_stats = self._numa_coster.stats
+        before_cycles = coster_stats.cycles
+        before_nodes = dict(coster_stats.lines_by_node)
+        self._numa_coster.charge_lines(self.numa_node, lines)
+        served = Counter(
+            {
+                node: count - before_nodes.get(node, 0)
+                for node, count in coster_stats.lines_by_node.items()
+                if count != before_nodes.get(node, 0)
+            }
+        )
+        self.stats.record_numa(coster_stats.cycles - before_cycles, served)
 
     # ------------------------------------------------------------------
     # Translation
@@ -190,6 +250,7 @@ class PageTable(abc.ABC):
         """Service one TLB miss; raise :class:`PageFaultError` on no mapping."""
         result, lines, probes = self._walk(vpn)
         self.stats.record_walk(lines, probes, fault=result is None)
+        self._charge_numa(lines)
         if result is None:
             raise PageFaultError(vpn)
         return result
@@ -215,6 +276,7 @@ class PageTable(abc.ABC):
                 mappings.append(Mapping(result.ppn, result.attrs))
         fault = all(m is None for m in mappings)
         self.stats.record_walk(total_lines, total_probes, fault)
+        self._charge_numa(total_lines)
         return BlockLookupResult(
             vpbn=vpbn,
             mappings=tuple(mappings),

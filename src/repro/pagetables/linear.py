@@ -225,6 +225,7 @@ class LinearPageTable(ReplicatedPTEMixin, PageTable):
                 mappings.append(Mapping(result.ppn, result.attrs))
         fault = all(m is None for m in mappings)
         self.stats.record_walk(lines, probes, fault)
+        self._charge_numa(lines)
         return BlockLookupResult(vpbn, tuple(mappings), lines, probes)
 
     # ------------------------------------------------------------------

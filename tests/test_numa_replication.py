@@ -1,0 +1,156 @@
+"""Mitosis replication × TLB shootdown: no CPU may see a stale replica.
+
+The coupled invariant: an OS-side PTE update under replication must (a)
+reach *every* node's replica and (b) be followed by a shootdown round —
+skip either half and some CPU keeps translating through stale state.
+The oracle differential drives random updates against a plain dict and
+checks every CPU's translations after each; the sabotage tests verify
+the harness actually catches both failure modes.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import PageFaultError
+from repro.mmu.tlb import FullyAssociativeTLB
+from repro.numa.replication import NumaSMPSystem, ReplicatedPageTable
+from repro.numa.topology import PRESETS
+from repro.pagetables.hashed import HashedPageTable
+
+TOPOLOGY = PRESETS["4-node"]
+NCPUS = 8
+NPAGES = 96
+
+
+def make_system():
+    replicated = ReplicatedPageTable(
+        lambda: HashedPageTable(num_buckets=32), TOPOLOGY
+    )
+    for vpn in range(NPAGES):
+        replicated.insert(vpn, vpn + 0x1000)
+    system = NumaSMPSystem(
+        replicated, lambda: FullyAssociativeTLB(16), ncpus=NCPUS
+    )
+    return replicated, system
+
+
+def oracle_check(system, oracle):
+    """Every CPU agrees with the oracle on every page — or reports why."""
+    for cpu_index, cpu in enumerate(system.cpus):
+        for vpn, expected in list(oracle.items()):
+            assert cpu.translate(vpn) == expected, (cpu_index, vpn)
+        for vpn in range(NPAGES):
+            if vpn not in oracle:
+                with pytest.raises(PageFaultError):
+                    cpu.translate(vpn)
+
+
+def test_replica_fanout_keeps_all_nodes_coherent():
+    replicated, _ = make_system()
+    assert replicated.num_replicas == TOPOLOGY.num_nodes
+    assert all(replicated.coherent(vpn) for vpn in range(NPAGES))
+    # Fan-out accounting: every insert wrote all four replicas.
+    assert replicated.stats.updates == NPAGES
+    assert replicated.stats.replica_writes == NPAGES * 4
+    assert replicated.stats.coherence_writes == NPAGES * 3
+    # The replicated footprint is the per-replica sum (Mitosis' cost).
+    assert replicated.size_bytes() == sum(
+        replica.size_bytes() for replica in replicated.replicas
+    )
+
+
+def test_mmu_oracle_differential_under_random_updates():
+    replicated, system = make_system()
+    oracle = {vpn: vpn + 0x1000 for vpn in range(NPAGES)}
+    rng = random.Random(0x5EED)
+    # Warm every TLB so stale entries would survive a missing shootdown.
+    for cpu in system.cpus:
+        for vpn in range(NPAGES):
+            cpu.translate(vpn)
+    for step in range(30):
+        op = rng.choice(("unmap", "unmap_range", "remap"))
+        initiator = rng.randrange(NCPUS)
+        if op == "unmap":
+            mapped = [vpn for vpn in oracle]
+            if mapped:
+                vpn = rng.choice(mapped)
+                system.unmap(vpn, initiator=initiator)
+                del oracle[vpn]
+        elif op == "unmap_range":
+            bases = [
+                base for base in range(0, NPAGES - 8)
+                if all(vpn in oracle for vpn in range(base, base + 8))
+            ]
+            if bases:
+                base = rng.choice(bases)
+                system.unmap_range(base, 8, initiator=initiator)
+                for vpn in range(base, base + 8):
+                    del oracle[vpn]
+        else:
+            free = [vpn for vpn in range(NPAGES) if vpn not in oracle]
+            if free:
+                vpn = rng.choice(free)
+                ppn = 0x8000 + step
+                replicated.insert(vpn, ppn)
+                oracle[vpn] = ppn
+        assert all(replicated.coherent(vpn) for vpn in range(NPAGES))
+        oracle_check(system, oracle)
+    assert system.stats.shootdowns > 0
+    assert system.stats.ipis_sent > 0
+
+
+def test_bypassing_replica_fanout_is_caught():
+    """Updating one replica directly leaves remote nodes stale."""
+    replicated, system = make_system()
+    victim = 5
+    # Sabotage: remove from node 0's replica only, with a full shootdown
+    # round — exactly what a non-NUMA-aware OS would do under Mitosis.
+    replicated.replica(0).remove(victim)
+    system._shootdown([victim], initiator=0)
+    assert not replicated.coherent(victim)
+    # CPUs on node 0 fault; CPUs on other nodes still translate — the
+    # stale-replica divergence the fan-out exists to prevent.
+    with pytest.raises(PageFaultError):
+        system.cpus[0].translate(victim)
+    assert system.cpus[1].translate(victim) == victim + 0x1000
+
+
+def test_skipping_shootdown_leaves_stale_tlb_entries():
+    """Updating all replicas without the IPI round is equally broken."""
+    replicated, system = make_system()
+    victim = 7
+    for cpu in system.cpus:
+        cpu.translate(victim)  # cache it everywhere
+    replicated.remove(victim)  # coherent replicas...
+    assert replicated.coherent(victim)
+    # ...but no shootdown: every TLB still hits on the dead mapping.
+    for cpu in system.cpus:
+        assert cpu.translate(victim) == victim + 0x1000
+    # The proper path invalidates everywhere.
+    system._shootdown([victim], initiator=0)
+    for cpu in system.cpus:
+        with pytest.raises(PageFaultError):
+            cpu.translate(victim)
+
+
+def test_protect_range_downgrades_every_replica():
+    from repro.pagetables.pte import ATTR_READ
+
+    replicated, system = make_system()
+    system.protect_range(0, 4, attrs=ATTR_READ, initiator=2)
+    for node in range(TOPOLOGY.num_nodes):
+        for vpn in range(4):
+            assert replicated.replica(node).lookup(vpn).attrs == ATTR_READ
+    assert all(replicated.coherent(vpn) for vpn in range(4))
+
+
+def test_cpu_to_node_assignment_round_robins():
+    _, system = make_system()
+    assert [system.node_of_cpu(cpu) for cpu in range(NCPUS)] == [
+        0, 1, 2, 3, 0, 1, 2, 3,
+    ]
+    # Each CPU's MMU is bound to its node's replica object.
+    for cpu in range(NCPUS):
+        node = system.node_of_cpu(cpu)
+        assert system.cpus[cpu].page_table is system.replicated.replica(node)
