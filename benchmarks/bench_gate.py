@@ -1,0 +1,144 @@
+"""Bench-regression gate: fresh ``BENCH_numa.json`` vs the committed baseline.
+
+The NUMA sweep is fully deterministic (synthetic traces, fixed seeds,
+simulated latencies), so its per-config cycles-per-miss numbers are a
+*behavioural* signature, not a wall-clock one: any drift means the walk
+cost model, the placement policies, or the topology arithmetic changed.
+CI runs ``bench_numa.py --fast`` and this gate fails the lane when any
+``... cyc/miss`` column regresses (grows) by more than the threshold
+against ``benchmarks/baselines/BENCH_numa.json``.
+
+Improvements (numbers shrinking) never fail the gate, but are reported
+so an intentional change prompts a baseline refresh::
+
+    PYTHONPATH=src python benchmarks/bench_numa.py --fast \
+        --out benchmarks/baselines/BENCH_numa.json
+
+Usage::
+
+    python benchmarks/bench_gate.py --fresh BENCH_numa.json \
+        [--baseline benchmarks/baselines/BENCH_numa.json] [--threshold 0.10]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, List, Tuple
+
+#: The regression-gated metric columns of each config record.
+GATED_COLUMNS = ("none cyc/miss", "mitosis cyc/miss", "migrate cyc/miss")
+
+#: Config identity: one sweep row per (workload/table, node count).
+_KEY_COLUMNS = ("workload/table", "nodes")
+
+DEFAULT_BASELINE = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "baselines", "BENCH_numa.json"
+)
+DEFAULT_THRESHOLD = 0.10
+
+
+def _load(path: str) -> dict:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def _config_key(record: dict) -> Tuple:
+    return tuple(record[column] for column in _KEY_COLUMNS)
+
+
+def _index(document: dict) -> Dict[Tuple, dict]:
+    configs = {}
+    for record in document.get("configs", []):
+        configs[_config_key(record)] = record
+    return configs
+
+
+def compare(
+    fresh: dict, baseline: dict, threshold: float = DEFAULT_THRESHOLD
+) -> Tuple[List[str], List[str]]:
+    """(regressions, notes) between two benchmark documents.
+
+    A regression is a gated column growing by more than ``threshold``
+    (relative) on a config present in both documents.  Configs present
+    on only one side are notes, not failures — the config matrix is
+    allowed to grow.
+    """
+    regressions: List[str] = []
+    notes: List[str] = []
+    fresh_configs = _index(fresh)
+    base_configs = _index(baseline)
+    for key in sorted(base_configs.keys() - fresh_configs.keys()):
+        notes.append(f"config {key} in baseline but not in fresh run")
+    for key in sorted(fresh_configs.keys() - base_configs.keys()):
+        notes.append(f"config {key} new in fresh run (not gated)")
+    for key in sorted(fresh_configs.keys() & base_configs.keys()):
+        fresh_record, base_record = fresh_configs[key], base_configs[key]
+        for column in GATED_COLUMNS:
+            if column not in fresh_record or column not in base_record:
+                notes.append(f"{key}: column {column!r} missing, skipped")
+                continue
+            new, old = float(fresh_record[column]), float(base_record[column])
+            if old <= 0:
+                notes.append(f"{key}: baseline {column} is {old}, skipped")
+                continue
+            change = (new - old) / old
+            if change > threshold:
+                regressions.append(
+                    f"{key} {column}: {old:.3f} -> {new:.3f} "
+                    f"(+{100 * change:.1f}% > {100 * threshold:.0f}%)"
+                )
+            elif change < -threshold:
+                notes.append(
+                    f"{key} {column}: improved {old:.3f} -> {new:.3f} "
+                    f"({100 * change:.1f}%); consider refreshing the baseline"
+                )
+    return regressions, notes
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when a fresh NUMA benchmark regresses cycles/miss "
+        "against the committed baseline."
+    )
+    parser.add_argument(
+        "--fresh", metavar="FILE", required=True,
+        help="freshly generated BENCH_numa.json",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE", default=DEFAULT_BASELINE,
+        help=f"committed baseline (default {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD, metavar="FRAC",
+        help="relative regression tolerance (default 0.10 = 10%%)",
+    )
+    args = parser.parse_args(argv)
+    fresh = _load(args.fresh)
+    baseline = _load(args.baseline)
+    if fresh.get("trace_length") != baseline.get("trace_length"):
+        print(
+            f"[bench gate] trace lengths differ (fresh "
+            f"{fresh.get('trace_length')}, baseline "
+            f"{baseline.get('trace_length')}); numbers are not comparable"
+        )
+        return 2
+    regressions, notes = compare(fresh, baseline, args.threshold)
+    for note in notes:
+        print(f"[bench gate] note: {note}")
+    gated = len(_index(fresh).keys() & _index(baseline).keys())
+    if regressions:
+        for line in regressions:
+            print(f"[bench gate] REGRESSION: {line}")
+        print(f"[bench gate] FAIL: {len(regressions)} regression(s) "
+              f"over {gated} config(s)")
+        return 1
+    print(f"[bench gate] OK: {gated} config(s) within "
+          f"{100 * args.threshold:.0f}% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -63,6 +63,32 @@ def test_insert_throughput(benchmark, name):
     benchmark.extra_info["inserts_per_round"] = 512
 
 
+@pytest.mark.parametrize("name", sorted(TABLES))
+def test_lookup_throughput_tracer_installed(benchmark, name):
+    """Lookup throughput with an active tracer (overhead-budget lane).
+
+    Compare against ``test_lookup_throughput``: the tracing-*disabled*
+    hook must stay in the noise (<5 %), and even fully enabled tracing
+    should stay within small-integer factors.
+    """
+    from repro.obs.trace import WalkTracer, install_tracer, uninstall_tracer
+
+    table = populated(TABLES[name])
+    rng = random.Random(7)
+    probes = [0x10000 + rng.randrange(2048) for _ in range(512)]
+    tracer = install_tracer(WalkTracer(capacity=1024))
+
+    def run():
+        for vpn in probes:
+            table.lookup(vpn)
+
+    try:
+        benchmark(run)
+    finally:
+        uninstall_tracer(tracer)
+    benchmark.extra_info["lookups_per_round"] = len(probes)
+
+
 def test_tlb_probe_throughput(benchmark):
     from repro.mmu.fill import build_entry
     from repro.os.translation_map import LogicalPTE

@@ -23,10 +23,12 @@ recomputation, never crash.
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import json
 import os
 import struct
+import zipfile
 from collections import Counter
 from dataclasses import dataclass
 from pathlib import Path
@@ -36,6 +38,7 @@ import numpy as np
 
 from repro.errors import ReproError
 from repro.mmu.simulate import MissStream
+from repro.obs.metrics import get_registry
 from repro.os.translation_map import TranslationMap
 from repro.pagetables.pte import PTEKind
 from repro.workloads.trace import Trace
@@ -51,7 +54,43 @@ _SCALAR_FIELDS = (
 
 
 class StreamCacheError(ReproError):
-    """A cache artefact is unreadable, truncated, or from another schema."""
+    """A cache artefact is unreadable, truncated, or from another schema.
+
+    ``reason`` is a stable slug (``unreadable``, ``missing-array``,
+    ``corrupt-meta``, ``schema``, ``shape``, ``count-mismatch``) used to
+    label the ``stream_cache.evictions`` counter in the metrics
+    registry, so the *why* of every evict-and-recompute is queryable.
+    """
+
+    def __init__(self, message: str, reason: str = "unreadable"):
+        super().__init__(message)
+        self.reason = reason
+
+
+#: np.load failure modes that mean "this artefact is damaged": a
+#: truncated or non-zip payload, a corrupt member, a bad header.  Genuine
+#: environment errors (PermissionError, ENOSPC, MemoryError, EIO, ...)
+#: are deliberately NOT here — converting them to a cache miss would
+#: silently recompute forever and mask a real operational problem.
+_CORRUPTION_ERRORS = (ValueError, zipfile.BadZipFile, EOFError, struct.error)
+
+#: OSError errnos that indicate the environment, not the artefact.
+_ENVIRONMENT_ERRNOS = frozenset(
+    code
+    for code in (
+        errno.EACCES, errno.EPERM, errno.ENOSPC, errno.ENOMEM,
+        errno.EMFILE, errno.ENFILE, errno.EROFS, errno.EIO,
+        getattr(errno, "EDQUOT", None),
+    )
+    if code is not None
+)
+
+
+def _is_environment_error(exc: OSError) -> bool:
+    """True when an OSError reflects the machine, not the file's bytes."""
+    if isinstance(exc, PermissionError):
+        return True
+    return exc.errno in _ENVIRONMENT_ERRNOS
 
 
 # ---------------------------------------------------------------------------
@@ -129,30 +168,54 @@ def save_stream(stream: MissStream, path: os.PathLike) -> Path:
 
 
 def load_stream(path: os.PathLike) -> MissStream:
-    """Read one artefact back; raises :class:`StreamCacheError` if invalid."""
+    """Read one artefact back; raises :class:`StreamCacheError` if invalid.
+
+    Only *corruption* failure modes (the np.load zoo: truncated zip, bad
+    member, non-archive bytes) are converted to :class:`StreamCacheError`
+    — environment errors (``PermissionError``, ``ENOSPC``, ``EIO``,
+    ``MemoryError``) propagate, because treating them as corruption
+    would silently evict-and-recompute around a real operational
+    problem.
+    """
     try:
         with np.load(path) as archive:
             payload = {name: archive[name] for name in archive.files}
-    except Exception as exc:  # np.load raises a zoo: zipfile, pickle, OS...
-        raise StreamCacheError(f"unreadable stream artefact {path}: {exc}")
+    except _CORRUPTION_ERRORS as exc:
+        raise StreamCacheError(
+            f"unreadable stream artefact {path}: {exc}", reason="unreadable"
+        )
+    except OSError as exc:
+        if _is_environment_error(exc):
+            raise
+        # np.load raises plain OSError for non-archive bytes ("Failed to
+        # interpret file as a pickle") — that is corruption, not the OS.
+        raise StreamCacheError(
+            f"unreadable stream artefact {path}: {exc}", reason="unreadable"
+        )
     for required in ("vpns", "block_miss", "meta"):
         if required not in payload:
             raise StreamCacheError(
-                f"stream artefact {path} lacks array {required!r}"
+                f"stream artefact {path} lacks array {required!r}",
+                reason="missing-array",
             )
     try:
         meta = json.loads(bytes(payload["meta"].tobytes()).decode())
     except (ValueError, UnicodeDecodeError) as exc:
-        raise StreamCacheError(f"corrupt metadata in {path}: {exc}")
+        raise StreamCacheError(
+            f"corrupt metadata in {path}: {exc}", reason="corrupt-meta"
+        )
     if meta.get("schema") != SCHEMA_VERSION:
         raise StreamCacheError(
             f"stream artefact {path} has schema {meta.get('schema')!r}, "
-            f"expected {SCHEMA_VERSION}"
+            f"expected {SCHEMA_VERSION}",
+            reason="schema",
         )
     vpns = np.asarray(payload["vpns"], dtype=np.int64)
     block_miss = np.asarray(payload["block_miss"], dtype=bool)
     if vpns.ndim != 1 or block_miss.shape != vpns.shape:
-        raise StreamCacheError(f"array shape mismatch in {path}")
+        raise StreamCacheError(
+            f"array shape mismatch in {path}", reason="shape"
+        )
     try:
         scalars = {name: int(meta[name]) for name in _SCALAR_FIELDS}
         by_kind = Counter(
@@ -162,11 +225,14 @@ def load_stream(path: os.PathLike) -> MissStream:
             }
         )
     except (KeyError, TypeError, ValueError) as exc:
-        raise StreamCacheError(f"corrupt metadata in {path}: {exc}")
+        raise StreamCacheError(
+            f"corrupt metadata in {path}: {exc}", reason="corrupt-meta"
+        )
     if scalars["misses"] != int(vpns.shape[0]):
         raise StreamCacheError(
             f"{path}: metadata claims {scalars['misses']} misses but "
-            f"{vpns.shape[0]} were stored"
+            f"{vpns.shape[0]} were stored",
+            reason="count-mismatch",
         )
     return MissStream(
         trace_name=str(meta.get("trace_name", "")),
@@ -229,28 +295,40 @@ class StreamCache:
         return self.directory / key[:2] / f"{key}.npz"
 
     def get(self, key: str) -> Optional[MissStream]:
-        """The cached stream for ``key``, or None (miss / invalid file)."""
+        """The cached stream for ``key``, or None (miss / invalid file).
+
+        A *corrupt* artefact is evicted and counted (by reason) in the
+        ``stream_cache.evictions`` registry counter; environment errors
+        raised by :func:`load_stream` propagate to the caller.
+        """
+        registry = get_registry()
         path = self.path_for(key)
         if not path.exists():
             self.stats.misses += 1
+            registry.inc("stream_cache.misses")
             return None
         try:
             stream = load_stream(path)
-        except StreamCacheError:
+        except StreamCacheError as exc:
             self.stats.errors += 1
             self.stats.misses += 1
+            registry.inc("stream_cache.errors")
+            registry.inc("stream_cache.misses")
+            registry.inc("stream_cache.evictions", reason=exc.reason)
             try:
                 path.unlink()
             except OSError:
                 pass
             return None
         self.stats.hits += 1
+        registry.inc("stream_cache.hits")
         return stream
 
     def put(self, key: str, stream: MissStream) -> Path:
         """Persist one stream under ``key``."""
         path = save_stream(stream, self.path_for(key))
         self.stats.stores += 1
+        get_registry().inc("stream_cache.stores")
         return path
 
     def __len__(self) -> int:

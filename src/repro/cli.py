@@ -18,8 +18,16 @@ Commands
     file's) latency matrix, or validate a topology JSON file.
 ``compare WORKLOAD``
     Quick both-metrics shoot-out for one workload.
+``metrics [ID] [--fast] [--json]``
+    Run one experiment (default ``table1``) and dump the process-wide
+    metrics registry — cache traffic, shootdown IPIs, replication
+    fan-out, phase timings — as aligned tables or JSON.
 ``validate``
     Audit workload calibration against Table 1 (non-zero exit on drift).
+
+The ``experiment`` command accepts ``--trace-out FILE`` to record one
+structured event per page-table walk and export the trace as JSON Lines
+(single-process runs only).
 """
 
 from __future__ import annotations
@@ -87,6 +95,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
     trace_length = 50_000 if args.fast else 200_000
     exp_id = args.id
+    trace_out = getattr(args, "trace_out", None)
     if exp_id == "all":
         argv: List[str] = ["--fast"] if args.fast else []
         argv += ["--jobs", str(args.jobs)]
@@ -98,6 +107,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             argv += ["--only", args.only]
         if args.workloads:
             argv += ["--workloads", args.workloads]
+        if trace_out:
+            argv += ["--trace-out", trace_out]
         return runner.main(argv)
     if args.cache_dir and not args.no_cache:
         from repro.experiments.common import configure_stream_cache
@@ -133,7 +144,14 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         )
         print(claims_module.report(verdicts).render())
         return 0 if all(claim.holds for claim in verdicts) else 1
-    result = producers[exp_id]()
+    if trace_out:
+        from repro.obs.trace import trace_walks
+
+        with trace_walks() as tracer:
+            result = producers[exp_id]()
+        path = tracer.export_jsonl(trace_out)
+    else:
+        result = producers[exp_id]()
     if getattr(args, "chart", False):
         from repro.analysis.plot import chart_result
 
@@ -141,6 +159,9 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         print(chart_result(result, clip=clip))
     else:
         print(result.render(precision=3))
+    if trace_out:
+        print(tracer.summary())
+        print(f"[trace written to {path}]")
     return 0
 
 
@@ -200,6 +221,29 @@ def _cmd_topology(args: argparse.Namespace) -> int:
         ["preset", "nodes", "frames", "local cyc/line", "max remote"],
         rows, title="NUMA topology presets",
     ))
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Run one experiment and dump the process-wide metrics registry."""
+    from repro.experiments.runner import run_all_with_metrics
+    from repro.obs.metrics import get_registry
+
+    trace_length = 50_000 if args.fast else 200_000
+    cache_dir = None
+    if args.cache_dir and not args.no_cache:
+        cache_dir = args.cache_dir
+    if args.id:
+        run_all_with_metrics(
+            trace_length, jobs=1, cache_dir=cache_dir, only=[args.id],
+        )
+    registry = get_registry()
+    if args.json:
+        import json
+
+        print(json.dumps(registry.snapshot(), indent=2, sort_keys=True))
+    else:
+        print(registry.render())
     return 0
 
 
@@ -287,6 +331,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="for 'numa': comma-separated policy subset "
         "(none,mitosis,migrate)",
     )
+    experiment.add_argument(
+        "--trace-out", metavar="FILE", default=None, dest="trace_out",
+        help="record one event per page-table walk and write the trace "
+        "as JSON Lines (single-process runs only)",
+    )
+
+    metrics = sub.add_parser(
+        "metrics", help="dump the process-wide metrics registry"
+    )
+    metrics.add_argument(
+        "id", nargs="?", default="table1",
+        help="runner experiment id to run before dumping (default "
+        "table1; see 'experiment' for the ids)",
+    )
+    metrics.add_argument("--fast", action="store_true",
+                         help="shorter traces")
+    metrics.add_argument(
+        "--json", action="store_true",
+        help="dump as JSON instead of aligned tables",
+    )
+    metrics.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="persistent miss-stream cache directory",
+    )
+    metrics.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the persistent miss-stream cache",
+    )
 
     topology = sub.add_parser(
         "topology", help="list/inspect/validate NUMA machine models"
@@ -324,6 +396,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiment": _cmd_experiment,
         "topology": _cmd_topology,
         "compare": _cmd_compare,
+        "metrics": _cmd_metrics,
         "validate": _cmd_validate,
     }
     return handlers[args.command](args)

@@ -260,6 +260,7 @@ class ClusteredPageTable(PageTable):
         if not chain:
             self.stats.record_walk(1, 1, fault=True)
             self._charge_numa(1)
+            self._trace_block(vpbn, 1, 1, fault=True)
             return BlockLookupResult(vpbn, tuple(mappings), 1, 1)
         block_base = self.layout.vpn_of_block(vpbn)
         found = False
@@ -276,6 +277,7 @@ class ClusteredPageTable(PageTable):
         fault = not found
         self.stats.record_walk(lines, probes, fault)
         self._charge_numa(lines)
+        self._trace_block(vpbn, lines, probes, fault)
         return BlockLookupResult(vpbn, tuple(mappings), lines, probes)
 
     # ------------------------------------------------------------------

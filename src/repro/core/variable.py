@@ -149,6 +149,7 @@ class VariableClusteredPageTable(PageTable):
         mappings: List[Optional[Mapping]] = [None] * s
         if not chain:
             self.stats.record_walk(1, 1, fault=True)
+            self._trace_block(vpbn, 1, 1, fault=True)
             return BlockLookupResult(vpbn, tuple(mappings), 1, 1)
         block_base = self.layout.vpn_of_block(vpbn)
         lines = 0
@@ -165,6 +166,7 @@ class VariableClusteredPageTable(PageTable):
                 if slot is not None:
                     mappings[node.start_vpn - block_base + i] = slot
         self.stats.record_walk(lines, probes, fault=not found)
+        self._trace_block(vpbn, lines, probes, not found)
         return BlockLookupResult(vpbn, tuple(mappings), lines, probes)
 
     # ------------------------------------------------------------------

@@ -241,3 +241,16 @@ def clear_caches() -> None:
     _WORKLOADS.clear()
     _TMAPS.clear()
     _STREAMS.clear()
+
+
+def clear_stream_memo() -> None:
+    """Drop only the memoised miss streams, keeping workloads and maps.
+
+    The runner calls this at the start of every task (serial and
+    parallel) when the persistent cache is active, so each task's
+    stream-cache traffic is a deterministic function of the task alone —
+    never of which other task happened to run in the same process first.
+    That determinism is what makes ``RunMetrics.cache_summary()``
+    identical between ``--jobs 1`` and ``--jobs N``.
+    """
+    _STREAMS.clear()

@@ -27,12 +27,18 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_EXCEPTION,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.cache.stream_cache import CacheStats, default_cache_dir
 from repro.errors import ConfigurationError
+from repro.obs.timer import PhaseTimer
 from repro.experiments import (
     cachesim,
     fig9,
@@ -179,6 +185,7 @@ def _prewarm_worker(
     task: StreamTask, trace_length: int
 ) -> Tuple[StreamTask, float, CacheStats]:
     """Stage-1 task: materialise one miss stream into the shared cache."""
+    common.clear_stream_memo()
     before = common.stream_cache_stats()
     started = time.perf_counter()
     name, tlb_kind, entries = task
@@ -193,12 +200,41 @@ def _experiment_worker(
     trace_length: int,
     workloads: Optional[Tuple[str, ...]],
 ) -> Tuple[str, ExperimentResult, float, CacheStats]:
-    """Stage-2 task: produce one experiment's result table."""
+    """Stage-2 task: produce one experiment's result table.
+
+    The stream memo is dropped first so this task's cache delta depends
+    only on (key, disk state) — not on which other tasks this worker
+    happened to run — keeping the accounting identical to the serial
+    path's.
+    """
+    common.clear_stream_memo()
     before = common.stream_cache_stats()
     started = time.perf_counter()
     result = _producers(trace_length, workloads)[key]()
     elapsed = time.perf_counter() - started
     return key, result, elapsed, common.stream_cache_stats().delta(before)
+
+
+def _await_or_cancel(pool: ProcessPoolExecutor, futures: Sequence[Future]):
+    """Results of every future, in submission order — failing fast.
+
+    ``wait(..., FIRST_EXCEPTION)`` alone leaves the remaining tasks
+    running and surfaces the error only when a later ``.result()`` call
+    happens to reach the failed future (possibly minutes into the
+    merge).  Here, the first failure cancels every pending task and
+    re-raises immediately; already-running tasks are abandoned to finish
+    in the background (a process pool cannot interrupt them mid-task).
+    """
+    done, pending = wait(futures, return_when=FIRST_EXCEPTION)
+    for future in futures:
+        if future in done and not future.cancelled():
+            error = future.exception()
+            if error is not None:
+                for other in pending:
+                    other.cancel()
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise error
+    return [future.result() for future in futures]
 
 
 # ---------------------------------------------------------------------------
@@ -222,6 +258,11 @@ class RunMetrics:
     wall_seconds: float = 0.0
     prewarm_tasks: int = 0
     prewarm_seconds: float = 0.0
+    #: Wall time of each runner phase (phase-1 prewarm, phase-2
+    #: experiments), also observed into the metrics registry's
+    #: ``runner.phase_seconds`` histogram by :class:`PhaseTimer`.
+    prewarm_wall_seconds: float = 0.0
+    experiments_wall_seconds: float = 0.0
     timings: List[ExperimentTiming] = field(default_factory=list)
     cache: CacheStats = field(default_factory=CacheStats)
 
@@ -288,23 +329,49 @@ def _run_serial(
     workloads: Optional[Tuple[str, ...]],
     metrics: RunMetrics,
 ) -> Dict[str, ExperimentResult]:
+    """The one-process path, structured exactly like the parallel one.
+
+    With a cache configured it runs the same two stages — prewarm the
+    stream frontier, then the experiments with a cleared stream memo per
+    experiment — and accounts per-task cache deltas the same way, so
+    :meth:`RunMetrics.cache_summary` is identical to a ``--jobs N`` run
+    over the same cache state.
+    """
     previous = common.stream_cache()
     cache = common.configure_stream_cache(cache_dir)
     try:
         producers = _producers(trace_length, workloads)
         results: Dict[str, ExperimentResult] = {}
-        for key in keys:
-            before = common.stream_cache_stats()
-            task_start = time.perf_counter()
-            results[key] = producers[key]()
-            metrics.timings.append(
-                ExperimentTiming(
-                    key, time.perf_counter() - task_start,
-                    common.stream_cache_stats().delta(before),
-                )
-            )
         if cache is not None:
-            metrics.cache.merge(cache.stats)
+            with PhaseTimer("prewarm") as prewarm_timer:
+                for task in stream_prewarm_plan(keys, workloads):
+                    common.clear_stream_memo()
+                    before = common.stream_cache_stats()
+                    task_start = time.perf_counter()
+                    name, tlb_kind, entries = task
+                    workload = common.get_workload(name, trace_length)
+                    common.get_miss_stream(workload, tlb_kind, entries)
+                    metrics.prewarm_tasks += 1
+                    metrics.prewarm_seconds += time.perf_counter() - task_start
+                    metrics.cache.merge(
+                        common.stream_cache_stats().delta(before)
+                    )
+            metrics.prewarm_wall_seconds = prewarm_timer.last_seconds
+        with PhaseTimer("experiments") as experiments_timer:
+            for key in keys:
+                if cache is not None:
+                    common.clear_stream_memo()
+                before = common.stream_cache_stats()
+                task_start = time.perf_counter()
+                results[key] = producers[key]()
+                delta = common.stream_cache_stats().delta(before)
+                metrics.timings.append(
+                    ExperimentTiming(
+                        key, time.perf_counter() - task_start, delta
+                    )
+                )
+                metrics.cache.merge(delta)
+        metrics.experiments_wall_seconds = experiments_timer.last_seconds
         return results
     finally:
         common.set_stream_cache(previous)
@@ -326,31 +393,35 @@ def _run_parallel(
         # when artefacts persist — without a cache directory the streams
         # could not cross process boundaries.
         if cache_dir is not None:
-            plan = stream_prewarm_plan(keys, workloads)
-            futures = [
-                pool.submit(_prewarm_worker, task, trace_length)
-                for task in plan
-            ]
-            wait(futures, return_when=FIRST_EXCEPTION)
-            for future in futures:
-                _, elapsed, delta = future.result()
-                metrics.prewarm_tasks += 1
-                metrics.prewarm_seconds += elapsed
-                metrics.cache.merge(delta)
+            with PhaseTimer("prewarm") as prewarm_timer:
+                plan = stream_prewarm_plan(keys, workloads)
+                futures = [
+                    pool.submit(_prewarm_worker, task, trace_length)
+                    for task in plan
+                ]
+                for _, elapsed, delta in _await_or_cancel(pool, futures):
+                    metrics.prewarm_tasks += 1
+                    metrics.prewarm_seconds += elapsed
+                    metrics.cache.merge(delta)
+            metrics.prewarm_wall_seconds = prewarm_timer.last_seconds
 
         # Stage 2: fan out the experiments themselves.
-        by_key = {
-            key: pool.submit(_experiment_worker, key, trace_length, workloads)
-            for key in keys
-        }
-        wait(list(by_key.values()), return_when=FIRST_EXCEPTION)
-        # Deterministic merge: paper order, regardless of completion order.
-        results: Dict[str, ExperimentResult] = {}
-        for key in keys:
-            _, result, elapsed, delta = by_key[key].result()
-            results[key] = result
-            metrics.timings.append(ExperimentTiming(key, elapsed, delta))
-            metrics.cache.merge(delta)
+        with PhaseTimer("experiments") as experiments_timer:
+            by_key = {
+                key: pool.submit(
+                    _experiment_worker, key, trace_length, workloads
+                )
+                for key in keys
+            }
+            _await_or_cancel(pool, list(by_key.values()))
+            # Deterministic merge: paper order, not completion order.
+            results: Dict[str, ExperimentResult] = {}
+            for key in keys:
+                _, result, elapsed, delta = by_key[key].result()
+                results[key] = result
+                metrics.timings.append(ExperimentTiming(key, elapsed, delta))
+                metrics.cache.merge(delta)
+        metrics.experiments_wall_seconds = experiments_timer.last_seconds
     return results
 
 
@@ -408,21 +479,46 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--csv", metavar="DIR",
         help="additionally export one CSV per experiment into DIR",
     )
+    parser.add_argument(
+        "--trace-out", metavar="FILE", default=None,
+        help="record one event per page-table walk and write the trace "
+        "as JSON Lines (requires --jobs 1: walks happen in-process)",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="additionally print the process-wide metrics registry",
+    )
     args = parser.parse_args(argv)
     trace_length = 50_000 if args.fast else 200_000
     if args.jobs < 1:
         parser.error("--jobs must be at least 1")
+    if args.trace_out and args.jobs != 1:
+        parser.error(
+            "--trace-out requires --jobs 1 (worker processes' walks "
+            "cannot be traced into one ring buffer)"
+        )
     cache_dir: Optional[str] = None
     if not args.no_cache:
         cache_dir = args.cache_dir or str(default_cache_dir())
 
-    results, metrics = run_all_with_metrics(
-        trace_length,
-        jobs=args.jobs,
-        cache_dir=cache_dir,
-        workloads=args.workloads.split(",") if args.workloads else None,
-        only=args.only.split(",") if args.only else None,
-    )
+    tracer = None
+    if args.trace_out:
+        from repro.obs.trace import WalkTracer, install_tracer
+
+        tracer = install_tracer(WalkTracer())
+    try:
+        results, metrics = run_all_with_metrics(
+            trace_length,
+            jobs=args.jobs,
+            cache_dir=cache_dir,
+            workloads=args.workloads.split(",") if args.workloads else None,
+            only=args.only.split(",") if args.only else None,
+        )
+    finally:
+        if tracer is not None:
+            from repro.obs.trace import uninstall_tracer
+
+            uninstall_tracer(tracer)
     for key, result in results.items():
         print(result.render(precision=3))
         print()
@@ -439,6 +535,15 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     print(render_run_metrics(metrics))
     print(metrics.cache_summary())
+    if tracer is not None:
+        path = tracer.export_jsonl(args.trace_out)
+        print(tracer.summary())
+        print(f"[trace written to {path}]")
+    if args.metrics:
+        from repro.obs.metrics import get_registry
+
+        print()
+        print(get_registry().render())
     print(
         f"[{len(results)} experiments regenerated in "
         f"{metrics.wall_seconds:.1f}s with {metrics.jobs} job(s)]"

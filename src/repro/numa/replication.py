@@ -21,10 +21,11 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from repro.addr.space import DEFAULT_ATTRS
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, PageFaultError
 from repro.mmu.mmu import MMU
 from repro.mmu.tlb import BaseTLB
 from repro.numa.topology import NumaTopology
+from repro.obs.metrics import get_registry
 from repro.os.shootdown import SMPSystem
 from repro.pagetables.base import LookupResult, PageTable
 
@@ -63,6 +64,9 @@ class ReplicatedPageTable:
         self.replicas: List[PageTable] = [
             factory() for _ in range(topology.num_nodes)
         ]
+        # Walk-trace events from replica ``i`` carry node ``i``.
+        for node, replica in enumerate(self.replicas):
+            replica.numa_node = node
         self.stats = ReplicationStats()
 
     # ------------------------------------------------------------------
@@ -90,12 +94,20 @@ class ReplicatedPageTable:
     # ------------------------------------------------------------------
     # Updates: fan out to every replica
     # ------------------------------------------------------------------
-    def _fan(self, op: Callable[[PageTable], None]) -> None:
-        for replica in self.replicas:
-            op(replica)
+    def _count_fan(self) -> None:
+        """Charge one fanned-out update to both accounting layers."""
         self.stats.updates += 1
         self.stats.replica_writes += self.num_replicas
         self.stats.coherence_writes += self.num_replicas - 1
+        registry = get_registry()
+        registry.inc("replication.updates")
+        registry.inc("replication.replica_writes", self.num_replicas)
+        registry.inc("replication.coherence_writes", self.num_replicas - 1)
+
+    def _fan(self, op: Callable[[PageTable], None]) -> None:
+        for replica in self.replicas:
+            op(replica)
+        self._count_fan()
 
     def insert(self, vpn: int, ppn: int, attrs: int = DEFAULT_ATTRS) -> None:
         """Add a base-page mapping to every replica."""
@@ -111,9 +123,7 @@ class ReplicatedPageTable:
             table.mark(vpn, set_bits=set_bits, clear_bits=clear_bits)
             for table in self.replicas
         ]
-        self.stats.updates += 1
-        self.stats.replica_writes += self.num_replicas
-        self.stats.coherence_writes += self.num_replicas - 1
+        self._count_fan()
         return results[0]
 
     def insert_superpage(
@@ -143,14 +153,20 @@ class ReplicatedPageTable:
         """True when every replica translates ``vpn`` identically.
 
         The invariant the update fan-out maintains; the differential
-        test drives this over whole address spaces.
+        test drives this over whole address spaces.  Only
+        :class:`~repro.errors.PageFaultError` reads as "unmapped here" —
+        any other exception is a real lookup bug in that replica and
+        propagates, so a broken replica can never masquerade as
+        "consistently unmapped" and slip through the differential.
         """
+        if not self.replicas:
+            return True
         outcomes = []
         for table in self.replicas:
             try:
                 result = table.lookup(vpn)
                 outcomes.append((result.ppn, result.attrs))
-            except Exception:
+            except PageFaultError:
                 outcomes.append(None)
         return all(outcome == outcomes[0] for outcome in outcomes)
 

@@ -1,0 +1,53 @@
+"""Observability: walk tracing, a process-wide metrics registry, timers.
+
+Three small, dependency-light building blocks that let the simulator
+*explain itself* instead of only reporting aggregate averages:
+
+- :mod:`repro.obs.trace` — a :class:`~repro.obs.trace.WalkTracer` that
+  records one structured event per page-table walk (table kind, probes,
+  cache lines touched, resulting PTE kind, NUMA node) into a bounded
+  ring buffer with JSONL export.  The hook lives in
+  :meth:`repro.pagetables.base.PageTable.lookup` /
+  ``lookup_block`` and costs one module-attribute check when disabled.
+- :mod:`repro.obs.metrics` — a process-wide
+  :class:`~repro.obs.metrics.MetricsRegistry` (counters, gauges,
+  histograms, all optionally labelled) that the stream cache, the TLB
+  shootdown machinery, and the replication layer report into, so cache
+  hit/miss/evict-with-reason, IPI rounds, and replica fan-out writes are
+  queryable from one place (``python -m repro metrics``).
+- :mod:`repro.obs.timer` — wall-clock phase timers recording into the
+  registry's histograms (the runner wraps its phase-1 / phase-2 stages).
+
+The tracing invariant the differential tests enforce: over a traced
+:func:`repro.mmu.simulate.replay_misses` run, the tracer's
+``replay_lines`` total equals the replay's ``cache_lines`` exactly.
+"""
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    get_registry,
+    reset_registry,
+)
+from repro.obs.timer import PhaseTimer, phase_timer
+from repro.obs.trace import (
+    WalkEvent,
+    WalkTracer,
+    active_tracer,
+    install_tracer,
+    trace_walks,
+    uninstall_tracer,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "get_registry",
+    "reset_registry",
+    "PhaseTimer",
+    "phase_timer",
+    "WalkEvent",
+    "WalkTracer",
+    "active_tracer",
+    "install_tracer",
+    "trace_walks",
+    "uninstall_tracer",
+]

@@ -1,0 +1,216 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+One :class:`MetricsRegistry` instance per process (:func:`get_registry`)
+replaces the ad-hoc per-subsystem stat plumbing as the *queryable* view
+of what the simulator did: stream-cache hits/misses/evictions (labelled
+by reason), shootdown IPI rounds, replication fan-out writes, and
+runner phase timings all land here, and ``python -m repro metrics``
+renders the lot.
+
+The per-subsystem dataclasses (``CacheStats``, ``ShootdownStats``,
+``ReplicationStats``, ``WalkStats``) remain the *local* accounting —
+scoped to one object, cheap, picklable across workers.  The registry is
+the cross-cutting aggregate; subsystems report into both.
+
+Metrics are named ``subsystem.event`` and optionally labelled::
+
+    get_registry().inc("stream_cache.evictions", reason="schema")
+
+Labelled series are independent; :meth:`MetricsRegistry.values` returns
+every labelled series of one name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: A labelled series key: (metric name, sorted (label, value) pairs).
+SeriesKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def _series_key(name: str, labels: Dict[str, object]) -> SeriesKey:
+    return name, tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _render_key(key: SeriesKey) -> str:
+    name, labels = key
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+@dataclass
+class HistogramStats:
+    """Summary of one histogram series (count / total / min / max)."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = field(default=float("inf"))
+    maximum: float = field(default=float("-inf"))
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.minimum if self.count else 0.0,
+            "max": self.maximum if self.count else 0.0,
+        }
+
+
+class MetricsRegistry:
+    """Counters, gauges, and histograms, keyed by name + labels."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[SeriesKey, int] = {}
+        self._gauges: Dict[SeriesKey, float] = {}
+        self._histograms: Dict[SeriesKey, HistogramStats] = {}
+
+    # ------------------------------------------------------------------
+    # Counters
+    # ------------------------------------------------------------------
+    def inc(self, name: str, amount: int = 1, **labels: object) -> int:
+        """Increment a counter; returns the new value."""
+        key = _series_key(name, labels)
+        value = self._counters.get(key, 0) + amount
+        self._counters[key] = value
+        return value
+
+    def counter(self, name: str, **labels: object) -> int:
+        """Current value of one counter series (0 if never incremented)."""
+        return self._counters.get(_series_key(name, labels), 0)
+
+    # ------------------------------------------------------------------
+    # Gauges
+    # ------------------------------------------------------------------
+    def set_gauge(self, name: str, value: float, **labels: object) -> None:
+        """Set a gauge to an absolute value."""
+        self._gauges[_series_key(name, labels)] = value
+
+    def gauge(self, name: str, **labels: object) -> float:
+        """Current value of one gauge series (0.0 if never set)."""
+        return self._gauges.get(_series_key(name, labels), 0.0)
+
+    # ------------------------------------------------------------------
+    # Histograms
+    # ------------------------------------------------------------------
+    def observe(self, name: str, value: float, **labels: object) -> None:
+        """Record one observation into a histogram series."""
+        key = _series_key(name, labels)
+        histogram = self._histograms.get(key)
+        if histogram is None:
+            histogram = self._histograms[key] = HistogramStats()
+        histogram.observe(value)
+
+    def histogram(self, name: str, **labels: object) -> HistogramStats:
+        """Summary of one histogram series (empty if never observed)."""
+        return self._histograms.get(_series_key(name, labels), HistogramStats())
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def values(self, name: str) -> Dict[str, int]:
+        """Every labelled counter series of one name, rendered-key → value."""
+        return {
+            _render_key(key): value
+            for key, value in self._counters.items()
+            if key[0] == name
+        }
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """JSON-ready dump of every series."""
+        return {
+            "counters": {
+                _render_key(key): value
+                for key, value in sorted(self._counters.items())
+            },
+            "gauges": {
+                _render_key(key): value
+                for key, value in sorted(self._gauges.items())
+            },
+            "histograms": {
+                _render_key(key): histogram.as_dict()
+                for key, histogram in sorted(self._histograms.items())
+            },
+        }
+
+    def merge_counters(self, counters: Dict[str, int]) -> None:
+        """Accumulate a rendered-key → value counter dump (worker deltas).
+
+        Accepts the ``counters`` section of another registry's
+        :meth:`snapshot`; label sets are parsed back out of the rendered
+        keys so merged series stay queryable.
+        """
+        for rendered, value in counters.items():
+            name, _, label_text = rendered.partition("{")
+            labels: Dict[str, object] = {}
+            if label_text:
+                for pair in label_text.rstrip("}").split(","):
+                    label, _, label_value = pair.partition("=")
+                    labels[label] = label_value
+            self.inc(name, value, **labels)
+
+    def render(self) -> str:
+        """Aligned text tables of every non-empty section."""
+        from repro.analysis.report import render_table
+
+        sections: List[str] = []
+        if self._counters:
+            sections.append(render_table(
+                ["counter", "value"],
+                [[_render_key(k), v] for k, v in sorted(self._counters.items())],
+                title="Counters",
+            ))
+        if self._gauges:
+            sections.append(render_table(
+                ["gauge", "value"],
+                [[_render_key(k), v] for k, v in sorted(self._gauges.items())],
+                title="Gauges",
+            ))
+        if self._histograms:
+            sections.append(render_table(
+                ["histogram", "count", "total", "mean", "min", "max"],
+                [
+                    [_render_key(k), h.count, h.total, h.mean,
+                     h.minimum if h.count else 0.0,
+                     h.maximum if h.count else 0.0]
+                    for k, h in sorted(self._histograms.items())
+                ],
+                title="Histograms", precision=4,
+            ))
+        if not sections:
+            return "(no metrics recorded)"
+        return "\n\n".join(sections)
+
+    def reset(self) -> None:
+        """Drop every series (tests use this for isolation)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+#: The process-wide registry every subsystem reports into.
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide registry."""
+    return _REGISTRY
+
+
+def reset_registry() -> MetricsRegistry:
+    """Clear the process-wide registry and return it."""
+    _REGISTRY.reset()
+    return _REGISTRY

@@ -1,0 +1,57 @@
+"""Wall-clock phase timers recording into the metrics registry.
+
+``with phase_timer("prewarm"):`` observes the elapsed wall time into the
+``runner.phase_seconds{phase=prewarm}`` histogram of the process-wide
+registry (or a caller-supplied one) and keeps the last reading on the
+timer object, so callers can both aggregate across runs and report the
+phase they just finished.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+#: The histogram every phase timer observes into.
+PHASE_METRIC = "runner.phase_seconds"
+
+
+class PhaseTimer:
+    """One named wall-clock timer; re-enterable, accumulates per use."""
+
+    def __init__(
+        self,
+        phase: str,
+        registry: Optional[MetricsRegistry] = None,
+        metric: str = PHASE_METRIC,
+    ):
+        self.phase = phase
+        self.metric = metric
+        self.registry = registry if registry is not None else get_registry()
+        self.last_seconds = 0.0
+        self.total_seconds = 0.0
+        self._started: Optional[float] = None
+
+    def __enter__(self) -> "PhaseTimer":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        assert self._started is not None, "timer exited without entering"
+        self.last_seconds = time.perf_counter() - self._started
+        self.total_seconds += self.last_seconds
+        self._started = None
+        self.registry.observe(self.metric, self.last_seconds, phase=self.phase)
+
+
+@contextmanager
+def phase_timer(
+    phase: str, registry: Optional[MetricsRegistry] = None
+) -> Iterator[PhaseTimer]:
+    """``with phase_timer("experiments") as t:`` — one-shot convenience."""
+    timer = PhaseTimer(phase, registry)
+    with timer:
+        yield timer

@@ -1,0 +1,254 @@
+"""Per-walk tracing: one structured event per page-table walk.
+
+A :class:`WalkTracer` records, for every TLB-miss walk serviced while it
+is installed, the table kind, the operation (single-PTE ``walk`` or
+complete-subblock ``block`` fetch), the probes (buckets / chain nodes /
+tree levels examined), the cache lines touched, the resulting PTE kind
+(or ``fault``), and the accessing NUMA node.  Events land in a bounded
+ring buffer (oldest dropped first, drops counted) and can be exported as
+JSON Lines for offline analysis; running totals are kept outside the
+ring so aggregate invariants hold even after the ring wraps.
+
+The emission hook lives in :meth:`repro.pagetables.base.PageTable.lookup`
+and the ``lookup_block`` implementations; with no tracer installed it is
+one module-attribute check per walk, so tracing-disabled overhead on the
+micro benchmarks stays in the noise (<5 %, measured by
+``benchmarks/test_micro_bench.py::test_lookup_throughput_tracer_installed``).
+
+Correctness anchor (enforced by ``tests/test_trace_differential.py``):
+over a traced :func:`repro.mmu.simulate.replay_misses` run,
+:attr:`WalkTracer.replay_lines` — block-fetch lines plus non-faulting
+walk lines, mirroring exactly what the replay charges — equals the
+replay's ``cache_lines``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import Counter, deque
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Deque, Iterator, List, Optional
+
+#: Default ring capacity: enough for every miss of a --fast experiment.
+DEFAULT_CAPACITY = 65_536
+
+
+@dataclass(frozen=True)
+class WalkEvent:
+    """One page-table walk, as the tracer saw it.
+
+    ``lines``/``probes`` are the costs the table charged to its
+    :class:`~repro.pagetables.base.WalkStats` for this walk — independent
+    evidence against the :class:`~repro.pagetables.base.LookupResult`
+    the caller consumed, which is what lets the differential tests catch
+    a table that over-charges its stats relative to its results.
+    """
+
+    seq: int
+    table: str
+    op: str  # "walk" | "block"
+    vpn: int
+    kind: str  # PTE kind name, or "fault"
+    lines: int
+    probes: int
+    fault: bool
+    node: int
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True)
+
+
+class WalkTracer:
+    """Bounded ring buffer of :class:`WalkEvent` plus running totals."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._ring: Deque[WalkEvent] = deque(maxlen=capacity)
+        #: Events recorded (including any the ring has since dropped).
+        self.recorded = 0
+        #: Events pushed out of the ring by newer ones.
+        self.dropped = 0
+        #: Lines over every event (fault walks included).
+        self.total_lines = 0
+        #: The replay-equivalent total: block fetches always charge their
+        #: lines; single-PTE walks charge only when they do not fault —
+        #: mirroring ``replay_misses`` exactly.
+        self.replay_lines = 0
+        self.total_probes = 0
+        self.faults = 0
+        self.lines_by_table: Counter = Counter()
+        self.lines_by_node: Counter = Counter()
+        self.events_by_kind: Counter = Counter()
+
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        table: str,
+        op: str,
+        vpn: int,
+        kind: str,
+        lines: int,
+        probes: int,
+        fault: bool,
+        node: int,
+    ) -> None:
+        """Record one walk (called from the page-table hook)."""
+        event = WalkEvent(
+            seq=self.recorded, table=table, op=op, vpn=vpn, kind=kind,
+            lines=lines, probes=probes, fault=fault, node=node,
+        )
+        if len(self._ring) == self.capacity:
+            self.dropped += 1
+        self._ring.append(event)
+        self.recorded += 1
+        self.total_lines += lines
+        if op == "block" or not fault:
+            self.replay_lines += lines
+        self.total_probes += probes
+        if fault:
+            self.faults += 1
+        self.lines_by_table[table] += lines
+        self.lines_by_node[node] += lines
+        self.events_by_kind[kind] += 1
+
+    # ------------------------------------------------------------------
+    def events(self) -> List[WalkEvent]:
+        """The retained events, oldest first."""
+        return list(self._ring)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def __iter__(self) -> Iterator[WalkEvent]:
+        return iter(self._ring)
+
+    def clear(self) -> None:
+        """Drop the ring and zero every total."""
+        self._ring.clear()
+        self.recorded = 0
+        self.dropped = 0
+        self.total_lines = 0
+        self.replay_lines = 0
+        self.total_probes = 0
+        self.faults = 0
+        self.lines_by_table = Counter()
+        self.lines_by_node = Counter()
+        self.events_by_kind = Counter()
+
+    # ------------------------------------------------------------------
+    def export_jsonl(self, path: os.PathLike) -> Path:
+        """Write the retained events as JSON Lines; returns the path.
+
+        The first line is a header record (``{"trace_header": ...}``)
+        carrying the totals, so consumers can detect ring overflow
+        (``recorded > len(events)``) without re-summing.
+        """
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        header = {
+            "trace_header": {
+                "capacity": self.capacity,
+                "recorded": self.recorded,
+                "dropped": self.dropped,
+                "retained": len(self._ring),
+                "total_lines": self.total_lines,
+                "replay_lines": self.replay_lines,
+                "total_probes": self.total_probes,
+                "faults": self.faults,
+            }
+        }
+        with target.open("w") as handle:
+            handle.write(json.dumps(header, sort_keys=True) + "\n")
+            for event in self._ring:
+                handle.write(event.to_json() + "\n")
+        return target
+
+    def summary(self) -> str:
+        """One-line human-readable totals."""
+        return (
+            f"[walk trace: {self.recorded} events ({self.dropped} dropped), "
+            f"{self.total_lines} lines, {self.faults} faults]"
+        )
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "WalkTracer":
+        install_tracer(self)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        uninstall_tracer(self)
+
+
+# ---------------------------------------------------------------------------
+# The active tracer (module global: the hook is one attribute check)
+# ---------------------------------------------------------------------------
+_ACTIVE: Optional[WalkTracer] = None
+#: Suppression depth: >0 means nested walks must not emit (a composite
+#: table is charging its constituents' work to one outer event).
+_SUPPRESSED = 0
+
+
+def install_tracer(tracer: WalkTracer) -> WalkTracer:
+    """Make ``tracer`` receive every subsequent walk in this process."""
+    global _ACTIVE
+    _ACTIVE = tracer
+    return tracer
+
+
+def uninstall_tracer(tracer: Optional[WalkTracer] = None) -> None:
+    """Stop tracing (pass a tracer to uninstall only if still active)."""
+    global _ACTIVE
+    if tracer is None or _ACTIVE is tracer:
+        _ACTIVE = None
+
+
+def active_tracer() -> Optional[WalkTracer]:
+    """The installed tracer, if any."""
+    return _ACTIVE
+
+
+@contextmanager
+def trace_walks(capacity: int = DEFAULT_CAPACITY):
+    """``with trace_walks() as tracer:`` — scoped tracing."""
+    tracer = WalkTracer(capacity)
+    install_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        uninstall_tracer(tracer)
+
+
+@contextmanager
+def suppressed():
+    """Silence event emission inside a composite table's nested walks."""
+    global _SUPPRESSED
+    _SUPPRESSED += 1
+    try:
+        yield
+    finally:
+        _SUPPRESSED -= 1
+
+
+def emit(
+    table: str,
+    op: str,
+    vpn: int,
+    kind: str,
+    lines: int,
+    probes: int,
+    fault: bool,
+    node: int,
+) -> None:
+    """Record one walk into the active tracer, if any (hook entry point).
+
+    Callers on the hot path should pre-check ``_ACTIVE is not None``
+    themselves to keep the disabled cost at one attribute load.
+    """
+    if _ACTIVE is None or _SUPPRESSED:
+        return
+    _ACTIVE.record(table, op, vpn, kind, lines, probes, fault, node)

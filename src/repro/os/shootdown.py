@@ -83,12 +83,20 @@ class SMPSystem:
     def _shootdown(self, vpns: List[int], initiator: int) -> None:
         """One invalidation round: interrupt every remote CPU once, then
         invalidate all the round's pages everywhere (including locally)."""
+        from repro.obs.metrics import get_registry
+
         self.stats.shootdowns += 1
         self.stats.ipis_sent += self.ncpus - 1
+        invalidated = 0
         for i, mmu in enumerate(self.cpus):
             del i  # the initiator invalidates too, without an IPI
             for vpn in vpns:
-                self.stats.entries_invalidated += mmu.tlb.invalidate(vpn)
+                invalidated += mmu.tlb.invalidate(vpn)
+        self.stats.entries_invalidated += invalidated
+        registry = get_registry()
+        registry.inc("shootdown.rounds")
+        registry.inc("shootdown.ipis_sent", self.ncpus - 1)
+        registry.inc("shootdown.entries_invalidated", invalidated)
         del initiator
 
     def unmap(self, vpn: int, initiator: int = 0) -> None:

@@ -34,6 +34,7 @@ from repro.addr.layout import AddressLayout, DEFAULT_LAYOUT
 from repro.addr.space import DEFAULT_ATTRS, Mapping
 from repro.errors import PageFaultError
 from repro.mmu.cache_model import CacheModel, DEFAULT_CACHE
+from repro.obs import trace as _trace
 from repro.pagetables.pte import PTEKind
 
 
@@ -251,9 +252,31 @@ class PageTable(abc.ABC):
         result, lines, probes = self._walk(vpn)
         self.stats.record_walk(lines, probes, fault=result is None)
         self._charge_numa(lines)
+        if _trace._ACTIVE is not None:
+            _trace.emit(
+                self.name, "walk", vpn,
+                result.kind.name if result is not None else "fault",
+                lines, probes, result is None, self.numa_node,
+            )
         if result is None:
             raise PageFaultError(vpn)
         return result
+
+    def _trace_block(
+        self, vpbn: int, lines: int, probes: int, fault: bool
+    ) -> None:
+        """Emit one tracer event for a block fetch (no-op when disabled).
+
+        Every ``lookup_block`` implementation calls this right after its
+        ``stats.record_walk`` so traced block events carry exactly the
+        lines the walk charged.
+        """
+        if _trace._ACTIVE is not None:
+            _trace.emit(
+                self.name, "block", self.layout.vpn_of_block(vpbn),
+                "fault" if fault else PTEKind.BASE.name,
+                lines, probes, fault, self.numa_node,
+            )
 
     def lookup_block(self, vpbn: int) -> BlockLookupResult:
         """Fetch all mappings of one page block (complete-subblock prefetch).
@@ -277,6 +300,7 @@ class PageTable(abc.ABC):
         fault = all(m is None for m in mappings)
         self.stats.record_walk(total_lines, total_probes, fault)
         self._charge_numa(total_lines)
+        self._trace_block(vpbn, total_lines, total_probes, fault)
         return BlockLookupResult(
             vpbn=vpbn,
             mappings=tuple(mappings),

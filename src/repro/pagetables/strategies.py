@@ -207,21 +207,27 @@ class MultiplePageTables(PageTable):
 
     def lookup_block(self, vpbn: int) -> BlockLookupResult:
         """Block fetch: merge every constituent table's view of the block."""
+        from repro.obs import trace as _trace
+
         s = self.layout.subblock_factor
         merged: List[Optional[Mapping]] = [None] * s
         total_lines = 0
         total_probes = 0
         found = False
-        for table in self.tables:
-            result = table.lookup_block(vpbn)
-            total_lines += result.cache_lines
-            total_probes += result.probes
-            for i, mapping in enumerate(result.mappings):
-                if mapping is not None:
-                    found = True
-                    if merged[i] is None:
-                        merged[i] = mapping
+        # The constituents' walks are this table's one block fetch; only
+        # the merged outer event may reach the tracer.
+        with _trace.suppressed():
+            for table in self.tables:
+                result = table.lookup_block(vpbn)
+                total_lines += result.cache_lines
+                total_probes += result.probes
+                for i, mapping in enumerate(result.mappings):
+                    if mapping is not None:
+                        found = True
+                        if merged[i] is None:
+                            merged[i] = mapping
         self.stats.record_walk(total_lines, total_probes, fault=not found)
+        self._trace_block(vpbn, total_lines, total_probes, not found)
         return BlockLookupResult(vpbn, tuple(merged), total_lines, total_probes)
 
     # ------------------------------------------------------------------

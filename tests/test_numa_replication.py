@@ -134,6 +134,48 @@ def test_skipping_shootdown_leaves_stale_tlb_entries():
             cpu.translate(victim)
 
 
+class TestCoherentErrorHandling:
+    """Regression: ``coherent`` used to catch bare ``Exception``, so a
+    replica whose lookup *crashed* read as "consistently unmapped" and the
+    differential test above could never notice the broken replica."""
+
+    def test_crashing_replica_lookup_propagates(self):
+        replicated, _ = make_system()
+
+        class Boom(RuntimeError):
+            pass
+
+        def exploding_lookup(vpn):
+            raise Boom(f"lookup bug for vpn {vpn}")
+
+        replicated.replica(2).lookup = exploding_lookup
+        with pytest.raises(Boom):
+            replicated.coherent(5)
+
+    def test_pagefault_on_one_replica_is_incoherent_not_an_error(self):
+        replicated, _ = make_system()
+        replicated.replica(1).remove(9)
+        assert not replicated.coherent(9)
+
+    def test_all_replicas_unmapped_is_coherent(self):
+        replicated, _ = make_system()
+        assert replicated.coherent(NPAGES + 100)  # mapped nowhere
+
+    def test_empty_replica_list_is_trivially_coherent(self):
+        replicated, _ = make_system()
+        replicated.replicas = []
+        # Used to raise IndexError on outcomes[0].
+        assert replicated.coherent(0)
+
+    def test_attribute_divergence_is_incoherent(self):
+        from repro.pagetables.pte import ATTR_NOCACHE
+
+        replicated, _ = make_system()
+        replicated.replica(3).mark(4, set_bits=ATTR_NOCACHE)
+        assert not replicated.coherent(4)
+        assert replicated.coherent(5)
+
+
 def test_protect_range_downgrades_every_replica():
     from repro.pagetables.pte import ATTR_READ
 

@@ -1,0 +1,157 @@
+"""The metrics registry: counters, labels, merging, subsystem reporting."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    HistogramStats,
+    MetricsRegistry,
+    get_registry,
+    reset_registry,
+)
+from repro.obs.timer import PHASE_METRIC, PhaseTimer, phase_timer
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    reset_registry()
+    yield
+    reset_registry()
+
+
+class TestCounters:
+    def test_inc_and_read(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x.events") == 0
+        assert registry.inc("x.events") == 1
+        assert registry.inc("x.events", 4) == 5
+        assert registry.counter("x.events") == 5
+
+    def test_labels_are_independent_series(self):
+        registry = MetricsRegistry()
+        registry.inc("evictions", reason="schema")
+        registry.inc("evictions", 2, reason="shape")
+        assert registry.counter("evictions", reason="schema") == 1
+        assert registry.counter("evictions", reason="shape") == 2
+        assert registry.counter("evictions") == 0  # unlabelled is distinct
+        assert registry.values("evictions") == {
+            "evictions{reason=schema}": 1,
+            "evictions{reason=shape}": 2,
+        }
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        registry.inc("m", a="1", b="2")
+        registry.inc("m", b="2", a="1")
+        assert registry.counter("m", b="2", a="1") == 2
+
+    def test_merge_counters_round_trips_labels(self):
+        worker = MetricsRegistry()
+        worker.inc("cache.evictions", 3, reason="schema")
+        worker.inc("cache.hits", 7)
+        main = MetricsRegistry()
+        main.inc("cache.hits", 1)
+        main.merge_counters(worker.snapshot()["counters"])
+        assert main.counter("cache.hits") == 8
+        assert main.counter("cache.evictions", reason="schema") == 3
+
+
+class TestGaugesAndHistograms:
+    def test_gauge_set_overwrites(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("ring.fill", 0.25)
+        registry.set_gauge("ring.fill", 0.5)
+        assert registry.gauge("ring.fill") == 0.5
+        assert registry.gauge("never.set") == 0.0
+
+    def test_histogram_summary(self):
+        registry = MetricsRegistry()
+        for value in (1.0, 3.0, 2.0):
+            registry.observe("latency", value)
+        h = registry.histogram("latency")
+        assert h.count == 3
+        assert h.total == 6.0
+        assert h.mean == 2.0
+        assert h.minimum == 1.0 and h.maximum == 3.0
+        assert registry.histogram("empty").count == 0
+        assert HistogramStats().as_dict()["min"] == 0.0
+
+
+class TestRenderAndSnapshot:
+    def test_snapshot_is_json_ready(self):
+        registry = MetricsRegistry()
+        registry.inc("a.b", 2, kind="x")
+        registry.set_gauge("g", 1.5)
+        registry.observe("h", 0.1)
+        snapshot = registry.snapshot()
+        assert json.loads(json.dumps(snapshot)) == snapshot
+        assert snapshot["counters"] == {"a.b{kind=x}": 2}
+        assert snapshot["histograms"]["h"]["count"] == 1
+
+    def test_render_empty_and_populated(self):
+        registry = MetricsRegistry()
+        assert registry.render() == "(no metrics recorded)"
+        registry.inc("cache.hits", 12)
+        text = registry.render()
+        assert "Counters" in text and "cache.hits" in text and "12" in text
+
+    def test_reset_registry_clears_process_registry(self):
+        get_registry().inc("something")
+        assert get_registry().counter("something") == 1
+        reset_registry()
+        assert get_registry().counter("something") == 0
+
+
+class TestPhaseTimer:
+    def test_records_histogram_per_phase(self):
+        registry = MetricsRegistry()
+        with PhaseTimer("prewarm", registry=registry) as timer:
+            pass
+        assert timer.last_seconds >= 0.0
+        assert registry.histogram(PHASE_METRIC, phase="prewarm").count == 1
+        with phase_timer("prewarm", registry=registry):
+            pass
+        assert registry.histogram(PHASE_METRIC, phase="prewarm").count == 2
+
+    def test_defaults_to_process_registry(self):
+        with PhaseTimer("experiments"):
+            pass
+        assert (
+            get_registry().histogram(PHASE_METRIC, phase="experiments").count
+            == 1
+        )
+
+
+class TestSubsystemReporting:
+    def test_shootdown_rounds_land_in_registry(self):
+        from repro.mmu.tlb import FullyAssociativeTLB
+        from repro.os.shootdown import SMPSystem
+        from repro.pagetables.hashed import HashedPageTable
+
+        table = HashedPageTable(num_buckets=16)
+        for vpn in range(8):
+            table.insert(vpn, vpn + 0x100)
+        system = SMPSystem(table, lambda: FullyAssociativeTLB(8), ncpus=3)
+        for cpu in range(3):
+            system.translate(cpu, 5)
+        system.unmap_range(4, 4)
+        registry = get_registry()
+        assert registry.counter("shootdown.rounds") == 1
+        assert registry.counter("shootdown.ipis_sent") == 2
+        assert registry.counter("shootdown.entries_invalidated") == 3
+
+    def test_replication_fanout_lands_in_registry(self):
+        from repro.numa.replication import ReplicatedPageTable
+        from repro.numa.topology import PRESETS
+        from repro.pagetables.hashed import HashedPageTable
+
+        replicated = ReplicatedPageTable(
+            lambda: HashedPageTable(num_buckets=16), PRESETS["4-node"]
+        )
+        replicated.insert(1, 0x101)
+        replicated.remove(1)
+        registry = get_registry()
+        assert registry.counter("replication.updates") == 2
+        assert registry.counter("replication.replica_writes") == 8
+        assert registry.counter("replication.coherence_writes") == 6

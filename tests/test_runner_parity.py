@@ -13,11 +13,14 @@ Three layers of cross-validation:
 """
 
 import random
+import time
+from concurrent.futures import ProcessPoolExecutor
 
 import pytest
 
 from repro.analysis.metrics import make_table
 from repro.cache.stream_cache import StreamCache, stream_cache_key
+from repro.errors import ConfigurationError
 from repro.experiments import common, runner
 from repro.mmu.mmu import MMU
 from repro.mmu.simulate import collect_misses, replay_misses
@@ -75,6 +78,77 @@ class TestRunnerParity:
         )
         assert results_fingerprint(uncached) == results_fingerprint(serial)
 
+    def test_cache_summary_matches_between_serial_and_parallel(self, tmp_path):
+        """Regression: the summary line must not depend on the job count.
+
+        The serial path used to merge the whole-process ``cache.stats``
+        while the parallel path merged per-worker deltas, so the same run
+        reported different hit/miss counts under ``--jobs 1`` and
+        ``--jobs N``.  Both paths now run the same prewarm stage and
+        account per-task deltas.
+        """
+        subset = ("table1", "fig11d")
+        names = ("mp3d",)
+
+        # Cold caches, separately per mode so both start empty.
+        cold_serial_dir = str(tmp_path / "cold-serial")
+        cold_parallel_dir = str(tmp_path / "cold-parallel")
+        _, serial_cold = runner.run_all_with_metrics(
+            TRACE_LENGTH, jobs=1, cache_dir=cold_serial_dir,
+            workloads=names, only=subset,
+        )
+        common.clear_caches()
+        _, parallel_cold = runner.run_all_with_metrics(
+            TRACE_LENGTH, jobs=2, cache_dir=cold_parallel_dir,
+            workloads=names, only=subset,
+        )
+        assert (
+            serial_cold.cache_summary().replace(cold_serial_dir, "DIR")
+            == parallel_cold.cache_summary().replace(cold_parallel_dir, "DIR")
+        )
+        assert serial_cold.prewarm_tasks == parallel_cold.prewarm_tasks
+
+        # Warm cache: both modes over the *same* directory must agree too.
+        common.clear_caches()
+        _, serial_warm = runner.run_all_with_metrics(
+            TRACE_LENGTH, jobs=1, cache_dir=cold_serial_dir,
+            workloads=names, only=subset,
+        )
+        common.clear_caches()
+        _, parallel_warm = runner.run_all_with_metrics(
+            TRACE_LENGTH, jobs=2, cache_dir=cold_serial_dir,
+            workloads=names, only=subset,
+        )
+        assert serial_warm.cache_summary() == parallel_warm.cache_summary()
+        assert serial_warm.cache.misses == 0
+        assert serial_warm.cache.hits == parallel_warm.cache.hits > 0
+
+        # No cache: both report the disabled summary.
+        common.clear_caches()
+        _, serial_off = runner.run_all_with_metrics(
+            TRACE_LENGTH, jobs=1, cache_dir=None,
+            workloads=names, only=subset,
+        )
+        common.clear_caches()
+        _, parallel_off = runner.run_all_with_metrics(
+            TRACE_LENGTH, jobs=2, cache_dir=None,
+            workloads=names, only=subset,
+        )
+        assert serial_off.cache_summary() == parallel_off.cache_summary()
+        assert "disabled" in serial_off.cache_summary()
+
+    def test_phase_wall_seconds_are_recorded(self, tmp_path):
+        _, metrics = runner.run_all_with_metrics(
+            TRACE_LENGTH, jobs=1, cache_dir=str(tmp_path / "s"),
+            workloads=("mp3d",), only=("table1",),
+        )
+        assert metrics.prewarm_wall_seconds > 0.0
+        assert metrics.experiments_wall_seconds > 0.0
+        assert (
+            metrics.prewarm_wall_seconds + metrics.experiments_wall_seconds
+            <= metrics.wall_seconds * 1.01
+        )
+
     def test_select_experiments_keeps_paper_order(self):
         assert runner.select_experiments(None) == runner.EXPERIMENT_ORDER
         assert runner.select_experiments(
@@ -93,6 +167,56 @@ class TestRunnerParity:
         assert len(plan) == len(set(plan))  # deduplicated
         # Experiments with no replayed streams contribute nothing.
         assert runner.stream_prewarm_plan(("fig9", "pressure")) == ()
+
+
+# ---------------------------------------------------------------------------
+# Fail-fast: a poisoned worker must surface its error promptly
+# ---------------------------------------------------------------------------
+class WorkerPoisoned(RuntimeError):
+    pass
+
+
+def _poisoned_task(index: int, delay: float = 0.0) -> int:
+    """Pool task: fails on index 0, idles elsewhere (module-level: picklable)."""
+    if index == 0:
+        raise WorkerPoisoned(f"task {index} poisoned")
+    time.sleep(delay)
+    return index
+
+
+class TestFailFast:
+    def test_await_or_cancel_raises_first_error_and_cancels_pending(self):
+        """Regression: iterating ``.result()`` over all futures used to
+        block on every queued slow task before surfacing the failure."""
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            # One worker: the failing task runs first, the slow ones queue
+            # behind it.  Fail-fast must cancel them instead of sleeping
+            # through ~20 s of queued work.
+            futures = [
+                pool.submit(_poisoned_task, index, 2.0) for index in range(10)
+            ]
+            started = time.perf_counter()
+            with pytest.raises(WorkerPoisoned, match="task 0 poisoned"):
+                runner._await_or_cancel(pool, futures)
+            elapsed = time.perf_counter() - started
+        assert elapsed < 10.0  # nowhere near the 18 s of queued sleeps
+        assert any(future.cancelled() for future in futures)
+
+    def test_await_or_cancel_returns_results_in_submission_order(self):
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            futures = [
+                pool.submit(_poisoned_task, index) for index in (3, 1, 2)
+            ]
+            assert runner._await_or_cancel(pool, futures) == [3, 1, 2]
+
+    def test_bogus_workload_fails_the_parallel_run_promptly(self, tmp_path):
+        """End to end: a prewarm worker hitting an unknown workload name
+        must propagate ConfigurationError out of ``run_all``."""
+        with pytest.raises(ConfigurationError, match="[Uu]nknown workload"):
+            runner.run_all(
+                TRACE_LENGTH, jobs=2, cache_dir=str(tmp_path / "s"),
+                workloads=("mp3d", "no-such-workload"), only=("table1",),
+            )
 
 
 #: Randomized differential configs: (tlb kind, table, base_pages_only)

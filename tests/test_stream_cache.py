@@ -1,5 +1,6 @@
 """The persistent miss-stream cache: round trips, corruption, invalidation."""
 
+import errno
 import json
 import zipfile
 from collections import Counter
@@ -158,6 +159,110 @@ class TestCorruption:
         with np.load(path) as archive:
             meta = json.loads(bytes(archive["meta"].tobytes()).decode())
         assert meta["schema"] == SCHEMA_VERSION
+
+
+class TestEnvironmentErrorsPropagate:
+    """Regression: ``load_stream`` used to catch bare ``Exception``, so a
+    permissions problem, a full disk, or memory exhaustion read as a cache
+    miss and triggered silent recomputation forever."""
+
+    def _stored(self, tmp_path):
+        cache = StreamCache(tmp_path)
+        key = "ee" * 32
+        cache.put(key, synthetic_stream())
+        return cache, key, cache.path_for(key)
+
+    @pytest.mark.parametrize(
+        "raised, expected",
+        [
+            (PermissionError(errno.EACCES, "denied"), PermissionError),
+            (OSError(errno.ENOSPC, "no space"), OSError),
+            (OSError(errno.EIO, "bad sector"), OSError),
+            (MemoryError("oom"), MemoryError),
+        ],
+    )
+    def test_load_stream_propagates(self, tmp_path, monkeypatch,
+                                    raised, expected):
+        cache, key, path = self._stored(tmp_path)
+
+        def exploding_load(*args, **kwargs):
+            raise raised
+
+        monkeypatch.setattr(sc.np, "load", exploding_load)
+        with pytest.raises(expected):
+            load_stream(path)
+        # Through the cache too: no silent miss, artefact left in place.
+        with pytest.raises(expected):
+            cache.get(key)
+        assert path.exists()
+
+    def test_plain_oserror_from_npload_is_still_corruption(self, tmp_path):
+        # np.load raises errno-less OSError for non-archive bytes; that is
+        # a damaged artefact, not an environment problem.
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"not an archive at all")
+        with pytest.raises(StreamCacheError):
+            load_stream(path)
+
+    def test_corruption_reasons_are_stable_slugs(self, tmp_path):
+        cache, key, path = self._stored(tmp_path)
+        path.write_bytes(b"\x00" * 64)
+        try:
+            load_stream(path)
+        except StreamCacheError as exc:
+            assert exc.reason == "unreadable"
+        else:
+            pytest.fail("expected StreamCacheError")
+        stream = synthetic_stream()
+        stream.misses += 1
+        bad = save_stream(stream, tmp_path / "counts.npz")
+        with pytest.raises(StreamCacheError) as excinfo:
+            load_stream(bad)
+        assert excinfo.value.reason == "count-mismatch"
+
+
+class TestRegistryAccounting:
+    @pytest.fixture(autouse=True)
+    def _fresh_registry(self):
+        from repro.obs.metrics import reset_registry
+
+        reset_registry()
+        yield
+        reset_registry()
+
+    def test_hit_miss_store_counters(self, tmp_path):
+        from repro.obs.metrics import get_registry
+
+        cache = StreamCache(tmp_path)
+        key = "aa" * 32
+        assert cache.get(key) is None
+        cache.put(key, synthetic_stream())
+        assert cache.get(key) is not None
+        registry = get_registry()
+        assert registry.counter("stream_cache.misses") == 1
+        assert registry.counter("stream_cache.stores") == 1
+        assert registry.counter("stream_cache.hits") == 1
+
+    def test_evictions_are_counted_by_reason(self, tmp_path, monkeypatch):
+        from repro.obs.metrics import get_registry
+
+        cache = StreamCache(tmp_path)
+        key = "bb" * 32
+        cache.put(key, synthetic_stream())
+        cache.path_for(key).write_bytes(b"\x00" * 64)
+        assert cache.get(key) is None  # evicted
+        monkeypatch.setattr(sc, "SCHEMA_VERSION", SCHEMA_VERSION + 1)
+        cache.put(key, synthetic_stream())
+        monkeypatch.undo()
+        assert cache.get(key) is None  # schema eviction
+        registry = get_registry()
+        assert registry.counter(
+            "stream_cache.evictions", reason="unreadable"
+        ) == 1
+        assert registry.counter(
+            "stream_cache.evictions", reason="schema"
+        ) == 1
+        assert registry.counter("stream_cache.errors") == 2
 
 
 class TestKeys:

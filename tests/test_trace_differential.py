@@ -1,0 +1,118 @@
+"""Differential: traced cache-line totals ≡ what ``replay_misses`` charges.
+
+The tracer's ``replay_lines`` total is built from the per-walk costs each
+table charges to its :class:`~repro.pagetables.base.WalkStats`, while the
+replay sums the ``cache_lines`` carried on the :class:`LookupResult`/
+:class:`BlockLookupResult` objects it consumes — two independent paths
+through the code.  Equality over whole miss streams pins the tracer's
+accounting to the paper metric; the sabotage test proves a table whose
+stats over-charge relative to its results cannot slip past the check.
+"""
+
+import pytest
+
+from repro.analysis.metrics import make_table
+from repro.experiments.common import TRACED_WORKLOADS
+from repro.mmu.simulate import collect_misses, replay_misses
+from repro.mmu.subblock_tlb import CompleteSubblockTLB
+from repro.mmu.tlb import FullyAssociativeTLB
+from repro.obs.trace import trace_walks, uninstall_tracer
+from repro.os.translation_map import TranslationMap
+from repro.pagetables.hashed import HashedPageTable
+from repro.workloads.suite import load_workload
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_tracer():
+    uninstall_tracer()
+    yield
+    uninstall_tracer()
+
+
+def single_stream(workload_name, trace_length=8_000):
+    workload = load_workload(workload_name, trace_length=trace_length)
+    tmap = TranslationMap.from_space(workload.union_space())
+    stream = collect_misses(workload.trace, FullyAssociativeTLB(64), tmap)
+    return stream, tmap
+
+
+def traced_replay(stream, table, complete_subblock=False):
+    with trace_walks(capacity=1024) as tracer:
+        replay = replay_misses(
+            stream, table, complete_subblock=complete_subblock
+        )
+    return replay, tracer
+
+
+class TestTracedLinesMatchReplay:
+    @pytest.mark.parametrize(
+        "table_name", ("linear-1lvl", "forward-mapped", "hashed", "clustered")
+    )
+    def test_single_page_replay(self, table_name):
+        stream, tmap = single_stream("mp3d")
+        table = make_table(table_name)
+        tmap.populate(table, base_pages_only=True)
+        replay, tracer = traced_replay(stream, table)
+        assert tracer.replay_lines == replay.cache_lines
+        assert tracer.total_probes == replay.probes
+        assert tracer.recorded == stream.misses  # one event per miss
+        assert tracer.faults == replay.faults
+
+    @pytest.mark.parametrize("name", TRACED_WORKLOADS)
+    def test_every_paper_workload(self, name):
+        stream, tmap = single_stream(name, trace_length=4_000)
+        table = make_table("clustered")
+        tmap.populate(table, base_pages_only=True)
+        replay, tracer = traced_replay(stream, table)
+        assert tracer.replay_lines == replay.cache_lines, name
+        assert tracer.recorded == stream.misses
+
+    @pytest.mark.parametrize("table_name", ("hashed", "clustered"))
+    def test_complete_subblock_replay_with_block_events(self, table_name):
+        workload = load_workload("mp3d", trace_length=8_000)
+        tmap = TranslationMap.from_space(workload.union_space())
+        stream = collect_misses(
+            workload.trace, CompleteSubblockTLB(64, subblock_factor=16), tmap
+        )
+        table = make_table(table_name)
+        tmap.populate(table, base_pages_only=True)
+        replay, tracer = traced_replay(stream, table, complete_subblock=True)
+        assert tracer.replay_lines == replay.cache_lines
+        assert tracer.recorded == stream.misses
+        block_events = sum(
+            1 for event in tracer.events() if event.op == "block"
+        )
+        # The stream marks which misses replay as prefetching block walks;
+        # the ring is big enough here to retain every event.
+        assert tracer.dropped == 0
+        assert block_events == int(stream.block_miss.sum())
+
+    def test_ring_overflow_does_not_corrupt_totals(self):
+        stream, tmap = single_stream("mp3d")
+        table = make_table("hashed")
+        tmap.populate(table, base_pages_only=True)
+        with trace_walks(capacity=8) as tracer:  # far smaller than misses
+            replay = replay_misses(stream, table)
+        assert tracer.dropped == tracer.recorded - 8
+        assert tracer.replay_lines == replay.cache_lines
+
+
+class OverchargingHashed(HashedPageTable):
+    """Sabotage: charges its stats three more lines than its results say."""
+
+    def _walk(self, vpn):
+        result, lines, probes = super()._walk(vpn)
+        return result, lines + 3, probes
+
+
+class TestSabotage:
+    def test_overcharging_walk_is_detected(self):
+        stream, tmap = single_stream("mp3d")
+        table = OverchargingHashed()
+        tmap.populate(table, base_pages_only=True)
+        replay, tracer = traced_replay(stream, table)
+        # The tracer sees the stats-charged costs, the replay sums the
+        # result-carried costs: the discrepancy is exactly the sabotage.
+        assert tracer.replay_lines != replay.cache_lines
+        non_faulting = tracer.recorded - tracer.faults
+        assert tracer.replay_lines == replay.cache_lines + 3 * non_faulting
