@@ -87,9 +87,11 @@ def main(argv=None) -> int:
         )
     else:
         document = collect()
-    with open(args.out, "w") as handle:
-        json.dump(document, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    from repro.util.atomic_io import atomic_write_text
+
+    atomic_write_text(
+        args.out, json.dumps(document, indent=2, sort_keys=True) + "\n"
+    )
     print(f"[{len(document['configs'])} configs in "
           f"{document['wall_seconds']}s -> {args.out}]")
     return 0

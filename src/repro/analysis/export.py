@@ -13,6 +13,7 @@ from pathlib import Path
 from typing import Dict
 
 from repro.errors import ConfigurationError
+from repro.util.atomic_io import atomic_write_text, atomic_writer
 
 
 def results_to_dict(results: Dict[str, "ExperimentResult"]) -> dict:
@@ -30,11 +31,9 @@ def results_to_dict(results: Dict[str, "ExperimentResult"]) -> dict:
 
 def write_json(results: Dict[str, "ExperimentResult"], path: str) -> Path:
     """Write every result into one JSON document; returns the path."""
-    target = Path(path)
-    target.write_text(
-        json.dumps(results_to_dict(results), indent=2, sort_keys=True)
+    return atomic_write_text(
+        path, json.dumps(results_to_dict(results), indent=2, sort_keys=True)
     )
-    return target
 
 
 def write_csv(results: Dict[str, "ExperimentResult"], directory: str
@@ -50,7 +49,7 @@ def write_csv(results: Dict[str, "ExperimentResult"], directory: str
     written: Dict[str, Path] = {}
     for key, result in results.items():
         target = base / f"{key}.csv"
-        with target.open("w", newline="") as handle:
+        with atomic_writer(target, newline="") as handle:
             writer = csv.writer(handle)
             writer.writerow(result.headers)
             for row in result.rows:

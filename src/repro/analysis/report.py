@@ -86,4 +86,38 @@ def render_run_metrics(metrics) -> str:
         f"stream prewarm: {metrics.prewarm_tasks} task(s), "
         f"{metrics.prewarm_seconds:.2f}s",
     ]
+    # Resilience accounting, only when something actually happened — a
+    # default fault-free run renders byte-identically to before.
+    retries = getattr(metrics, "task_retries", 0)
+    timeouts = getattr(metrics, "task_timeouts", 0)
+    resumed = getattr(metrics, "resumed_skips", 0)
+    failed = len(getattr(metrics, "failures", ()))
+    if retries or timeouts or resumed or failed:
+        summary.append(
+            f"resilience: {retries} retr{'y' if retries == 1 else 'ies'}, "
+            f"{timeouts} timeout(s), {resumed} resumed, {failed} failed"
+        )
     return table + "\n\n" + "\n".join(summary)
+
+
+def render_failure_manifest(failures) -> str:
+    """Render a ``--keep-going`` run's permanent failures as a table.
+
+    Duck-typed over :class:`~repro.experiments.runner.FailureRecord`
+    (``key``/``stage``/``error_type``/``message``/``attempts``/``seed``).
+    """
+    rows = [
+        [
+            record.key,
+            record.stage,
+            record.error_type,
+            record.attempts,
+            "-" if record.seed is None else record.seed,
+            record.message[:60],
+        ]
+        for record in failures
+    ]
+    return render_table(
+        ["experiment", "stage", "error", "attempts", "seed", "message"],
+        rows, title="Failure manifest",
+    )

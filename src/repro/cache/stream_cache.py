@@ -39,6 +39,8 @@ import numpy as np
 from repro.errors import ReproError
 from repro.mmu.simulate import MissStream
 from repro.obs.metrics import get_registry
+from repro.resilience.faults import fault_point
+from repro.util.atomic_io import atomic_writer
 from repro.os.translation_map import TranslationMap
 from repro.pagetables.pte import PTEKind
 from repro.workloads.trace import Trace
@@ -137,7 +139,7 @@ def stream_cache_key(
 def save_stream(stream: MissStream, path: os.PathLike) -> Path:
     """Write one stream as a ``.npz`` artefact (atomically) and return its path."""
     target = Path(path)
-    target.parent.mkdir(parents=True, exist_ok=True)
+    fault_point("cache.store_stream", key=str(target))
     meta = {
         "schema": SCHEMA_VERSION,
         "trace_name": stream.trace_name,
@@ -149,21 +151,18 @@ def save_stream(stream: MissStream, path: os.PathLike) -> Path:
     }
     for name in _SCALAR_FIELDS:
         meta[name] = int(getattr(stream, name))
-    tmp = target.with_name(target.name + f".tmp.{os.getpid()}")
-    try:
-        with tmp.open("wb") as handle:
-            np.savez(
-                handle,
-                vpns=stream.vpns,
-                block_miss=stream.block_miss,
-                meta=np.frombuffer(
-                    json.dumps(meta, sort_keys=True).encode(), dtype=np.uint8
-                ),
-            )
-        os.replace(tmp, target)
-    finally:
-        if tmp.exists():
-            tmp.unlink()
+    with atomic_writer(target, "wb") as handle:
+        np.savez(
+            handle,
+            vpns=stream.vpns,
+            block_miss=stream.block_miss,
+            meta=np.frombuffer(
+                json.dumps(meta, sort_keys=True).encode(), dtype=np.uint8
+            ),
+        )
+    # Chaos hook: flips a byte of the *landed* artefact, modelling the
+    # bit rot the load-side validation must evict, never mis-answer.
+    fault_point("cache.artifact_stored", key=str(target), path=target)
     return target
 
 
@@ -177,6 +176,7 @@ def load_stream(path: os.PathLike) -> MissStream:
     would silently evict-and-recompute around a real operational
     problem.
     """
+    fault_point("cache.load_stream", key=str(path))
     try:
         with np.load(path) as archive:
             payload = {name: archive[name] for name in archive.files}

@@ -6,7 +6,9 @@ Commands
     The calibrated suite with Table 1 characteristics.
 ``describe WORKLOAD``
     Layout, density, and page-table sizes for one workload.
-``experiment ID [--chart] [--jobs N] [--cache-dir DIR | --no-cache]``
+``experiment ID [--chart] [--jobs N] [--cache-dir DIR | --no-cache]
+[--max-retries N] [--task-timeout S] [--keep-going] [--run-dir DIR]
+[--resume DIR] [--fault-plan FILE]``
     Regenerate one table/figure or extension study: ``table1``, ``fig9``,
     ``fig10``, ``fig11a``–``fig11d``, ``table2``, ``sensitivity``,
     ``softtlb``, ``multisize``, ``multiprog``, ``guarded``, ``sasos``,
@@ -109,6 +111,18 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             argv += ["--workloads", args.workloads]
         if trace_out:
             argv += ["--trace-out", trace_out]
+        if args.max_retries:
+            argv += ["--max-retries", str(args.max_retries)]
+        if args.task_timeout is not None:
+            argv += ["--task-timeout", str(args.task_timeout)]
+        if args.keep_going:
+            argv.append("--keep-going")
+        if args.resume:
+            argv += ["--resume", args.resume]
+        elif args.run_dir:
+            argv += ["--run-dir", args.run_dir]
+        if args.fault_plan:
+            argv += ["--fault-plan", args.fault_plan]
         return runner.main(argv)
     if args.cache_dir and not args.no_cache:
         from repro.experiments.common import configure_stream_cache
@@ -335,6 +349,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-out", metavar="FILE", default=None, dest="trace_out",
         help="record one event per page-table walk and write the trace "
         "as JSON Lines (single-process runs only)",
+    )
+    experiment.add_argument(
+        "--max-retries", type=int, default=0, metavar="N",
+        help="for 'all': retry transiently failed tasks up to N times",
+    )
+    experiment.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="for 'all': per-task wall-clock budget (parallel runs)",
+    )
+    experiment.add_argument(
+        "--keep-going", action="store_true",
+        help="for 'all': complete around failed experiments and report "
+        "a failure manifest",
+    )
+    experiment.add_argument(
+        "--run-dir", metavar="DIR", default=None,
+        help="for 'all': journal completed experiments for --resume",
+    )
+    experiment.add_argument(
+        "--resume", metavar="DIR", default=None,
+        help="for 'all': resume a journaled run, skipping completed "
+        "experiments",
+    )
+    experiment.add_argument(
+        "--fault-plan", metavar="FILE", default=None,
+        help="for 'all': arm a JSON fault-injection plan (chaos testing)",
     )
 
     metrics = sub.add_parser(

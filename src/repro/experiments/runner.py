@@ -17,6 +17,18 @@ produces byte-identical output to the serial run.  With a warm cache a
 repeat invocation performs *zero* phase-1 simulations — run time is
 bounded by the cheap phase-2 replay cost.
 
+Execution is **resilient** (:mod:`repro.resilience`): transient task
+failures (worker crashes, hung workers, cache I/O errors) are retried
+with jittered exponential backoff under ``--max-retries``; ``--task-
+timeout`` bounds each task's wall clock (worker pools are recycled
+around hung tasks); ``--keep-going`` completes the DAG around
+permanently failed tasks and emits an explicit failure manifest instead
+of all-or-nothing; ``--run-dir`` journals every completed experiment to
+an append-only fsync'd JSONL so ``--resume`` skips finished work after a
+crash or SIGINT; and Ctrl-C drains gracefully — pending tasks are
+cancelled, the journal is flushed, and the completed experiments are
+reported.
+
 Pass ``--fast`` for shorter traces, ``--jobs N`` to parallelise,
 ``--cache-dir``/``--no-cache`` to control the persistent stream cache,
 and ``--only``/``--workloads`` to restrict the experiment set.
@@ -25,20 +37,45 @@ and ``--only``/``--workloads`` to restrict the experiment set.
 from __future__ import annotations
 
 import argparse
+import random
+import signal
 import sys
 import time
+from collections import deque
 from concurrent.futures import (
+    FIRST_COMPLETED,
     FIRST_EXCEPTION,
+    BrokenExecutor,
     Future,
     ProcessPoolExecutor,
     wait,
 )
+from contextlib import nullcontext
 from dataclasses import dataclass, field
+from heapq import heappop, heappush
+from itertools import count
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.cache.stream_cache import CacheStats, default_cache_dir
 from repro.errors import ConfigurationError
+from repro.obs.metrics import get_registry
 from repro.obs.timer import PhaseTimer
+from repro.resilience.faults import (
+    FaultPlan,
+    active_plan_seed,
+    fault_point,
+    inject,
+)
+from repro.resilience.journal import RunJournal, task_digest
+from repro.resilience.retry import (
+    AttemptRecord,
+    RetryPolicy,
+    TaskTimeoutError,
+    backoff_delay,
+    call_with_retry,
+    classify_error,
+    task_rng,
+)
 from repro.experiments import (
     cachesim,
     fig9,
@@ -175,16 +212,41 @@ def stream_prewarm_plan(
 # ---------------------------------------------------------------------------
 # Worker entry points (module-level: picklable by the process pool)
 # ---------------------------------------------------------------------------
-def _worker_init(cache_dir: Optional[str]) -> None:
-    """Per-worker setup: fresh memo caches, shared persistent cache."""
+def _worker_init(
+    cache_dir: Optional[str], fault_plan: Optional[FaultPlan] = None
+) -> None:
+    """Per-worker setup: fresh memo caches, shared persistent cache.
+
+    A fault plan, when active in the parent, is re-installed here so
+    injected crashes and hangs land inside real workers.
+    """
     common.clear_caches()
     common.configure_stream_cache(cache_dir)
+    from repro.resilience.faults import (
+        clear_plan,
+        install_plan,
+        mark_worker_process,
+    )
+
+    mark_worker_process()
+    if fault_plan is not None:
+        install_plan(fault_plan)
+    else:
+        # A fork-started worker inherits the parent's injector state;
+        # without an explicit plan the worker must run fault-free.
+        clear_plan()
+
+
+def _prewarm_label(task: StreamTask) -> str:
+    """Stable task label for fault matching, metrics, and manifests."""
+    return "/".join(str(part) for part in task)
 
 
 def _prewarm_worker(
-    task: StreamTask, trace_length: int
+    task: StreamTask, trace_length: int, attempt: int = 1
 ) -> Tuple[StreamTask, float, CacheStats]:
     """Stage-1 task: materialise one miss stream into the shared cache."""
+    fault_point("runner.prewarm", key=_prewarm_label(task), attempt=attempt)
     common.clear_stream_memo()
     before = common.stream_cache_stats()
     started = time.perf_counter()
@@ -199,6 +261,7 @@ def _experiment_worker(
     key: str,
     trace_length: int,
     workloads: Optional[Tuple[str, ...]],
+    attempt: int = 1,
 ) -> Tuple[str, ExperimentResult, float, CacheStats]:
     """Stage-2 task: produce one experiment's result table.
 
@@ -207,6 +270,7 @@ def _experiment_worker(
     happened to run — keeping the accounting identical to the serial
     path's.
     """
+    fault_point("runner.experiment", key=key, attempt=attempt)
     common.clear_stream_memo()
     before = common.stream_cache_stats()
     started = time.perf_counter()
@@ -224,6 +288,11 @@ def _await_or_cancel(pool: ProcessPoolExecutor, futures: Sequence[Future]):
     merge).  Here, the first failure cancels every pending task and
     re-raises immediately; already-running tasks are abandoned to finish
     in the background (a process pool cannot interrupt them mid-task).
+
+    This is the zero-resilience semantics the scheduler below reproduces
+    when ``max_retries=0`` with no timeout and no ``keep_going``; it is
+    kept as the reference implementation the fail-fast regression tests
+    pin down.
     """
     done, pending = wait(futures, return_when=FIRST_EXCEPTION)
     for future in futures:
@@ -235,6 +304,110 @@ def _await_or_cancel(pool: ProcessPoolExecutor, futures: Sequence[Future]):
                 pool.shutdown(wait=False, cancel_futures=True)
                 raise error
     return [future.result() for future in futures]
+
+
+# ---------------------------------------------------------------------------
+# Resilience configuration and failure reporting
+# ---------------------------------------------------------------------------
+@dataclass
+class FailureRecord:
+    """One permanently failed task in a ``keep_going`` run's manifest."""
+
+    key: str
+    stage: str  # "prewarm" | "experiment"
+    site: str  # the fault-point site the task failed under
+    error_type: str
+    message: str
+    attempts: int
+    seed: Optional[int] = None  # active fault-plan seed, if any
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "experiment": self.key,
+            "stage": self.stage,
+            "site": self.site,
+            "error_type": self.error_type,
+            "message": self.message,
+            "attempts": self.attempts,
+            "seed": self.seed,
+        }
+
+
+@dataclass
+class ResilienceConfig:
+    """Retry / timeout / resume / degradation knobs for one run.
+
+    The default configuration is exactly the historical behaviour:
+    fail-fast, no timeouts, no journal.
+    """
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: Per-task wall-clock budget (parallel runs only: a serial task
+    #: cannot be preempted in-process).
+    task_timeout: Optional[float] = None
+    #: Complete the DAG around failed tasks; report a failure manifest.
+    keep_going: bool = False
+    #: Journal completed experiments into ``<run_dir>/journal.jsonl``.
+    run_dir: Optional[str] = None
+    #: Skip experiments already journaled (with matching digests).
+    resume: bool = False
+    #: Fault plan to arm in this process and every worker (tests/chaos).
+    fault_plan: Optional[FaultPlan] = None
+
+
+class RunInterrupted(KeyboardInterrupt):
+    """SIGINT/SIGTERM drained gracefully; carries the completed keys."""
+
+    def __init__(self, completed: Sequence[str]):
+        self.completed = tuple(completed)
+        super().__init__(
+            f"run interrupted after {len(self.completed)} completed "
+            f"experiment(s)"
+        )
+
+
+def _result_to_dict(result: ExperimentResult) -> Dict[str, object]:
+    """JSON-safe journal payload for one result."""
+    return {
+        "experiment": result.experiment,
+        "headers": list(result.headers),
+        "rows": [list(row) for row in result.rows],
+        "notes": result.notes,
+    }
+
+
+def _result_from_dict(doc: Dict[str, object]) -> ExperimentResult:
+    """Rebuild a journaled result; renders byte-identically."""
+    return ExperimentResult(
+        experiment=str(doc["experiment"]),
+        headers=list(doc["headers"]),
+        rows=[list(row) for row in doc["rows"]],
+        notes=str(doc.get("notes", "")),
+    )
+
+
+def _record_failure(
+    metrics: "RunMetrics",
+    journal: Optional[RunJournal],
+    label: str,
+    stage: str,
+    exc: BaseException,
+) -> FailureRecord:
+    """Append one permanent failure to the manifest (and the journal)."""
+    record = FailureRecord(
+        key=str(label),
+        stage=stage,
+        site=f"runner.{stage}",
+        error_type=type(exc).__name__,
+        message=str(exc),
+        attempts=max(1, len(getattr(exc, "retry_history", ()))),
+        seed=active_plan_seed(),
+    )
+    metrics.failures.append(record)
+    get_registry().inc("runner.task_failures", experiment=str(label))
+    if journal is not None and stage == "experiment":
+        journal.append_failure(record.as_dict())
+    return record
 
 
 # ---------------------------------------------------------------------------
@@ -265,6 +438,18 @@ class RunMetrics:
     experiments_wall_seconds: float = 0.0
     timings: List[ExperimentTiming] = field(default_factory=list)
     cache: CacheStats = field(default_factory=CacheStats)
+    #: Resilience accounting (mirrored into the metrics registry as
+    #: ``runner.task_retries`` / ``runner.task_timeouts`` /
+    #: ``runner.resumed_skips``, labelled by experiment).
+    task_retries: int = 0
+    task_timeouts: int = 0
+    resumed_skips: int = 0
+    #: Permanent failures a ``keep_going`` run completed around.
+    failures: List[FailureRecord] = field(default_factory=list)
+    #: Experiment keys completed *this* run, in completion order — the
+    #: graceful-interrupt report and the journal agree on this list.
+    completed: List[str] = field(default_factory=list)
+    interrupted: bool = False
 
     @property
     def busy_seconds(self) -> float:
@@ -298,6 +483,7 @@ def run_all(
     workloads: Optional[Sequence[str]] = None,
     only: Optional[Sequence[str]] = None,
     metrics: Optional[RunMetrics] = None,
+    resilience: Optional[ResilienceConfig] = None,
 ) -> Dict[str, ExperimentResult]:
     """Regenerate every table and figure; returns results keyed by id.
 
@@ -305,19 +491,61 @@ def run_all(
     identical to the serial path (experiments are deterministic, and the
     merge is always in paper order).  ``cache_dir`` enables the
     persistent miss-stream cache for this run; pass a ``metrics`` object
-    to receive timing and cache instrumentation.
+    to receive timing and cache instrumentation, and a ``resilience``
+    config for retries, timeouts, checkpoint/resume, and keep-going
+    degradation (the default is the historical fail-fast behaviour).
     """
     keys = select_experiments(only)
+    cfg = resilience if resilience is not None else ResilienceConfig()
     metrics = metrics if metrics is not None else RunMetrics()
     metrics.jobs = max(1, jobs)
     metrics.cache_dir = str(cache_dir) if cache_dir else None
     started = time.perf_counter()
     workloads = tuple(workloads) if workloads else None
 
-    if metrics.jobs == 1:
-        results = _run_serial(keys, trace_length, cache_dir, workloads, metrics)
-    else:
-        results = _run_parallel(keys, trace_length, cache_dir, workloads, metrics)
+    journal: Optional[RunJournal] = None
+    resumed: Dict[str, ExperimentResult] = {}
+    if cfg.run_dir:
+        journal = RunJournal(cfg.run_dir)
+        journal.ensure_header(
+            {
+                "trace_length": trace_length,
+                "workloads": list(workloads) if workloads else None,
+                "jobs": metrics.jobs,
+            }
+        )
+        if cfg.resume:
+            state = journal.load()
+            registry = get_registry()
+            for key in keys:
+                doc = state.result_for(
+                    key, task_digest(key, trace_length, workloads)
+                )
+                if doc is not None:
+                    resumed[key] = _result_from_dict(doc)
+                    metrics.resumed_skips += 1
+                    registry.inc("runner.resumed_skips", experiment=key)
+    pending = tuple(key for key in keys if key not in resumed)
+
+    fault_scope = inject(cfg.fault_plan) if cfg.fault_plan else nullcontext()
+    with fault_scope:
+        if not pending:
+            fresh: Dict[str, ExperimentResult] = {}
+        elif metrics.jobs == 1:
+            fresh = _run_serial(
+                pending, trace_length, cache_dir, workloads, metrics,
+                cfg, journal,
+            )
+        else:
+            fresh = _run_parallel(
+                pending, trace_length, cache_dir, workloads, metrics,
+                cfg, journal,
+            )
+    results = {
+        key: resumed[key] if key in resumed else fresh[key]
+        for key in keys
+        if key in resumed or key in fresh
+    }
     metrics.wall_seconds = time.perf_counter() - started
     return results
 
@@ -328,6 +556,8 @@ def _run_serial(
     cache_dir: Optional[str],
     workloads: Optional[Tuple[str, ...]],
     metrics: RunMetrics,
+    cfg: ResilienceConfig,
+    journal: Optional[RunJournal],
 ) -> Dict[str, ExperimentResult]:
     """The one-process path, structured exactly like the parallel one.
 
@@ -335,46 +565,279 @@ def _run_serial(
     stream frontier, then the experiments with a cleared stream memo per
     experiment — and accounts per-task cache deltas the same way, so
     :meth:`RunMetrics.cache_summary` is identical to a ``--jobs N`` run
-    over the same cache state.
+    over the same cache state.  Retries, keep-going, and journaling
+    apply exactly as in the parallel path; ``task_timeout`` does not (a
+    task cannot be preempted in its own process).
     """
     previous = common.stream_cache()
     cache = common.configure_stream_cache(cache_dir)
+    registry = get_registry()
+
+    def on_retry(label):
+        def callback(attempt, exc, delay):
+            metrics.task_retries += 1
+            registry.inc("runner.task_retries", experiment=str(label))
+        return callback
+
     try:
         producers = _producers(trace_length, workloads)
         results: Dict[str, ExperimentResult] = {}
         if cache is not None:
             with PhaseTimer("prewarm") as prewarm_timer:
                 for task in stream_prewarm_plan(keys, workloads):
-                    common.clear_stream_memo()
-                    before = common.stream_cache_stats()
-                    task_start = time.perf_counter()
-                    name, tlb_kind, entries = task
-                    workload = common.get_workload(name, trace_length)
-                    common.get_miss_stream(workload, tlb_kind, entries)
+                    label = _prewarm_label(task)
+
+                    def run_prewarm(attempt, task=task, label=label):
+                        fault_point(
+                            "runner.prewarm", key=label, attempt=attempt
+                        )
+                        common.clear_stream_memo()
+                        before = common.stream_cache_stats()
+                        task_start = time.perf_counter()
+                        name, tlb_kind, entries = task
+                        workload = common.get_workload(name, trace_length)
+                        common.get_miss_stream(workload, tlb_kind, entries)
+                        delta = common.stream_cache_stats().delta(before)
+                        return time.perf_counter() - task_start, delta
+
+                    try:
+                        elapsed, delta = call_with_retry(
+                            run_prewarm, cfg.retry, key=label,
+                            on_retry=on_retry(label),
+                        )
+                    except KeyboardInterrupt:
+                        raise RunInterrupted(metrics.completed)
+                    except Exception as exc:
+                        if not cfg.keep_going:
+                            raise
+                        # The dependent experiments recompute their own
+                        # streams, so a prewarm failure only degrades.
+                        _record_failure(
+                            metrics, journal, label, "prewarm", exc
+                        )
+                        continue
                     metrics.prewarm_tasks += 1
-                    metrics.prewarm_seconds += time.perf_counter() - task_start
-                    metrics.cache.merge(
-                        common.stream_cache_stats().delta(before)
-                    )
+                    metrics.prewarm_seconds += elapsed
+                    metrics.cache.merge(delta)
             metrics.prewarm_wall_seconds = prewarm_timer.last_seconds
         with PhaseTimer("experiments") as experiments_timer:
             for key in keys:
-                if cache is not None:
-                    common.clear_stream_memo()
-                before = common.stream_cache_stats()
-                task_start = time.perf_counter()
-                results[key] = producers[key]()
-                delta = common.stream_cache_stats().delta(before)
-                metrics.timings.append(
-                    ExperimentTiming(
-                        key, time.perf_counter() - task_start, delta
+                attempts_used = [1]
+
+                def run_experiment(attempt, key=key):
+                    attempts_used[0] = attempt
+                    fault_point("runner.experiment", key=key, attempt=attempt)
+                    if cache is not None:
+                        common.clear_stream_memo()
+                    before = common.stream_cache_stats()
+                    task_start = time.perf_counter()
+                    result = producers[key]()
+                    delta = common.stream_cache_stats().delta(before)
+                    return result, time.perf_counter() - task_start, delta
+
+                try:
+                    result, elapsed, delta = call_with_retry(
+                        run_experiment, cfg.retry, key=key,
+                        on_retry=on_retry(key),
                     )
-                )
+                except KeyboardInterrupt:
+                    raise RunInterrupted(metrics.completed)
+                except Exception as exc:
+                    if not cfg.keep_going:
+                        raise
+                    _record_failure(metrics, journal, key, "experiment", exc)
+                    continue
+                results[key] = result
+                metrics.timings.append(ExperimentTiming(key, elapsed, delta))
                 metrics.cache.merge(delta)
+                metrics.completed.append(key)
+                if journal is not None:
+                    journal.append_result(
+                        key, task_digest(key, trace_length, workloads),
+                        _result_to_dict(result), elapsed, attempts_used[0],
+                    )
         metrics.experiments_wall_seconds = experiments_timer.last_seconds
         return results
     finally:
         common.set_stream_cache(previous)
+
+
+# ---------------------------------------------------------------------------
+# The parallel scheduler
+# ---------------------------------------------------------------------------
+@dataclass
+class _Task:
+    """One schedulable unit (prewarm stream or experiment) plus its state."""
+
+    stage: str  # "prewarm" | "experiment"
+    key: object
+    label: str
+    rng: random.Random
+    attempts: int = 0
+    history: List[AttemptRecord] = field(default_factory=list)
+
+
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Kill the pool's workers and discard its queue.
+
+    Used when abandoning hung or doomed work: cache writes are atomic
+    (temp + rename), so terminating a worker mid-task can strand a temp
+    file at worst, never a half-written artefact.
+    """
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except Exception:
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _drain(
+    pool_ref: Dict[str, object],
+    tasks: Sequence[_Task],
+    submit: Callable[[ProcessPoolExecutor, _Task], Future],
+    on_success: Callable[[_Task, object], None],
+    cfg: ResilienceConfig,
+    metrics: RunMetrics,
+    journal: Optional[RunJournal],
+) -> None:
+    """Run one stage's tasks to completion under the resilience policy.
+
+    At most ``jobs`` tasks are in flight (self-throttled submission, so
+    a wall-clock deadline approximates *running* time, not queue time).
+    Transient failures are re-queued after a jittered backoff while the
+    retry budget lasts; a hung task past ``task_timeout`` has its pool
+    recycled (workers terminated, collateral tasks re-run without an
+    attempt charge); a worker crash (``BrokenExecutor``) likewise
+    recycles and retries.  Permanent failures either abort the stage
+    (default) or land in the failure manifest (``keep_going``).
+    """
+    registry = get_registry()
+    queue = deque(tasks)
+    waiting: List[Tuple[float, int, _Task]] = []  # (ready_at, seq, task)
+    running: Dict[Future, Tuple[_Task, Optional[float]]] = {}
+    tiebreak = count()
+    need_recycle = False
+
+    def recycle() -> None:
+        _terminate_pool(pool_ref["pool"])
+        pool_ref["pool"] = pool_ref["factory"]()
+
+    def handle_error(task: _Task, exc: BaseException) -> Optional[BaseException]:
+        """Schedule a retry, record a failure, or return an abort error."""
+        nonlocal need_recycle
+        if isinstance(exc, TaskTimeoutError):
+            metrics.task_timeouts += 1
+            registry.inc("runner.task_timeouts", experiment=str(task.label))
+        if isinstance(exc, (TaskTimeoutError, BrokenExecutor)):
+            need_recycle = True
+        if (
+            classify_error(exc) == "transient"
+            and task.attempts <= cfg.retry.max_retries
+        ):
+            delay = backoff_delay(cfg.retry, task.attempts, task.rng)
+            task.history.append(
+                AttemptRecord(task.attempts, repr(exc), delay)
+            )
+            metrics.task_retries += 1
+            registry.inc("runner.task_retries", experiment=str(task.label))
+            heappush(
+                waiting, (time.monotonic() + delay, next(tiebreak), task)
+            )
+            return None
+        exc.retry_history = tuple(
+            task.history + [AttemptRecord(task.attempts, repr(exc), 0.0)]
+        )
+        if cfg.keep_going:
+            _record_failure(metrics, journal, task.label, task.stage, exc)
+            return None
+        return exc
+
+    while queue or waiting or running:
+        now = time.monotonic()
+        while waiting and waiting[0][0] <= now:
+            _, _, ready = heappop(waiting)
+            queue.append(ready)
+        if need_recycle and not running:
+            recycle()
+            need_recycle = False
+        while queue and len(running) < metrics.jobs and not need_recycle:
+            task = queue.popleft()
+            task.attempts += 1
+            try:
+                future = submit(pool_ref["pool"], task)
+            except BrokenExecutor:
+                task.attempts -= 1
+                queue.appendleft(task)
+                need_recycle = True
+                break
+            deadline = (
+                time.monotonic() + cfg.task_timeout
+                if cfg.task_timeout
+                else None
+            )
+            running[future] = (task, deadline)
+        if not running:
+            if queue:
+                continue  # a recycle just happened; resubmit
+            if waiting:
+                time.sleep(max(0.0, waiting[0][0] - time.monotonic()))
+            continue
+
+        deadlines = [dl for _, dl in running.values() if dl is not None]
+        horizons = deadlines + [ready_at for ready_at, _, _ in waiting[:1]]
+        wait_timeout = (
+            max(0.0, min(horizons) - time.monotonic()) if horizons else None
+        )
+        done, _ = wait(
+            list(running), timeout=wait_timeout, return_when=FIRST_COMPLETED
+        )
+        abort: Optional[BaseException] = None
+        for future in done:
+            task, _ = running.pop(future)
+            if future.cancelled():
+                # Collateral of a recycle: re-run without an attempt charge.
+                task.attempts -= 1
+                queue.append(task)
+                continue
+            exc = future.exception()
+            if exc is None:
+                on_success(task, future.result())
+            else:
+                abort = handle_error(task, exc)
+                if abort is not None:
+                    break
+        if abort is not None:
+            _terminate_pool(pool_ref["pool"])
+            raise abort
+        if done:
+            continue
+
+        # Nothing completed before the horizon: look for expired tasks.
+        now = time.monotonic()
+        expired = [
+            (future, task)
+            for future, (task, deadline) in running.items()
+            if deadline is not None and deadline <= now
+        ]
+        if not expired:
+            continue
+        expired_futures = {future for future, _ in expired}
+        for future, (task, _) in list(running.items()):
+            if future not in expired_futures:
+                task.attempts -= 1
+                queue.append(task)
+        running.clear()
+        recycle()  # hung workers are terminated here
+        need_recycle = False
+        for _, task in expired:
+            abort = handle_error(
+                task, TaskTimeoutError(task.label, cfg.task_timeout)
+            )
+            if abort is not None:
+                _terminate_pool(pool_ref["pool"])
+                raise abort
 
 
 def _run_parallel(
@@ -383,45 +846,93 @@ def _run_parallel(
     cache_dir: Optional[str],
     workloads: Optional[Tuple[str, ...]],
     metrics: RunMetrics,
+    cfg: ResilienceConfig,
+    journal: Optional[RunJournal],
 ) -> Dict[str, ExperimentResult]:
-    with ProcessPoolExecutor(
-        max_workers=metrics.jobs,
-        initializer=_worker_init,
-        initargs=(cache_dir,),
-    ) as pool:
+    def pool_factory() -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=metrics.jobs,
+            initializer=_worker_init,
+            initargs=(cache_dir, cfg.fault_plan),
+        )
+
+    pool_ref: Dict[str, object] = {
+        "pool": pool_factory(), "factory": pool_factory,
+    }
+    results: Dict[str, ExperimentResult] = {}
+    try:
         # Stage 1: fan out the stream-collection frontier.  Only useful
         # when artefacts persist — without a cache directory the streams
         # could not cross process boundaries.
         if cache_dir is not None:
             with PhaseTimer("prewarm") as prewarm_timer:
-                plan = stream_prewarm_plan(keys, workloads)
-                futures = [
-                    pool.submit(_prewarm_worker, task, trace_length)
-                    for task in plan
+                prewarm_tasks = [
+                    _Task(
+                        "prewarm", task, _prewarm_label(task),
+                        task_rng(cfg.retry, _prewarm_label(task)),
+                    )
+                    for task in stream_prewarm_plan(keys, workloads)
                 ]
-                for _, elapsed, delta in _await_or_cancel(pool, futures):
+
+                def submit_prewarm(pool, task):
+                    return pool.submit(
+                        _prewarm_worker, task.key, trace_length, task.attempts
+                    )
+
+                def prewarm_done(task, value):
+                    _, elapsed, delta = value
                     metrics.prewarm_tasks += 1
                     metrics.prewarm_seconds += elapsed
                     metrics.cache.merge(delta)
+
+                _drain(
+                    pool_ref, prewarm_tasks, submit_prewarm, prewarm_done,
+                    cfg, metrics, journal,
+                )
             metrics.prewarm_wall_seconds = prewarm_timer.last_seconds
 
         # Stage 2: fan out the experiments themselves.
         with PhaseTimer("experiments") as experiments_timer:
-            by_key = {
-                key: pool.submit(
-                    _experiment_worker, key, trace_length, workloads
-                )
+            experiment_tasks = [
+                _Task("experiment", key, key, task_rng(cfg.retry, key))
                 for key in keys
-            }
-            _await_or_cancel(pool, list(by_key.values()))
-            # Deterministic merge: paper order, not completion order.
-            results: Dict[str, ExperimentResult] = {}
-            for key in keys:
-                _, result, elapsed, delta = by_key[key].result()
+            ]
+
+            def submit_experiment(pool, task):
+                return pool.submit(
+                    _experiment_worker, task.key, trace_length, workloads,
+                    task.attempts,
+                )
+
+            def experiment_done(task, value):
+                key, result, elapsed, delta = value
                 results[key] = result
                 metrics.timings.append(ExperimentTiming(key, elapsed, delta))
                 metrics.cache.merge(delta)
+                metrics.completed.append(key)
+                if journal is not None:
+                    journal.append_result(
+                        key, task_digest(key, trace_length, workloads),
+                        _result_to_dict(result), elapsed, task.attempts,
+                    )
+
+            _drain(
+                pool_ref, experiment_tasks, submit_experiment,
+                experiment_done, cfg, metrics, journal,
+            )
+            # Deterministic merge: paper order, not completion order.
+            order = {key: index for index, key in enumerate(EXPERIMENT_ORDER)}
+            metrics.timings.sort(key=lambda t: order.get(t.key, len(order)))
         metrics.experiments_wall_seconds = experiments_timer.last_seconds
+    except KeyboardInterrupt:
+        # Graceful drain: cancel pending work, kill the workers (their
+        # results are discarded; cache/journal writes are atomic), and
+        # surface which experiments finished — the journal already holds
+        # them, so ``--resume`` picks up exactly here.
+        _terminate_pool(pool_ref["pool"])
+        metrics.interrupted = True
+        raise RunInterrupted(metrics.completed)
+    pool_ref["pool"].shutdown(wait=True)
     return results
 
 
@@ -431,12 +942,14 @@ def run_all_with_metrics(
     cache_dir: Optional[str] = None,
     workloads: Optional[Sequence[str]] = None,
     only: Optional[Sequence[str]] = None,
+    resilience: Optional[ResilienceConfig] = None,
 ) -> Tuple[Dict[str, ExperimentResult], RunMetrics]:
     """:func:`run_all` plus its instrumentation."""
     metrics = RunMetrics()
     results = run_all(
         trace_length, jobs=jobs, cache_dir=cache_dir,
         workloads=workloads, only=only, metrics=metrics,
+        resilience=resilience,
     )
     return results, metrics
 
@@ -449,6 +962,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--fast", action="store_true",
         help="use shorter traces (50k references) for a quick pass",
+    )
+    parser.add_argument(
+        "--trace-length", type=int, default=None, metavar="N",
+        help="explicit reference-trace length (overrides --fast)",
     )
     parser.add_argument(
         "--jobs", type=int, default=1, metavar="N",
@@ -488,8 +1005,41 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--metrics", action="store_true",
         help="additionally print the process-wide metrics registry",
     )
+    parser.add_argument(
+        "--max-retries", type=int, default=0, metavar="N",
+        help="retry a transiently failed task up to N times with "
+        "jittered exponential backoff (default 0: fail fast)",
+    )
+    parser.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-task wall-clock budget; a task past it is abandoned "
+        "and its worker pool recycled (parallel runs only)",
+    )
+    parser.add_argument(
+        "--keep-going", action="store_true",
+        help="complete the run around permanently failed experiments "
+        "and report a failure manifest (exit code 1)",
+    )
+    parser.add_argument(
+        "--run-dir", metavar="DIR", default=None,
+        help="journal completed experiments into DIR/journal.jsonl "
+        "(append-only, fsync'd) so the run is resumable",
+    )
+    parser.add_argument(
+        "--resume", metavar="DIR", default=None,
+        help="resume from DIR's journal: completed experiments are "
+        "skipped, new completions are appended (implies --run-dir DIR)",
+    )
+    parser.add_argument(
+        "--fault-plan", metavar="FILE", default=None,
+        help="arm a JSON fault-injection plan in the runner and every "
+        "worker (chaos testing only)",
+    )
     args = parser.parse_args(argv)
-    trace_length = 50_000 if args.fast else 200_000
+    if args.trace_length is not None:
+        trace_length = args.trace_length
+    else:
+        trace_length = 50_000 if args.fast else 200_000
     if args.jobs < 1:
         parser.error("--jobs must be at least 1")
     if args.trace_out and args.jobs != 1:
@@ -497,24 +1047,69 @@ def main(argv: Optional[List[str]] = None) -> int:
             "--trace-out requires --jobs 1 (worker processes' walks "
             "cannot be traced into one ring buffer)"
         )
+    if args.max_retries < 0:
+        parser.error("--max-retries must be >= 0")
+    if args.resume and args.run_dir and args.resume != args.run_dir:
+        parser.error("--resume DIR and --run-dir DIR must agree")
     cache_dir: Optional[str] = None
     if not args.no_cache:
         cache_dir = args.cache_dir or str(default_cache_dir())
+
+    fault_plan = None
+    if args.fault_plan:
+        from pathlib import Path
+
+        fault_plan = FaultPlan.from_json(Path(args.fault_plan).read_text())
+    resilience = ResilienceConfig(
+        retry=RetryPolicy(max_retries=args.max_retries),
+        task_timeout=args.task_timeout,
+        keep_going=args.keep_going,
+        run_dir=args.resume or args.run_dir,
+        resume=bool(args.resume),
+        fault_plan=fault_plan,
+    )
 
     tracer = None
     if args.trace_out:
         from repro.obs.trace import WalkTracer, install_tracer
 
         tracer = install_tracer(WalkTracer())
+
+    def _sigterm(signum, frame):
+        raise KeyboardInterrupt
+
     try:
-        results, metrics = run_all_with_metrics(
+        previous_term = signal.signal(signal.SIGTERM, _sigterm)
+    except ValueError:  # not the main thread
+        previous_term = None
+    metrics = RunMetrics()
+    try:
+        results = run_all(
             trace_length,
             jobs=args.jobs,
             cache_dir=cache_dir,
             workloads=args.workloads.split(",") if args.workloads else None,
             only=args.only.split(",") if args.only else None,
+            metrics=metrics,
+            resilience=resilience,
         )
+    except RunInterrupted as interrupt:
+        total = len(select_experiments(
+            args.only.split(",") if args.only else None
+        ))
+        done = len(interrupt.completed) + metrics.resumed_skips
+        print(
+            f"[interrupted: {done}/{total} experiments completed"
+            + (
+                f"; resume with --resume {resilience.run_dir}]"
+                if resilience.run_dir
+                else "]"
+            )
+        )
+        return 130
     finally:
+        if previous_term is not None:
+            signal.signal(signal.SIGTERM, previous_term)
         if tracer is not None:
             from repro.obs.trace import uninstall_tracer
 
@@ -531,7 +1126,10 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         paths = write_csv(results, args.csv)
         print(f"[{len(paths)} CSV files written to {args.csv}/]")
-    from repro.analysis.report import render_run_metrics
+    from repro.analysis.report import (
+        render_failure_manifest,
+        render_run_metrics,
+    )
 
     print(render_run_metrics(metrics))
     print(metrics.cache_summary())
@@ -540,14 +1138,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(tracer.summary())
         print(f"[trace written to {path}]")
     if args.metrics:
-        from repro.obs.metrics import get_registry
+        from repro.obs.metrics import get_registry as _get_registry
 
         print()
-        print(get_registry().render())
+        print(_get_registry().render())
     print(
         f"[{len(results)} experiments regenerated in "
         f"{metrics.wall_seconds:.1f}s with {metrics.jobs} job(s)]"
     )
+    if metrics.failures:
+        print()
+        print(render_failure_manifest(metrics.failures))
+        return 1
     return 0
 
 

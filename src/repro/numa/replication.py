@@ -28,6 +28,7 @@ from repro.numa.topology import NumaTopology
 from repro.obs.metrics import get_registry
 from repro.os.shootdown import SMPSystem
 from repro.pagetables.base import LookupResult, PageTable
+from repro.resilience.faults import fault_point
 
 
 @dataclass
@@ -105,7 +106,17 @@ class ReplicatedPageTable:
         registry.inc("replication.coherence_writes", self.num_replicas - 1)
 
     def _fan(self, op: Callable[[PageTable], None]) -> None:
-        for replica in self.replicas:
+        # Chaos hook: "skip-replica" drops node 0's update, creating the
+        # stale-replica divergence coherent() and the differential test
+        # must catch — the fan-out is still *charged* for every replica,
+        # modelling a write that was issued but lost.
+        skip = (
+            self.num_replicas > 1
+            and fault_point("numa.replica_divergence") == "skip-replica"
+        )
+        for node, replica in enumerate(self.replicas):
+            if skip and node == 0:
+                continue
             op(replica)
         self._count_fan()
 
@@ -119,12 +130,17 @@ class ReplicatedPageTable:
 
     def mark(self, vpn: int, set_bits: int = 0, clear_bits: int = 0) -> int:
         """Update attribute bits in every replica; returns the new bits."""
+        skip = (
+            self.num_replicas > 1
+            and fault_point("numa.replica_divergence") == "skip-replica"
+        )
         results = [
             table.mark(vpn, set_bits=set_bits, clear_bits=clear_bits)
-            for table in self.replicas
+            for node, table in enumerate(self.replicas)
+            if not (skip and node == 0)
         ]
         self._count_fan()
-        return results[0]
+        return results[-1]
 
     def insert_superpage(
         self, base_vpn: int, npages: int, base_ppn: int,

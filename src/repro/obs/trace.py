@@ -35,6 +35,20 @@ from typing import Deque, Iterator, List, Optional
 #: Default ring capacity: enough for every miss of a --fast experiment.
 DEFAULT_CAPACITY = 65_536
 
+#: Lazily resolved ``repro.resilience.faults.fault_point`` — imported on
+#: first use so this module stays import-cycle-free (the fault layer
+#: reports into ``repro.obs.metrics``).
+_FAULT_POINT = None
+
+
+def _fault_point():
+    global _FAULT_POINT
+    if _FAULT_POINT is None:
+        from repro.resilience.faults import fault_point
+
+        _FAULT_POINT = fault_point
+    return _FAULT_POINT
+
 
 @dataclass(frozen=True)
 class WalkEvent:
@@ -98,12 +112,20 @@ class WalkTracer:
         node: int,
     ) -> None:
         """Record one walk (called from the page-table hook)."""
+        fault_point = _fault_point()
         event = WalkEvent(
             seq=self.recorded, table=table, op=op, vpn=vpn, kind=kind,
             lines=lines, probes=probes, fault=fault, node=node,
         )
         if len(self._ring) == self.capacity:
             self.dropped += 1
+        elif fault_point("trace.ring_overflow") == "overflow":
+            # Chaos hook: behave as if the ring were full — the oldest
+            # retained event is dropped (and counted) regardless of
+            # capacity, so overflow accounting is testable at any size.
+            if self._ring:
+                self._ring.popleft()
+                self.dropped += 1
         self._ring.append(event)
         self.recorded += 1
         self.total_lines += lines
@@ -148,8 +170,9 @@ class WalkTracer:
         carrying the totals, so consumers can detect ring overflow
         (``recorded > len(events)``) without re-summing.
         """
+        from repro.util.atomic_io import atomic_writer
+
         target = Path(path)
-        target.parent.mkdir(parents=True, exist_ok=True)
         header = {
             "trace_header": {
                 "capacity": self.capacity,
@@ -162,7 +185,7 @@ class WalkTracer:
                 "faults": self.faults,
             }
         }
-        with target.open("w") as handle:
+        with atomic_writer(target) as handle:
             handle.write(json.dumps(header, sort_keys=True) + "\n")
             for event in self._ring:
                 handle.write(event.to_json() + "\n")

@@ -1,0 +1,107 @@
+"""Crash-safe file writes: write-to-temp + ``os.replace`` + fsync.
+
+Every result, report, trace, and journal writer in the repository goes
+through this module so a crash (or an injected fault) can never leave a
+half-written file behind under the final name — the same discipline
+:func:`repro.cache.stream_cache.save_stream` has always applied to cache
+artefacts.  Two primitives cover every writer:
+
+- :func:`atomic_writer` / :func:`atomic_write_text` /
+  :func:`atomic_write_bytes` — whole-file replacement.  The content is
+  written to a same-directory temporary, flushed and fsync'd, then
+  renamed over the target; the directory entry is fsync'd afterwards so
+  the rename itself survives a power cut.
+- :func:`append_line_fsync` — append-only journals.  One line is written
+  in a single ``write`` call, flushed, and fsync'd, so readers observe
+  either the whole record or (after a crash mid-append) a torn final
+  line they can detect and discard.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator, TextIO, Union
+
+PathLike = Union[str, os.PathLike]
+
+
+def fsync_directory(directory: PathLike) -> None:
+    """Flush a directory entry to disk (best effort on exotic filesystems)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+@contextmanager
+def atomic_writer(
+    path: PathLike,
+    mode: str = "w",
+    encoding: str = "utf-8",
+    newline: str = None,
+) -> Iterator[TextIO]:
+    """``with atomic_writer(path) as handle:`` — all-or-nothing writes.
+
+    The handle points at a same-directory temporary file; on clean exit
+    it is flushed, fsync'd, and renamed over ``path`` (then the directory
+    entry is fsync'd).  On an exception the temporary is removed and the
+    target is left untouched.  ``mode`` must be a write mode (``"w"`` or
+    ``"wb"``); ``encoding``/``newline`` apply to text modes only.
+    """
+    if "w" not in mode:
+        raise ValueError(f"atomic_writer needs a write mode, got {mode!r}")
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    tmp = target.with_name(target.name + f".tmp.{os.getpid()}")
+    kwargs = {} if "b" in mode else {"encoding": encoding, "newline": newline}
+    try:
+        with tmp.open(mode, **kwargs) as handle:
+            yield handle
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, target)
+        fsync_directory(target.parent)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
+
+
+def atomic_write_text(
+    path: PathLike, text: str, encoding: str = "utf-8", newline: str = None
+) -> Path:
+    """Atomically replace ``path`` with ``text``; returns the path."""
+    with atomic_writer(path, "w", encoding=encoding, newline=newline) as handle:
+        handle.write(text)
+    return Path(path)
+
+
+def atomic_write_bytes(path: PathLike, data: bytes) -> Path:
+    """Atomically replace ``path`` with ``data``; returns the path."""
+    with atomic_writer(path, "wb") as handle:
+        handle.write(data)
+    return Path(path)
+
+
+def append_line_fsync(path: PathLike, line: str) -> None:
+    """Durably append one line (no embedded newlines) to a journal file.
+
+    The line plus its terminator go down in a single ``write`` call and
+    are fsync'd before returning, so a crash between appends can tear at
+    most the final record — which journal readers detect and skip.
+    """
+    if "\n" in line:
+        raise ValueError("journal lines must not contain newlines")
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("a", encoding="utf-8") as handle:
+        handle.write(line + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())

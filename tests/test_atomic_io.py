@@ -1,0 +1,93 @@
+"""Crash-safe write primitives (`repro.util.atomic_io`)."""
+
+import os
+
+import pytest
+
+from repro.util.atomic_io import (
+    append_line_fsync,
+    atomic_write_bytes,
+    atomic_write_text,
+    atomic_writer,
+    fsync_directory,
+)
+
+
+class TestAtomicWriter:
+    def test_writes_land_under_the_final_name(self, tmp_path):
+        target = tmp_path / "out.txt"
+        with atomic_writer(target) as handle:
+            handle.write("hello\n")
+        assert target.read_text() == "hello\n"
+
+    def test_creates_missing_parent_directories(self, tmp_path):
+        target = tmp_path / "a" / "b" / "out.txt"
+        with atomic_writer(target) as handle:
+            handle.write("x")
+        assert target.read_text() == "x"
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        target = tmp_path / "out.txt"
+        with atomic_writer(target) as handle:
+            handle.write("x")
+        assert os.listdir(tmp_path) == ["out.txt"]
+
+    def test_error_leaves_target_untouched(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("original")
+        with pytest.raises(RuntimeError):
+            with atomic_writer(target) as handle:
+                handle.write("partial garbage")
+                raise RuntimeError("simulated crash mid-write")
+        assert target.read_text() == "original"
+        assert os.listdir(tmp_path) == ["out.txt"]
+
+    def test_binary_mode(self, tmp_path):
+        target = tmp_path / "out.bin"
+        with atomic_writer(target, "wb") as handle:
+            handle.write(b"\x00\xff")
+        assert target.read_bytes() == b"\x00\xff"
+
+    def test_rejects_read_modes(self, tmp_path):
+        with pytest.raises(ValueError):
+            with atomic_writer(tmp_path / "x", "r"):
+                pass
+
+    def test_overwrites_existing_file_atomically(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("old")
+        with atomic_writer(target) as handle:
+            handle.write("new")
+        assert target.read_text() == "new"
+
+
+class TestConvenienceWrappers:
+    def test_atomic_write_text(self, tmp_path):
+        path = atomic_write_text(tmp_path / "t.txt", "content")
+        assert path.read_text() == "content"
+
+    def test_atomic_write_bytes(self, tmp_path):
+        path = atomic_write_bytes(tmp_path / "t.bin", b"content")
+        assert path.read_bytes() == b"content"
+
+
+class TestAppendLineFsync:
+    def test_appends_one_line_per_call(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        append_line_fsync(path, '{"a": 1}')
+        append_line_fsync(path, '{"b": 2}')
+        assert path.read_text() == '{"a": 1}\n{"b": 2}\n'
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "run" / "journal.jsonl"
+        append_line_fsync(path, "line")
+        assert path.read_text() == "line\n"
+
+    def test_rejects_embedded_newlines(self, tmp_path):
+        with pytest.raises(ValueError):
+            append_line_fsync(tmp_path / "j", "two\nlines")
+
+
+def test_fsync_directory_tolerates_missing_path(tmp_path):
+    fsync_directory(tmp_path / "does-not-exist")  # must not raise
+    fsync_directory(tmp_path)

@@ -1,0 +1,298 @@
+"""The deterministic fault-injection harness (`repro.resilience.faults`)."""
+
+import errno
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError, PageFaultError
+from repro.resilience.faults import (
+    BEHAVIOUR_ACTIONS,
+    EXCEPTION_ACTIONS,
+    PROCESS_ACTIONS,
+    SITE_ACTIONS,
+    SITES,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    active_injector,
+    active_plan_seed,
+    clear_plan,
+    fault_point,
+    inject,
+    install_plan,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plan():
+    clear_plan()
+    yield
+    clear_plan()
+
+
+class TestRuleValidation:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultRule("runner.bogus", "raise-eio")
+
+    def test_action_must_fit_the_site(self):
+        with pytest.raises(ConfigurationError):
+            FaultRule("cache.store_stream", "corrupt")
+        with pytest.raises(ConfigurationError):
+            FaultRule("numa.replica_divergence", "crash")
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            FaultRule("runner.experiment", "raise-eio", at=0)
+        with pytest.raises(ConfigurationError):
+            FaultRule("runner.experiment", "raise-eio", times=0)
+
+    def test_every_site_has_actions(self):
+        assert set(SITE_ACTIONS) == set(SITES)
+        known = set(EXCEPTION_ACTIONS + PROCESS_ACTIONS + BEHAVIOUR_ACTIONS)
+        for actions in SITE_ACTIONS.values():
+            assert actions and set(actions) <= known
+
+
+class TestPlanSerialisation:
+    def test_json_round_trip(self):
+        plan = FaultPlan(
+            rules=(
+                FaultRule("cache.load_stream", "raise-eio", at=2, times=3),
+                FaultRule(
+                    "runner.experiment", "crash",
+                    match="table1", max_attempt=2,
+                ),
+            ),
+            seed=42,
+            hang_seconds=1.5,
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_invalid_json_is_a_configuration_error(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.from_json('{"rules": [{"site": "nope"}]}')
+
+    def test_random_plans_are_deterministic_per_seed(self):
+        assert FaultPlan.random(7) == FaultPlan.random(7)
+        assert FaultPlan.random(7) != FaultPlan.random(8)
+
+    def test_random_respects_exclusions(self):
+        for seed in range(100):
+            plan = FaultPlan.random(
+                seed, exclude_actions=PROCESS_ACTIONS
+            )
+            assert all(
+                rule.action not in PROCESS_ACTIONS for rule in plan.rules
+            )
+
+    def test_random_with_nothing_left_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.random(
+                0,
+                sites=("numa.replica_divergence",),
+                exclude_actions=("skip-replica",),
+            )
+
+
+class TestInjector:
+    def test_inactive_fault_point_is_a_no_op(self):
+        assert active_injector() is None
+        assert fault_point("runner.experiment", key="table1") is None
+
+    def test_fires_only_inside_the_visit_window(self):
+        plan = FaultPlan(
+            (FaultRule("cache.load_stream", "raise-eio", at=2, times=2),)
+        )
+        with inject(plan) as injector:
+            assert fault_point("cache.load_stream", key="k") is None
+            for _ in range(2):
+                with pytest.raises(OSError) as excinfo:
+                    fault_point("cache.load_stream", key="k")
+                assert excinfo.value.errno == errno.EIO
+            assert fault_point("cache.load_stream", key="k") is None
+            assert len(injector.events) == 2
+
+    def test_match_restricts_by_key_substring(self):
+        plan = FaultPlan(
+            (FaultRule("runner.experiment", "raise-enospc", match="fig11"),)
+        )
+        with inject(plan):
+            assert fault_point("runner.experiment", key="table1") is None
+            with pytest.raises(OSError) as excinfo:
+                fault_point("runner.experiment", key="fig11d")
+            assert excinfo.value.errno == errno.ENOSPC
+
+    def test_max_attempt_lets_retries_outlive_the_fault(self):
+        plan = FaultPlan(
+            (
+                FaultRule(
+                    "runner.experiment", "raise-eio",
+                    times=99, max_attempt=2,
+                ),
+            )
+        )
+        with inject(plan):
+            for attempt in (1, 2):
+                with pytest.raises(OSError):
+                    fault_point(
+                        "runner.experiment", key="k", attempt=attempt
+                    )
+            assert (
+                fault_point("runner.experiment", key="k", attempt=3) is None
+            )
+
+    def test_behaviour_actions_are_returned_not_raised(self):
+        plan = FaultPlan(
+            (FaultRule("numa.replica_divergence", "skip-replica"),)
+        )
+        with inject(plan):
+            assert (
+                fault_point("numa.replica_divergence") == "skip-replica"
+            )
+
+    def test_inject_restores_the_previous_injector(self):
+        outer = install_plan(
+            FaultPlan((FaultRule("cache.load_stream", "raise-eio"),))
+        )
+        with inject(FaultPlan((), seed=5)):
+            assert active_plan_seed() == 5
+        assert active_injector() is outer
+        clear_plan()
+        assert active_plan_seed() is None
+
+    def test_events_are_recorded_and_exported(self, tmp_path):
+        plan = FaultPlan(
+            (FaultRule("cache.store_stream", "raise-enospc"),), seed=9
+        )
+        with inject(plan) as injector:
+            with pytest.raises(OSError):
+                fault_point("cache.store_stream", key="artefact.npz")
+            path = injector.export_jsonl(tmp_path / "faults.jsonl")
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])["fault_header"]
+        assert header["seed"] == 9 and header["fired"] == 1
+        event = json.loads(lines[1])
+        assert event["site"] == "cache.store_stream"
+        assert event["action"] == "raise-enospc"
+        assert event["key"] == "artefact.npz"
+
+    def test_counts_into_the_metrics_registry(self):
+        from repro.obs.metrics import get_registry
+
+        before = get_registry().counter(
+            "faults.injected",
+            site="runner.experiment", action="raise-eio",
+        )
+        plan = FaultPlan((FaultRule("runner.experiment", "raise-eio"),))
+        with inject(plan):
+            with pytest.raises(OSError):
+                fault_point("runner.experiment", key="k")
+        after = get_registry().counter(
+            "faults.injected",
+            site="runner.experiment", action="raise-eio",
+        )
+        assert after == before + 1
+
+
+class TestCorruption:
+    def test_corrupt_action_flips_one_byte(self, tmp_path):
+        target = tmp_path / "artefact.bin"
+        original = bytes(range(64))
+        target.write_bytes(original)
+        plan = FaultPlan(
+            (FaultRule("cache.artifact_stored", "corrupt"),), seed=10
+        )
+        with inject(plan):
+            fault_point("cache.artifact_stored", key=str(target), path=target)
+        damaged = target.read_bytes()
+        assert len(damaged) == len(original)
+        diffs = [i for i in range(len(original)) if damaged[i] != original[i]]
+        assert diffs == [10]  # seed picks the offset deterministically
+
+    def test_corrupted_cache_artefact_is_evicted_not_believed(self, tmp_path):
+        """End to end: bit rot after store → detected, evicted, recomputed."""
+        from repro.cache.stream_cache import StreamCache, stream_cache_key
+        from repro.mmu.simulate import collect_misses
+        from repro.mmu.tlb import FullyAssociativeTLB
+        from repro.os.translation_map import TranslationMap
+        from repro.workloads.suite import load_workload
+
+        workload = load_workload("mp3d", trace_length=2_000)
+        tmap = TranslationMap.from_space(workload.union_space())
+        stream = collect_misses(
+            workload.trace, FullyAssociativeTLB(64), tmap
+        )
+        key = stream_cache_key(workload.trace, FullyAssociativeTLB(64), tmap)
+        cache = StreamCache(tmp_path / "cache")
+        plan = FaultPlan(
+            (FaultRule("cache.artifact_stored", "corrupt"),), seed=1000
+        )
+        with inject(plan):
+            cache.put(key, stream)  # artefact corrupted as it lands
+        assert cache.get(key) is None  # detected and evicted, not trusted
+        assert cache.stats.errors == 1
+        cache.put(key, stream)  # plan expired: clean store
+        recovered = cache.get(key)
+        assert recovered is not None
+        assert recovered.misses == stream.misses
+
+
+class TestReplicaDivergence:
+    def test_skip_replica_creates_divergence_coherent_catches(self):
+        from repro.numa.replication import ReplicatedPageTable
+        from repro.numa.topology import get_topology
+        from repro.pagetables.hashed import HashedPageTable
+
+        table = ReplicatedPageTable(
+            lambda: HashedPageTable(), get_topology("2-node")
+        )
+        table.insert(0x10, 0x90)
+        assert table.coherent(0x10)
+        plan = FaultPlan(
+            (FaultRule("numa.replica_divergence", "skip-replica"),)
+        )
+        with inject(plan):
+            table.insert(0x20, 0x91)  # node 0's update is dropped
+        assert not table.coherent(0x20)  # divergence is *detected*
+        assert table.coherent(0x10)
+        # replica 1 has the mapping, replica 0 faults
+        assert table.replica(1).lookup(0x20).ppn == 0x91
+        with pytest.raises(PageFaultError):
+            table.replica(0).lookup(0x20)
+
+    def test_fan_out_still_charged_for_the_lost_write(self):
+        from repro.numa.replication import ReplicatedPageTable
+        from repro.numa.topology import get_topology
+        from repro.pagetables.hashed import HashedPageTable
+
+        table = ReplicatedPageTable(
+            lambda: HashedPageTable(), get_topology("2-node")
+        )
+        plan = FaultPlan(
+            (FaultRule("numa.replica_divergence", "skip-replica"),)
+        )
+        with inject(plan):
+            table.insert(0x20, 0x91)
+        assert table.stats.updates == 1
+        assert table.stats.replica_writes == 2  # issued, then lost
+
+
+class TestRingOverflow:
+    def test_overflow_action_forces_a_ring_drop(self):
+        from repro.obs.trace import WalkTracer
+
+        tracer = WalkTracer(capacity=1_000)
+        plan = FaultPlan((FaultRule("trace.ring_overflow", "overflow", at=2),))
+        with inject(plan):
+            for seq in range(3):
+                tracer.record(
+                    "hashed", "walk", seq, "pte", 1, 1, False, 0
+                )
+        assert tracer.recorded == 3
+        assert tracer.dropped == 1  # forced despite spare capacity
+        assert len(tracer) == 2
+        # totals live outside the ring: they still cover all 3 events
+        assert tracer.total_lines == 3
+        assert tracer.events()[0].vpn == 1  # the oldest (vpn 0) was dropped

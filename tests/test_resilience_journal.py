@@ -1,0 +1,113 @@
+"""The append-only run journal (`repro.resilience.journal`)."""
+
+import json
+
+from repro.resilience.journal import (
+    JOURNAL_NAME,
+    JOURNAL_VERSION,
+    RunJournal,
+    task_digest,
+)
+
+
+class TestTaskDigest:
+    def test_stable_for_identical_inputs(self):
+        assert task_digest("table1", 2_000, ("mp3d",)) == task_digest(
+            "table1", 2_000, ("mp3d",)
+        )
+
+    def test_workload_order_is_canonicalised(self):
+        assert task_digest("table1", 2_000, ("gcc", "mp3d")) == task_digest(
+            "table1", 2_000, ("mp3d", "gcc")
+        )
+
+    def test_every_input_changes_the_digest(self):
+        base = task_digest("table1", 2_000, ("mp3d",))
+        assert task_digest("fig9", 2_000, ("mp3d",)) != base
+        assert task_digest("table1", 3_000, ("mp3d",)) != base
+        assert task_digest("table1", 2_000, ("gcc",)) != base
+        assert task_digest("table1", 2_000, None) != base
+
+    def test_folds_in_the_stream_schema_version(self, monkeypatch):
+        import repro.cache.stream_cache as stream_cache
+
+        base = task_digest("table1", 2_000)
+        monkeypatch.setattr(stream_cache, "SCHEMA_VERSION", 999)
+        assert task_digest("table1", 2_000) != base
+
+
+class TestRunJournal:
+    def test_header_written_once(self, tmp_path):
+        journal = RunJournal(tmp_path)
+        journal.ensure_header({"trace_length": 2_000})
+        journal.ensure_header({"trace_length": 9_999})  # ignored: exists
+        state = journal.load()
+        assert state.header["version"] == JOURNAL_VERSION
+        assert state.header["trace_length"] == 2_000
+
+    def test_append_and_load_round_trip(self, tmp_path):
+        journal = RunJournal(tmp_path)
+        journal.ensure_header({})
+        digest = task_digest("table1", 2_000)
+        result = {"experiment": "table1", "headers": ["a"], "rows": [[1]],
+                  "notes": ""}
+        journal.append_result("table1", digest, result, 0.25, attempts=2)
+        state = journal.load()
+        assert state.result_for("table1", digest) == result
+        assert state.entries["table1"]["attempts"] == 2
+        assert journal.completed_count() == 1
+
+    def test_digest_mismatch_is_not_trusted(self, tmp_path):
+        journal = RunJournal(tmp_path)
+        journal.append_result(
+            "table1", task_digest("table1", 2_000), {"rows": []}, 0.1
+        )
+        state = journal.load()
+        assert state.result_for("table1", task_digest("table1", 3_000)) is None
+
+    def test_failures_are_recorded(self, tmp_path):
+        journal = RunJournal(tmp_path)
+        journal.append_failure(
+            {"experiment": "numa", "error_type": "OSError", "attempts": 3}
+        )
+        state = journal.load()
+        assert state.failures == [
+            {"experiment": "numa", "error_type": "OSError", "attempts": 3}
+        ]
+
+    def test_torn_final_line_is_tolerated(self, tmp_path):
+        journal = RunJournal(tmp_path)
+        journal.ensure_header({})
+        digest = task_digest("table1", 2_000)
+        journal.append_result("table1", digest, {"rows": []}, 0.1)
+        # simulate a SIGKILL mid-append: a half-written final record
+        with journal.path.open("a") as handle:
+            handle.write('{"entry": {"experiment": "fig9", "resu')
+        state = journal.load()
+        assert state.torn_lines == 1
+        assert state.result_for("table1", digest) == {"rows": []}
+        assert "fig9" not in state.entries
+
+    def test_unknown_record_shapes_are_skipped(self, tmp_path):
+        journal = RunJournal(tmp_path)
+        with journal.path.open("w") as handle:
+            handle.write('{"mystery": 1}\n')
+            handle.write("[1, 2, 3]\n")
+        state = journal.load()
+        assert state.torn_lines == 2
+        assert state.entries == {}
+
+    def test_missing_journal_loads_empty(self, tmp_path):
+        state = RunJournal(tmp_path / "never-created").load()
+        assert state.entries == {} and state.torn_lines == 0
+
+    def test_records_are_one_json_line_each(self, tmp_path):
+        journal = RunJournal(tmp_path)
+        journal.ensure_header({"jobs": 4})
+        journal.append_result(
+            "table1", task_digest("table1", 2_000), {"rows": []}, 0.1
+        )
+        lines = (tmp_path / JOURNAL_NAME).read_text().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            json.loads(line)  # every line independently parseable
