@@ -14,10 +14,16 @@ so an intentional change prompts a baseline refresh::
     PYTHONPATH=src python benchmarks/bench_numa.py --fast \
         --out benchmarks/baselines/BENCH_numa.json
 
+The gate also validates run-report sidecars (``report.json``, written by
+``repro.cli report``): a profiled CI run must produce a sidecar whose
+schema downstream tooling can rely on, and a missing or malformed one
+fails the lane just like a cycles/miss regression.
+
 Usage::
 
     python benchmarks/bench_gate.py --fresh BENCH_numa.json \
-        [--baseline benchmarks/baselines/BENCH_numa.json] [--threshold 0.10]
+        [--baseline benchmarks/baselines/BENCH_numa.json] [--threshold 0.10] \
+        [--report-sidecar run-dir/report.json]
 """
 
 from __future__ import annotations
@@ -98,13 +104,94 @@ def compare(
     return regressions, notes
 
 
+#: Required run-report sidecar schema version (see
+#: ``repro.analysis.report.REPORT_VERSION``).
+REPORT_VERSION = 1
+
+#: The registry sections a sidecar's ``metrics`` block must carry, each a
+#: list of ``[name, labels, payload]`` series triples.
+_METRIC_SECTIONS = ("counters", "gauges", "histograms")
+
+#: Sidecar keys that must be lists of dicts.
+_LIST_KEYS = ("phases", "experiments", "failures")
+
+
+def validate_report_sidecar(document: object) -> List[str]:
+    """Schema problems in one ``report.json`` sidecar (empty = valid).
+
+    Checks the invariants downstream tooling relies on: the version
+    pin, a run-dir pointer, a ``metrics`` block with the three registry
+    sections as series-triple lists, a ``run`` summary dict, and the
+    phase/experiment/failure lists.  Deep payloads are not re-validated
+    — the metrics module owns those shapes.
+    """
+    problems: List[str] = []
+    if not isinstance(document, dict):
+        return [f"sidecar must be a JSON object, got {type(document).__name__}"]
+    version = document.get("report_version")
+    if version != REPORT_VERSION:
+        problems.append(
+            f"report_version must be {REPORT_VERSION}, got {version!r}"
+        )
+    if not isinstance(document.get("run_dir"), str):
+        problems.append("run_dir must be a string path")
+    metrics = document.get("metrics")
+    if not isinstance(metrics, dict):
+        problems.append("metrics must be an object")
+    else:
+        for section in _METRIC_SECTIONS:
+            series = metrics.get(section)
+            if not isinstance(series, list):
+                problems.append(f"metrics.{section} must be a list")
+                continue
+            for entry in series:
+                if not (isinstance(entry, list) and len(entry) == 3):
+                    problems.append(
+                        f"metrics.{section} entries must be "
+                        f"[name, labels, payload] triples, got {entry!r}"
+                    )
+                    break
+    if not isinstance(document.get("run"), dict):
+        problems.append("run must be an object (the runner's summary_dict)")
+    for key in _LIST_KEYS:
+        value = document.get(key)
+        if not isinstance(value, list):
+            problems.append(f"{key} must be a list")
+        elif not all(isinstance(item, dict) for item in value):
+            problems.append(f"{key} entries must all be objects")
+    return problems
+
+
+def _gate_sidecar(path: str) -> int:
+    """Validate one sidecar file; prints problems, returns an exit code."""
+    if not os.path.exists(path):
+        print(f"[bench gate] FAIL: report sidecar {path} does not exist")
+        return 1
+    try:
+        document = _load(path)
+    except ValueError as error:
+        print(f"[bench gate] FAIL: report sidecar {path} is not JSON: {error}")
+        return 1
+    problems = validate_report_sidecar(document)
+    if problems:
+        for problem in problems:
+            print(f"[bench gate] sidecar problem: {problem}")
+        print(f"[bench gate] FAIL: report sidecar {path} failed "
+              f"{len(problems)} schema check(s)")
+        return 1
+    print(f"[bench gate] report sidecar OK: {path} "
+          f"(report_version={document['report_version']})")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Fail when a fresh NUMA benchmark regresses cycles/miss "
-        "against the committed baseline."
+        "against the committed baseline, or a run-report sidecar is "
+        "missing or malformed."
     )
     parser.add_argument(
-        "--fresh", metavar="FILE", required=True,
+        "--fresh", metavar="FILE", default=None,
         help="freshly generated BENCH_numa.json",
     )
     parser.add_argument(
@@ -115,7 +202,19 @@ def main(argv=None) -> int:
         "--threshold", type=float, default=DEFAULT_THRESHOLD, metavar="FRAC",
         help="relative regression tolerance (default 0.10 = 10%%)",
     )
+    parser.add_argument(
+        "--report-sidecar", metavar="FILE", default=None,
+        help="run-report sidecar (report.json) to schema-validate; "
+        "missing or malformed fails the gate",
+    )
     args = parser.parse_args(argv)
+    if args.fresh is None and args.report_sidecar is None:
+        parser.error("nothing to gate: pass --fresh and/or --report-sidecar")
+    sidecar_status = 0
+    if args.report_sidecar is not None:
+        sidecar_status = _gate_sidecar(args.report_sidecar)
+    if args.fresh is None:
+        return sidecar_status
     fresh = _load(args.fresh)
     baseline = _load(args.baseline)
     if fresh.get("trace_length") != baseline.get("trace_length"):
@@ -137,7 +236,7 @@ def main(argv=None) -> int:
         return 1
     print(f"[bench gate] OK: {gated} config(s) within "
           f"{100 * args.threshold:.0f}% of baseline")
-    return 0
+    return sidecar_status
 
 
 if __name__ == "__main__":

@@ -2,12 +2,17 @@
 
 Every experiment script prints its figure or table as an aligned text
 table so results can be eyeballed against the paper in a terminal and
-diffed across runs.
+diffed across runs.  :func:`render_run_report` builds on the same
+primitives to render one self-contained markdown report per run
+directory (``repro.cli report``).
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Union
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 Cell = Union[str, int, float, None]
 
@@ -98,6 +103,295 @@ def render_run_metrics(metrics) -> str:
             f"{timeouts} timeout(s), {resumed} resumed, {failed} failed"
         )
     return table + "\n\n" + "\n".join(summary)
+
+
+# ---------------------------------------------------------------------------
+# Run reports (repro.cli report)
+# ---------------------------------------------------------------------------
+#: Bump when the report sidecar's shape changes incompatibly (validated
+#: by ``benchmarks/bench_gate.py --report-sidecar``).
+REPORT_VERSION = 1
+
+#: Eight-level bar glyphs for the hash heat rows.
+_HEAT_GLYPHS = " ▁▂▃▄▅▆▇█"
+
+
+def _heat_sparkline(cells: Sequence[int]) -> str:
+    """Render a heat row as one block-glyph sparkline."""
+    peak = max(cells) if cells else 0
+    if peak <= 0:
+        return " " * len(cells)
+    top = len(_HEAT_GLYPHS) - 1
+    return "".join(
+        _HEAT_GLYPHS[min(top, (value * top + peak - 1) // peak)]
+        for value in cells
+    )
+
+
+def _load_json(path: Path) -> Optional[Dict[str, object]]:
+    """Parse one artefact; missing file → None, corrupt file → raises."""
+    if not path.exists():
+        return None
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def render_run_report(run_dir: os.PathLike) -> Tuple[str, Dict[str, object]]:
+    """One self-contained markdown report for a run directory.
+
+    Reads every artefact the runner leaves behind — ``journal.jsonl``,
+    ``metrics.json``, ``walk_profile.json``, ``trace.json``, and any
+    ``BENCH_*.json`` — and returns ``(markdown, sidecar)``: the rendered
+    report and its machine-readable JSON sidecar (schema gated by
+    ``benchmarks/bench_gate.py``).  Absent artefacts degrade to an
+    explicit note, never silently.
+    """
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.profile import WalkProfile
+    from repro.resilience.journal import (
+        JOURNAL_NAME,
+        METRICS_NAME,
+        PROFILE_NAME,
+        TRACE_NAME,
+        RunJournal,
+    )
+
+    root = Path(run_dir)
+    if not root.is_dir():
+        raise FileNotFoundError(f"run directory not found: {root}")
+    metrics_doc = _load_json(root / METRICS_NAME)
+    profile_doc = _load_json(root / PROFILE_NAME)
+    journal_summary = (
+        RunJournal(root).summary() if (root / JOURNAL_NAME).exists() else None
+    )
+
+    run: Dict[str, object] = (
+        dict(metrics_doc.get("run", {})) if metrics_doc else {}
+    )
+    registry_state = (
+        dict(metrics_doc.get("registry", {})) if metrics_doc else {}
+    )
+    registry = MetricsRegistry()
+    registry.merge_state(registry_state)
+
+    lines: List[str] = [f"# Run report — {root.name}", ""]
+
+    # -- run summary -------------------------------------------------------
+    lines.append("## Run summary")
+    lines.append("")
+    if metrics_doc is None:
+        lines.append(
+            f"*No `{METRICS_NAME}` in this run directory — re-run with "
+            "`--run-dir` to produce one.*"
+        )
+    else:
+        spans = dict(run.get("spans", {}))
+        lines.append(
+            f"- jobs: **{run.get('jobs', '?')}**, wall: "
+            f"**{float(run.get('wall_seconds', 0.0)):.2f}s**, utilisation: "
+            f"**{100.0 * float(run.get('utilisation', 0.0)):.0f}%**"
+        )
+        lines.append(f"- {run.get('cache_summary', '[stream cache: unknown]')}")
+        lines.append(
+            f"- phases: prewarm "
+            f"{float(run.get('prewarm_wall_seconds', 0.0)):.2f}s "
+            f"({run.get('prewarm_tasks', 0)} task(s)), experiments "
+            f"{float(run.get('experiments_wall_seconds', 0.0)):.2f}s"
+        )
+        if spans:
+            lines.append(
+                f"- spans: {spans.get('count', 0)} recorded, run coverage "
+                f"{100.0 * float(spans.get('run_coverage', 0.0)):.1f}% of "
+                "measured wall time"
+            )
+        resilience_bits = [
+            f"{run.get('task_retries', 0)} retries",
+            f"{run.get('task_timeouts', 0)} timeouts",
+            f"{run.get('resumed_skips', 0)} resumed",
+        ]
+        lines.append(f"- resilience: {', '.join(resilience_bits)}")
+    lines.append("")
+
+    # -- experiments -------------------------------------------------------
+    timings = [dict(t) for t in run.get("timings", [])]
+    lines.append("## Experiments")
+    lines.append("")
+    if timings:
+        lines.append("```text")
+        lines.append(render_table(
+            ["experiment", "seconds", "stream hits", "computed"],
+            [
+                [t.get("experiment"), float(t.get("seconds", 0.0)),
+                 t.get("cache_hits", 0), t.get("cache_computed", 0)]
+                for t in timings
+            ],
+            precision=3,
+        ))
+        lines.append("```")
+    else:
+        lines.append("*No experiment timings recorded.*")
+    lines.append("")
+
+    # -- metrics -----------------------------------------------------------
+    lines.append("## Metrics")
+    lines.append("")
+    rendered = registry.render()
+    if rendered:
+        lines.append("```text")
+        lines.append(rendered)
+        lines.append("```")
+    else:
+        lines.append("*Empty metrics registry.*")
+    lines.append("")
+
+    # -- walk profile ------------------------------------------------------
+    lines.append("## Walk profile")
+    lines.append("")
+    profile_tables: Dict[str, Dict[str, object]] = {}
+    if profile_doc:
+        profile = WalkProfile.from_dict(profile_doc)
+        profile_tables = {
+            name: table.as_dict()
+            for name, table in sorted(profile.tables.items())
+        }
+        lines.append("```text")
+        lines.append(render_table(
+            ["table", "walks", "faults", "mean lines",
+             "p50", "p95", "p99", "probes p50", "p95 ", "p99 "],
+            [
+                [name, t.walks, t.faults, t.mean_lines,
+                 t.lines_percentile(0.50), t.lines_percentile(0.95),
+                 t.lines_percentile(0.99), t.probes_percentile(0.50),
+                 t.probes_percentile(0.95), t.probes_percentile(0.99)]
+                for name, t in sorted(profile.tables.items())
+            ],
+            title="Per-miss walk cost (exact percentiles, cache lines)",
+            precision=3,
+        ))
+        lines.append("```")
+        lines.append("")
+        lines.append("PTE-kind mix and hash heat (lines per VPN-hash cell):")
+        lines.append("")
+        for name, table in sorted(profile.tables.items()):
+            kinds = ", ".join(
+                f"{kind}: {count}"
+                for kind, count in sorted(table.kinds.items())
+            )
+            lines.append(f"- **{name}** — {kinds}")
+            lines.append(f"  - heat `|{_heat_sparkline(table.heat)}|`")
+    else:
+        lines.append(
+            f"*No `{PROFILE_NAME}` — run with `--run-dir` (or "
+            "`--profile-out`) to collect walk profiles.*"
+        )
+    lines.append("")
+
+    # -- span timeline -----------------------------------------------------
+    trace_path = root / TRACE_NAME
+    trace_info: Optional[Dict[str, object]] = None
+    lines.append("## Span timeline")
+    lines.append("")
+    if trace_path.exists():
+        trace_doc = _load_json(trace_path) or {}
+        events = [
+            e for e in trace_doc.get("traceEvents", [])
+            if isinstance(e, dict) and e.get("ph") == "X"
+        ]
+        tracks = sorted({int(e.get("pid", 0)) for e in events})
+        trace_info = {
+            "path": trace_path.name,
+            "spans": len(events),
+            "tracks": len(tracks),
+        }
+        lines.append(
+            f"`{trace_path.name}`: {len(events)} spans across "
+            f"{len(tracks)} process track(s) — open it in "
+            "[Perfetto](https://ui.perfetto.dev) or `chrome://tracing`."
+        )
+    else:
+        lines.append(
+            f"*No `{TRACE_NAME}` — pass `--profile-out "
+            f"{root.name}/{TRACE_NAME}` to export the span timeline.*"
+        )
+    lines.append("")
+
+    # -- failures ----------------------------------------------------------
+    failures = [dict(f) for f in run.get("failures", [])]
+    if journal_summary:
+        seen = {json.dumps(f, sort_keys=True) for f in failures}
+        for failure in journal_summary.get("failures", []):
+            if json.dumps(failure, sort_keys=True) not in seen:
+                failures.append(dict(failure))
+    lines.append("## Failures")
+    lines.append("")
+    if failures:
+        lines.append("```text")
+        lines.append(render_table(
+            ["experiment", "stage", "error", "attempts", "message"],
+            [
+                [f.get("experiment"), f.get("stage"), f.get("error_type"),
+                 f.get("attempts"), str(f.get("message", ""))[:60]]
+                for f in failures
+            ],
+        ))
+        lines.append("```")
+    else:
+        lines.append("*No failures.*")
+    lines.append("")
+
+    # -- bench artefacts ---------------------------------------------------
+    bench_files = sorted(root.glob("BENCH_*.json"))
+    bench: List[Dict[str, object]] = []
+    lines.append("## Bench artefacts")
+    lines.append("")
+    for path in bench_files:
+        doc = _load_json(path)
+        if isinstance(doc, dict):
+            bench.append({"file": path.name, "bench": doc})
+            rows = doc.get("rows")
+            headers = doc.get("headers")
+            if isinstance(rows, list) and isinstance(headers, list):
+                lines.append(f"`{path.name}`:")
+                lines.append("")
+                lines.append("```text")
+                lines.append(render_table(
+                    [str(h) for h in headers],
+                    [list(row) for row in rows], precision=3,
+                ))
+                lines.append("```")
+            else:
+                lines.append(f"`{path.name}` (no tabular payload)")
+            lines.append("")
+    if not bench_files:
+        lines.append(
+            "*No `BENCH_*.json` in this run directory (benchmarks write "
+            "them separately).*"
+        )
+        lines.append("")
+
+    markdown = "\n".join(lines).rstrip() + "\n"
+    sidecar: Dict[str, object] = {
+        "report_version": REPORT_VERSION,
+        "run_dir": str(root),
+        "metrics": {
+            "counters": list(registry_state.get("counters", [])),
+            "gauges": list(registry_state.get("gauges", [])),
+            "histograms": list(registry_state.get("histograms", [])),
+        },
+        "run": run,
+        "phases": [
+            {"phase": "prewarm",
+             "wall_seconds": run.get("prewarm_wall_seconds", 0.0)},
+            {"phase": "experiments",
+             "wall_seconds": run.get("experiments_wall_seconds", 0.0)},
+        ],
+        "experiments": timings,
+        "failures": failures,
+        "walk_profile": profile_tables or None,
+        "journal": journal_summary,
+        "trace": trace_info,
+        "bench": bench,
+    }
+    return markdown, sidecar
 
 
 def render_failure_manifest(failures) -> str:

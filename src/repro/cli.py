@@ -20,16 +20,25 @@ Commands
     file's) latency matrix, or validate a topology JSON file.
 ``compare WORKLOAD``
     Quick both-metrics shoot-out for one workload.
-``metrics [ID] [--fast] [--json]``
-    Run one experiment (default ``table1``) and dump the process-wide
-    metrics registry — cache traffic, shootdown IPIs, replication
-    fan-out, phase timings — as aligned tables or JSON.
+``metrics [ID] [--fast] [--json] [--from DIR]``
+    Dump a metrics registry: either run one experiment (default
+    ``table1``) and dump the live process-wide registry, or — with
+    ``--from DIR`` — load a finished run's persisted ``metrics.json``
+    from its run directory and dump that instead.
+``report RUN_DIR``
+    Render one self-contained markdown report for a run directory
+    (metrics block, phase/span summary, walk-cost percentiles per table,
+    failure manifest, bench artefacts); writes ``report.md`` plus a JSON
+    sidecar ``report.json`` into the run directory and prints the
+    markdown.
 ``validate``
     Audit workload calibration against Table 1 (non-zero exit on drift).
 
 The ``experiment`` command accepts ``--trace-out FILE`` to record one
 structured event per page-table walk and export the trace as JSON Lines
-(single-process runs only).
+(single-process runs only), and — for ``all`` — ``--profile-out FILE``
+to profile the run (spans across parent and workers, per-walk percentile
+histograms) and export a Chrome trace-event timeline for Perfetto.
 """
 
 from __future__ import annotations
@@ -111,6 +120,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             argv += ["--workloads", args.workloads]
         if trace_out:
             argv += ["--trace-out", trace_out]
+        if getattr(args, "profile_out", None):
+            argv += ["--profile-out", args.profile_out]
         if args.max_retries:
             argv += ["--max-retries", str(args.max_retries)]
         if args.task_timeout is not None:
@@ -239,25 +250,69 @@ def _cmd_topology(args: argparse.Namespace) -> int:
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
-    """Run one experiment and dump the process-wide metrics registry."""
-    from repro.experiments.runner import run_all_with_metrics
-    from repro.obs.metrics import get_registry
+    """Dump a metrics registry: live (after a run) or from a run dir."""
+    from repro.obs.metrics import MetricsRegistry, get_registry
 
-    trace_length = 50_000 if args.fast else 200_000
-    cache_dir = None
-    if args.cache_dir and not args.no_cache:
-        cache_dir = args.cache_dir
-    if args.id:
-        run_all_with_metrics(
-            trace_length, jobs=1, cache_dir=cache_dir, only=[args.id],
-        )
-    registry = get_registry()
+    if getattr(args, "from_dir", None):
+        import json
+        from pathlib import Path
+
+        from repro.resilience.journal import METRICS_NAME
+
+        path = Path(args.from_dir) / METRICS_NAME
+        if not path.exists():
+            print(
+                f"no {METRICS_NAME} in {args.from_dir} — finish a "
+                "--run-dir run there first"
+            )
+            return 1
+        doc = json.loads(path.read_text(encoding="utf-8"))
+        registry = MetricsRegistry()
+        registry.merge_state(doc.get("registry", {}))
+    else:
+        from repro.experiments.runner import run_all_with_metrics
+
+        trace_length = 50_000 if args.fast else 200_000
+        cache_dir = None
+        if args.cache_dir and not args.no_cache:
+            cache_dir = args.cache_dir
+        if args.id:
+            run_all_with_metrics(
+                trace_length, jobs=1, cache_dir=cache_dir, only=[args.id],
+            )
+        registry = get_registry()
     if args.json:
         import json
 
         print(json.dumps(registry.snapshot(), indent=2, sort_keys=True))
     else:
         print(registry.render())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Render a run directory's report; write report.md + report.json."""
+    import json
+    from pathlib import Path
+
+    from repro.analysis.report import render_run_report
+    from repro.resilience.journal import REPORT_NAME, REPORT_SIDECAR_NAME
+    from repro.util.atomic_io import atomic_writer
+
+    run_dir = Path(args.run_dir)
+    try:
+        markdown, sidecar = render_run_report(run_dir)
+    except FileNotFoundError as exc:
+        print(str(exc))
+        return 1
+    with atomic_writer(run_dir / REPORT_NAME) as handle:
+        handle.write(markdown)
+    with atomic_writer(run_dir / REPORT_SIDECAR_NAME) as handle:
+        json.dump(sidecar, handle, sort_keys=True, indent=2)
+        handle.write("\n")
+    print(markdown)
+    print(f"[report written to {run_dir / REPORT_NAME} "
+          f"(+ {REPORT_SIDECAR_NAME})]")
     return 0
 
 
@@ -351,6 +406,11 @@ def build_parser() -> argparse.ArgumentParser:
         "as JSON Lines (single-process runs only)",
     )
     experiment.add_argument(
+        "--profile-out", metavar="FILE", default=None, dest="profile_out",
+        help="for 'all': profile the run and write the span timeline as "
+        "Chrome trace-event JSON (Perfetto / chrome://tracing)",
+    )
+    experiment.add_argument(
         "--max-retries", type=int, default=0, metavar="N",
         help="for 'all': retry transiently failed tasks up to N times",
     )
@@ -399,6 +459,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true",
         help="disable the persistent miss-stream cache",
     )
+    metrics.add_argument(
+        "--from", metavar="DIR", default=None, dest="from_dir",
+        help="instead of running anything, load the persisted "
+        "metrics.json of a finished --run-dir run",
+    )
+
+    report = sub.add_parser(
+        "report", help="render a run directory's self-contained report"
+    )
+    report.add_argument(
+        "run_dir", metavar="RUN_DIR",
+        help="a --run-dir directory (journal.jsonl, metrics.json, ...)",
+    )
 
     topology = sub.add_parser(
         "topology", help="list/inspect/validate NUMA machine models"
@@ -437,6 +510,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "topology": _cmd_topology,
         "compare": _cmd_compare,
         "metrics": _cmd_metrics,
+        "report": _cmd_report,
         "validate": _cmd_validate,
     }
     return handlers[args.command](args)

@@ -17,6 +17,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.report import render_table
 from repro.cache.stream_cache import CacheStats, StreamCache, stream_cache_key
+from repro.obs.spans import record_span
 from repro.mmu.simulate import MissStream, collect_misses
 from repro.workloads.trace import Trace
 from repro.mmu.subblock_tlb import CompleteSubblockTLB, PartialSubblockTLB
@@ -228,11 +229,15 @@ def get_miss_stream(
     """
     key = (id(workload), tlb_kind, entries)
     if key not in _STREAMS:
-        tmap = get_translation_map(workload, tlb_kind)
-        tlb = TLB_FACTORIES[tlb_kind](entries)
-        _STREAMS[key] = (
-            workload, collect_misses_cached(workload.trace, tlb, tmap)
-        )
+        with record_span(
+            "stage:miss_stream", category="stage",
+            workload=workload.name, tlb=tlb_kind,
+        ):
+            tmap = get_translation_map(workload, tlb_kind)
+            tlb = TLB_FACTORIES[tlb_kind](entries)
+            _STREAMS[key] = (
+                workload, collect_misses_cached(workload.trace, tlb, tmap)
+            )
     return _STREAMS[key][1]
 
 

@@ -37,6 +37,7 @@ and ``--only``/``--workloads`` to restrict the experiment set.
 from __future__ import annotations
 
 import argparse
+import json
 import random
 import signal
 import sys
@@ -50,15 +51,20 @@ from concurrent.futures import (
     ProcessPoolExecutor,
     wait,
 )
-from contextlib import nullcontext
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field
 from heapq import heappop, heappush
 from itertools import count
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.cache.stream_cache import CacheStats, default_cache_dir
 from repro.errors import ConfigurationError
-from repro.obs.metrics import get_registry
+from repro.obs import spans as _spans
+from repro.obs import trace as _trace
+from repro.obs.metrics import get_registry, reset_registry
+from repro.obs.profile import WalkProfile
+from repro.obs.spans import SpanRecord, record_span
 from repro.obs.timer import PhaseTimer
 from repro.resilience.faults import (
     FaultPlan,
@@ -212,14 +218,29 @@ def stream_prewarm_plan(
 # ---------------------------------------------------------------------------
 # Worker entry points (module-level: picklable by the process pool)
 # ---------------------------------------------------------------------------
+#: Set by :func:`_worker_init` when the parent run is profiled: worker
+#: tasks then install a per-task walk tracer feeding the registry
+#: histograms and a :class:`~repro.obs.profile.WalkProfile`.
+_WORKER_PROFILED = False
+
+#: Worker tracer ring capacity.  The ring's events are never shipped to
+#: the parent (only totals, histograms, and the profile are), so a small
+#: ring bounds memory without losing any aggregate.
+_WORKER_RING = 4096
+
+
 def _worker_init(
-    cache_dir: Optional[str], fault_plan: Optional[FaultPlan] = None
+    cache_dir: Optional[str],
+    fault_plan: Optional[FaultPlan] = None,
+    profiled: bool = False,
 ) -> None:
     """Per-worker setup: fresh memo caches, shared persistent cache.
 
     A fault plan, when active in the parent, is re-installed here so
     injected crashes and hangs land inside real workers.
     """
+    global _WORKER_PROFILED
+    _WORKER_PROFILED = bool(profiled)
     common.clear_caches()
     common.configure_stream_cache(cache_dir)
     from repro.resilience.faults import (
@@ -237,6 +258,58 @@ def _worker_init(
         clear_plan()
 
 
+@dataclass
+class TaskTelemetry:
+    """Observability a worker task ships back with its result.
+
+    ``state`` is the worker registry's full structured dump for exactly
+    this task (the registry is reset at task start, so the dump *is* the
+    per-task delta); ``spans`` are the task's completed wall-clock spans
+    (worker PID attached, so they land on their own track in the merged
+    timeline); ``profile`` is the serialised per-table walk profile when
+    the run is profiled.  The parent folds all three in on task success
+    — a failed attempt's telemetry is discarded with the attempt.
+    """
+
+    state: Dict[str, object] = field(default_factory=dict)
+    spans: List[SpanRecord] = field(default_factory=list)
+    profile: Optional[Dict[str, object]] = None
+
+
+@contextmanager
+def _worker_task_scope(label: str, stage: str):
+    """Telemetry scope around one worker task.
+
+    Resets the process registry (making the task's registry state an
+    exact delta), records the task's span tree under ``task:<label>``,
+    and — when the run is profiled — installs a walk tracer attached to
+    the registry and a fresh walk profile, so per-walk histograms and
+    the profile accumulate from the same ``record`` calls as the trace.
+    """
+    registry = reset_registry()
+    recorder = _spans.install_recorder(_spans.SpanRecorder())
+    tracer = None
+    profile = None
+    if _WORKER_PROFILED:
+        profile = WalkProfile()
+        tracer = _trace.install_tracer(_trace.WalkTracer(
+            capacity=_WORKER_RING, registry=registry, profile=profile,
+        ))
+    telemetry = TaskTelemetry()
+    recorder.begin(f"task:{label}", category=stage)
+    try:
+        yield telemetry
+    finally:
+        recorder.end()
+        _spans.uninstall_recorder(recorder)
+        if tracer is not None:
+            _trace.uninstall_tracer(tracer)
+        telemetry.state = registry.state()
+        telemetry.spans = recorder.spans
+        if profile is not None:
+            telemetry.profile = profile.as_dict()
+
+
 def _prewarm_label(task: StreamTask) -> str:
     """Stable task label for fault matching, metrics, and manifests."""
     return "/".join(str(part) for part in task)
@@ -244,17 +317,20 @@ def _prewarm_label(task: StreamTask) -> str:
 
 def _prewarm_worker(
     task: StreamTask, trace_length: int, attempt: int = 1
-) -> Tuple[StreamTask, float, CacheStats]:
+) -> Tuple[StreamTask, float, CacheStats, TaskTelemetry]:
     """Stage-1 task: materialise one miss stream into the shared cache."""
-    fault_point("runner.prewarm", key=_prewarm_label(task), attempt=attempt)
-    common.clear_stream_memo()
-    before = common.stream_cache_stats()
-    started = time.perf_counter()
-    name, tlb_kind, entries = task
-    workload = common.get_workload(name, trace_length)
-    common.get_miss_stream(workload, tlb_kind, entries)
-    elapsed = time.perf_counter() - started
-    return task, elapsed, common.stream_cache_stats().delta(before)
+    label = _prewarm_label(task)
+    with _worker_task_scope(label, "prewarm") as telemetry:
+        fault_point("runner.prewarm", key=label, attempt=attempt)
+        common.clear_stream_memo()
+        before = common.stream_cache_stats()
+        started = time.perf_counter()
+        name, tlb_kind, entries = task
+        workload = common.get_workload(name, trace_length)
+        common.get_miss_stream(workload, tlb_kind, entries)
+        elapsed = time.perf_counter() - started
+        delta = common.stream_cache_stats().delta(before)
+    return task, elapsed, delta, telemetry
 
 
 def _experiment_worker(
@@ -262,7 +338,7 @@ def _experiment_worker(
     trace_length: int,
     workloads: Optional[Tuple[str, ...]],
     attempt: int = 1,
-) -> Tuple[str, ExperimentResult, float, CacheStats]:
+) -> Tuple[str, ExperimentResult, float, CacheStats, TaskTelemetry]:
     """Stage-2 task: produce one experiment's result table.
 
     The stream memo is dropped first so this task's cache delta depends
@@ -270,13 +346,15 @@ def _experiment_worker(
     happened to run — keeping the accounting identical to the serial
     path's.
     """
-    fault_point("runner.experiment", key=key, attempt=attempt)
-    common.clear_stream_memo()
-    before = common.stream_cache_stats()
-    started = time.perf_counter()
-    result = _producers(trace_length, workloads)[key]()
-    elapsed = time.perf_counter() - started
-    return key, result, elapsed, common.stream_cache_stats().delta(before)
+    with _worker_task_scope(key, "experiment") as telemetry:
+        fault_point("runner.experiment", key=key, attempt=attempt)
+        common.clear_stream_memo()
+        before = common.stream_cache_stats()
+        started = time.perf_counter()
+        result = _producers(trace_length, workloads)[key]()
+        elapsed = time.perf_counter() - started
+        delta = common.stream_cache_stats().delta(before)
+    return key, result, elapsed, delta, telemetry
 
 
 def _await_or_cancel(pool: ProcessPoolExecutor, futures: Sequence[Future]):
@@ -450,6 +528,11 @@ class RunMetrics:
     #: graceful-interrupt report and the journal agree on this list.
     completed: List[str] = field(default_factory=list)
     interrupted: bool = False
+    #: Profiling (``--profile-out`` / ``--run-dir``): every span recorded
+    #: across parent and workers, and the merged per-table walk profile.
+    profiled: bool = False
+    spans: List[SpanRecord] = field(default_factory=list)
+    walk_profile: Optional[WalkProfile] = None
 
     @property
     def busy_seconds(self) -> float:
@@ -472,10 +555,107 @@ class RunMetrics:
             f"stored={c.stores} errors={c.errors}{where}]"
         )
 
+    def span_summary(self) -> Dict[str, object]:
+        """Span counts and summed durations, grouped by category."""
+        by_category: Dict[str, Dict[str, object]] = {}
+        for span in self.spans:
+            entry = by_category.setdefault(
+                span.category, {"count": 0, "seconds": 0.0}
+            )
+            entry["count"] = int(entry["count"]) + 1
+            entry["seconds"] = (
+                float(entry["seconds"]) + span.duration_us / 1e6
+            )
+        run_seconds = sum(
+            span.duration_us / 1e6
+            for span in self.spans
+            if span.category == "run"
+        )
+        coverage = (
+            min(1.0, self.wall_seconds / run_seconds)
+            if run_seconds > 0 and self.wall_seconds > 0
+            else 0.0
+        )
+        return {
+            "count": len(self.spans),
+            "by_category": by_category,
+            #: measured wall time ÷ root-span time: ~1.0 means the
+            #: timeline accounts for the whole run.
+            "run_coverage": coverage,
+        }
+
+    def summary_dict(self) -> Dict[str, object]:
+        """JSON-safe run summary, persisted as the ``run`` block of
+        ``metrics.json`` and consumed by ``repro.cli report``."""
+        return {
+            "jobs": self.jobs,
+            "cache_dir": self.cache_dir,
+            "wall_seconds": self.wall_seconds,
+            "prewarm_tasks": self.prewarm_tasks,
+            "prewarm_seconds": self.prewarm_seconds,
+            "prewarm_wall_seconds": self.prewarm_wall_seconds,
+            "experiments_wall_seconds": self.experiments_wall_seconds,
+            "busy_seconds": self.busy_seconds,
+            "utilisation": self.utilisation,
+            "cache_summary": self.cache_summary(),
+            "timings": [
+                {"experiment": t.key, "seconds": t.seconds,
+                 "cache_hits": t.cache.hits, "cache_computed": t.cache.misses}
+                for t in self.timings
+            ],
+            "task_retries": self.task_retries,
+            "task_timeouts": self.task_timeouts,
+            "resumed_skips": self.resumed_skips,
+            "failures": [f.as_dict() for f in self.failures],
+            "completed": list(self.completed),
+            "interrupted": self.interrupted,
+            "profiled": self.profiled,
+            "spans": self.span_summary(),
+        }
+
 
 # ---------------------------------------------------------------------------
 # Orchestration
 # ---------------------------------------------------------------------------
+def _absorb_telemetry(metrics: RunMetrics, telemetry: TaskTelemetry) -> None:
+    """Fold one worker task's telemetry into the parent's aggregates.
+
+    The registry delta always merges (worker counters — cache traffic,
+    injected faults, walk histograms — must survive ``--jobs N``); spans
+    and the walk profile land only when the run is collecting them.
+    """
+    get_registry().merge_state(telemetry.state)
+    recorder = _spans.active_recorder()
+    if recorder is not None:
+        recorder.extend(telemetry.spans)
+    if metrics.walk_profile is not None and telemetry.profile:
+        metrics.walk_profile.merge_dict(telemetry.profile)
+
+
+def _write_run_artifacts(run_dir: str, metrics: RunMetrics) -> None:
+    """Persist ``metrics.json`` (and the walk profile) into the run dir.
+
+    Written on the success path only — a failed run keeps whatever the
+    previous completed run left, rather than masking the failure with a
+    half-true artefact.
+    """
+    from repro.resilience.journal import METRICS_NAME, PROFILE_NAME
+    from repro.util.atomic_io import atomic_writer
+
+    payload = {
+        "metrics_version": 1,
+        "registry": get_registry().state(),
+        "run": metrics.summary_dict(),
+    }
+    with atomic_writer(Path(run_dir) / METRICS_NAME) as handle:
+        json.dump(payload, handle, sort_keys=True)
+        handle.write("\n")
+    if metrics.walk_profile is not None:
+        with atomic_writer(Path(run_dir) / PROFILE_NAME) as handle:
+            json.dump(metrics.walk_profile.as_dict(), handle, sort_keys=True)
+            handle.write("\n")
+
+
 def run_all(
     trace_length: int = 200_000,
     jobs: int = 1,
@@ -484,6 +664,7 @@ def run_all(
     only: Optional[Sequence[str]] = None,
     metrics: Optional[RunMetrics] = None,
     resilience: Optional[ResilienceConfig] = None,
+    profile: bool = False,
 ) -> Dict[str, ExperimentResult]:
     """Regenerate every table and figure; returns results keyed by id.
 
@@ -494,59 +675,114 @@ def run_all(
     to receive timing and cache instrumentation, and a ``resilience``
     config for retries, timeouts, checkpoint/resume, and keep-going
     degradation (the default is the historical fail-fast behaviour).
+
+    ``profile=True`` turns on the run profiler: a span recorder covers
+    the whole run (parent and workers; exported via ``--profile-out``),
+    and a walk tracer attached to the metrics registry feeds the
+    ``walk.cache_lines`` / ``walk.probes`` percentile histograms and the
+    per-table :class:`~repro.obs.profile.WalkProfile` on
+    ``metrics.walk_profile``.  Worker registry deltas merge into the
+    parent registry regardless of profiling, so counters never vanish
+    under ``--jobs N``.
     """
     keys = select_experiments(only)
     cfg = resilience if resilience is not None else ResilienceConfig()
     metrics = metrics if metrics is not None else RunMetrics()
     metrics.jobs = max(1, jobs)
     metrics.cache_dir = str(cache_dir) if cache_dir else None
-    started = time.perf_counter()
+    metrics.profiled = bool(profile)
     workloads = tuple(workloads) if workloads else None
 
-    journal: Optional[RunJournal] = None
-    resumed: Dict[str, ExperimentResult] = {}
-    if cfg.run_dir:
-        journal = RunJournal(cfg.run_dir)
-        journal.ensure_header(
-            {
-                "trace_length": trace_length,
-                "workloads": list(workloads) if workloads else None,
-                "jobs": metrics.jobs,
-            }
-        )
-        if cfg.resume:
-            state = journal.load()
+    recorder: Optional[_spans.SpanRecorder] = None
+    owns_recorder = False
+    tracer = None
+    owns_tracer = False
+    if profile:
+        metrics.walk_profile = WalkProfile()
+        recorder = _spans.active_recorder()
+        if recorder is None:
+            recorder = _spans.install_recorder(_spans.SpanRecorder())
+            owns_recorder = True
+        if metrics.jobs == 1:
+            # Serial: walks happen in-process; one run-scoped tracer
+            # feeds histograms + profile.  An already-installed tracer
+            # (--trace-out) is attached to, not replaced.
             registry = get_registry()
-            for key in keys:
-                doc = state.result_for(
-                    key, task_digest(key, trace_length, workloads)
+            tracer = _trace.active_tracer()
+            if tracer is None:
+                tracer = _trace.install_tracer(_trace.WalkTracer(
+                    registry=registry, profile=metrics.walk_profile,
+                ))
+                owns_tracer = True
+            else:
+                tracer.attach(
+                    registry=registry, profile=metrics.walk_profile
                 )
-                if doc is not None:
-                    resumed[key] = _result_from_dict(doc)
-                    metrics.resumed_skips += 1
-                    registry.inc("runner.resumed_skips", experiment=key)
-    pending = tuple(key for key in keys if key not in resumed)
+        recorder.begin(
+            "run", category="run",
+            jobs=metrics.jobs, trace_length=trace_length,
+        )
+    started = time.perf_counter()
 
-    fault_scope = inject(cfg.fault_plan) if cfg.fault_plan else nullcontext()
-    with fault_scope:
-        if not pending:
-            fresh: Dict[str, ExperimentResult] = {}
-        elif metrics.jobs == 1:
-            fresh = _run_serial(
-                pending, trace_length, cache_dir, workloads, metrics,
-                cfg, journal,
+    try:
+        journal: Optional[RunJournal] = None
+        resumed: Dict[str, ExperimentResult] = {}
+        if cfg.run_dir:
+            journal = RunJournal(cfg.run_dir)
+            journal.ensure_header(
+                {
+                    "trace_length": trace_length,
+                    "workloads": list(workloads) if workloads else None,
+                    "jobs": metrics.jobs,
+                }
             )
-        else:
-            fresh = _run_parallel(
-                pending, trace_length, cache_dir, workloads, metrics,
-                cfg, journal,
-            )
-    results = {
-        key: resumed[key] if key in resumed else fresh[key]
-        for key in keys
-        if key in resumed or key in fresh
-    }
-    metrics.wall_seconds = time.perf_counter() - started
+            if cfg.resume:
+                state = journal.load()
+                registry = get_registry()
+                for key in keys:
+                    doc = state.result_for(
+                        key, task_digest(key, trace_length, workloads)
+                    )
+                    if doc is not None:
+                        resumed[key] = _result_from_dict(doc)
+                        metrics.resumed_skips += 1
+                        registry.inc("runner.resumed_skips", experiment=key)
+        pending = tuple(key for key in keys if key not in resumed)
+
+        fault_scope = (
+            inject(cfg.fault_plan) if cfg.fault_plan else nullcontext()
+        )
+        with fault_scope:
+            if not pending:
+                fresh: Dict[str, ExperimentResult] = {}
+            elif metrics.jobs == 1:
+                fresh = _run_serial(
+                    pending, trace_length, cache_dir, workloads, metrics,
+                    cfg, journal,
+                )
+            else:
+                fresh = _run_parallel(
+                    pending, trace_length, cache_dir, workloads, metrics,
+                    cfg, journal,
+                )
+        results = {
+            key: resumed[key] if key in resumed else fresh[key]
+            for key in keys
+            if key in resumed or key in fresh
+        }
+        metrics.wall_seconds = time.perf_counter() - started
+    finally:
+        # The run span closes *after* wall_seconds is measured, so the
+        # root span always covers the full measured wall time.
+        if recorder is not None:
+            recorder.end()
+            metrics.spans = list(recorder.spans)
+            if owns_recorder:
+                _spans.uninstall_recorder(recorder)
+        if tracer is not None and owns_tracer:
+            _trace.uninstall_tracer(tracer)
+    if cfg.run_dir:
+        _write_run_artifacts(cfg.run_dir, metrics)
     return results
 
 
@@ -601,10 +837,11 @@ def _run_serial(
                         return time.perf_counter() - task_start, delta
 
                     try:
-                        elapsed, delta = call_with_retry(
-                            run_prewarm, cfg.retry, key=label,
-                            on_retry=on_retry(label),
-                        )
+                        with record_span(f"task:{label}", category="prewarm"):
+                            elapsed, delta = call_with_retry(
+                                run_prewarm, cfg.retry, key=label,
+                                on_retry=on_retry(label),
+                            )
                     except KeyboardInterrupt:
                         raise RunInterrupted(metrics.completed)
                     except Exception as exc:
@@ -619,6 +856,9 @@ def _run_serial(
                     metrics.prewarm_tasks += 1
                     metrics.prewarm_seconds += elapsed
                     metrics.cache.merge(delta)
+                    registry.observe(
+                        "runner.task_seconds", elapsed, stage="prewarm"
+                    )
             metrics.prewarm_wall_seconds = prewarm_timer.last_seconds
         with PhaseTimer("experiments") as experiments_timer:
             for key in keys:
@@ -636,10 +876,11 @@ def _run_serial(
                     return result, time.perf_counter() - task_start, delta
 
                 try:
-                    result, elapsed, delta = call_with_retry(
-                        run_experiment, cfg.retry, key=key,
-                        on_retry=on_retry(key),
-                    )
+                    with record_span(f"task:{key}", category="experiment"):
+                        result, elapsed, delta = call_with_retry(
+                            run_experiment, cfg.retry, key=key,
+                            on_retry=on_retry(key),
+                        )
                 except KeyboardInterrupt:
                     raise RunInterrupted(metrics.completed)
                 except Exception as exc:
@@ -651,6 +892,9 @@ def _run_serial(
                 metrics.timings.append(ExperimentTiming(key, elapsed, delta))
                 metrics.cache.merge(delta)
                 metrics.completed.append(key)
+                registry.observe(
+                    "runner.task_seconds", elapsed, stage="experiment"
+                )
                 if journal is not None:
                     journal.append_result(
                         key, task_digest(key, trace_length, workloads),
@@ -853,7 +1097,7 @@ def _run_parallel(
         return ProcessPoolExecutor(
             max_workers=metrics.jobs,
             initializer=_worker_init,
-            initargs=(cache_dir, cfg.fault_plan),
+            initargs=(cache_dir, cfg.fault_plan, metrics.profiled),
         )
 
     pool_ref: Dict[str, object] = {
@@ -880,10 +1124,14 @@ def _run_parallel(
                     )
 
                 def prewarm_done(task, value):
-                    _, elapsed, delta = value
+                    _, elapsed, delta, telemetry = value
                     metrics.prewarm_tasks += 1
                     metrics.prewarm_seconds += elapsed
                     metrics.cache.merge(delta)
+                    _absorb_telemetry(metrics, telemetry)
+                    get_registry().observe(
+                        "runner.task_seconds", elapsed, stage="prewarm"
+                    )
 
                 _drain(
                     pool_ref, prewarm_tasks, submit_prewarm, prewarm_done,
@@ -905,11 +1153,15 @@ def _run_parallel(
                 )
 
             def experiment_done(task, value):
-                key, result, elapsed, delta = value
+                key, result, elapsed, delta, telemetry = value
                 results[key] = result
                 metrics.timings.append(ExperimentTiming(key, elapsed, delta))
                 metrics.cache.merge(delta)
                 metrics.completed.append(key)
+                _absorb_telemetry(metrics, telemetry)
+                get_registry().observe(
+                    "runner.task_seconds", elapsed, stage="experiment"
+                )
                 if journal is not None:
                     journal.append_result(
                         key, task_digest(key, trace_length, workloads),
@@ -943,13 +1195,14 @@ def run_all_with_metrics(
     workloads: Optional[Sequence[str]] = None,
     only: Optional[Sequence[str]] = None,
     resilience: Optional[ResilienceConfig] = None,
+    profile: bool = False,
 ) -> Tuple[Dict[str, ExperimentResult], RunMetrics]:
     """:func:`run_all` plus its instrumentation."""
     metrics = RunMetrics()
     results = run_all(
         trace_length, jobs=jobs, cache_dir=cache_dir,
         workloads=workloads, only=only, metrics=metrics,
-        resilience=resilience,
+        resilience=resilience, profile=profile,
     )
     return results, metrics
 
@@ -1000,6 +1253,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--trace-out", metavar="FILE", default=None,
         help="record one event per page-table walk and write the trace "
         "as JSON Lines (requires --jobs 1: walks happen in-process)",
+    )
+    parser.add_argument(
+        "--profile-out", metavar="FILE", default=None,
+        help="profile the run (spans in parent and workers, per-walk "
+        "percentile histograms, walk profile) and write the span "
+        "timeline as Chrome trace-event JSON (open in Perfetto or "
+        "chrome://tracing); works with any --jobs",
     )
     parser.add_argument(
         "--metrics", action="store_true",
@@ -1057,8 +1317,6 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     fault_plan = None
     if args.fault_plan:
-        from pathlib import Path
-
         fault_plan = FaultPlan.from_json(Path(args.fault_plan).read_text())
     resilience = ResilienceConfig(
         retry=RetryPolicy(max_retries=args.max_retries),
@@ -1083,6 +1341,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ValueError:  # not the main thread
         previous_term = None
     metrics = RunMetrics()
+    # A run directory implies profiling: every run-dir then carries the
+    # walk profile and percentile histograms `repro.cli report` renders.
+    profile = bool(args.profile_out or resilience.run_dir)
     try:
         results = run_all(
             trace_length,
@@ -1092,6 +1353,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             only=args.only.split(",") if args.only else None,
             metrics=metrics,
             resilience=resilience,
+            profile=profile,
         )
     except RunInterrupted as interrupt:
         total = len(select_experiments(
@@ -1137,6 +1399,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         path = tracer.export_jsonl(args.trace_out)
         print(tracer.summary())
         print(f"[trace written to {path}]")
+    if args.profile_out:
+        from repro.obs.spans import export_chrome_trace
+
+        path = export_chrome_trace(metrics.spans, args.profile_out)
+        print(f"[profile written to {path} ({len(metrics.spans)} spans)]")
     if args.metrics:
         from repro.obs.metrics import get_registry as _get_registry
 

@@ -39,6 +39,7 @@ from repro.core.clustered import ClusteredPageTable
 from repro.errors import ConfigurationError
 from repro.mmu.simulate import MissStream
 from repro.numa.costing import NumaWalkStats, WalkCoster
+from repro.obs.metrics import get_registry
 from repro.numa.placement import (
     DEFAULT_LINE_SIZE,
     FirstTouchPlacement,
@@ -195,6 +196,21 @@ def replay_misses_numa(
     reads_fn = walk_reads_fn(table, placement.line_size)
     node_of = access_node_fn(access_pattern, resolved, table.layout)
 
+    # Per-node walk histograms: one (lines, cycles) series pair per
+    # accessing node, handles resolved once so the hot loop never pays
+    # the label-sort cost.  The registry's log2 buckets give each node's
+    # walk-cost distribution, complementing NumaWalkStats' flat totals.
+    registry = get_registry()
+    labels = {"topology": resolved.name, "policy": policy.name}
+    lines_handles = [
+        registry.histogram_handle("numa.walk_lines", node=node, **labels)
+        for node in range(resolved.num_nodes)
+    ]
+    cycles_handles = [
+        registry.histogram_handle("numa.walk_cycles", node=node, **labels)
+        for node in range(resolved.num_nodes)
+    ]
+
     vpns = stream.vpns.tolist()
     if miss_limit is not None:
         vpns = vpns[:miss_limit]
@@ -205,8 +221,11 @@ def replay_misses_numa(
         if translation is None:
             faults += 1
             continue
-        lines, _ = coster.charge_reads(node_of(int(vpn), index), reads)
+        node = node_of(int(vpn), index)
+        lines, cycles = coster.charge_reads(node, reads)
         total_lines += lines
+        lines_handles[node].observe(lines)
+        cycles_handles[node].observe(cycles)
     return NumaReplayResult(
         table_description=table.describe(),
         topology_name=resolved.name,

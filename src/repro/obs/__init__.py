@@ -17,16 +17,36 @@ Three small, dependency-light building blocks that let the simulator
   queryable from one place (``python -m repro metrics``).
 - :mod:`repro.obs.timer` — wall-clock phase timers recording into the
   registry's histograms (the runner wraps its phase-1 / phase-2 stages).
+- :mod:`repro.obs.spans` — hierarchical wall-clock spans (run → phase →
+  task → stage) recorded in parent and worker processes and exported as
+  Chrome trace-event JSON (``--profile-out``, loadable in Perfetto).
+- :mod:`repro.obs.profile` — per-table walk profiles (exact cache-line
+  and probe distributions, PTE-kind mix, hash heat rows) aggregated from
+  the tracer stream and rendered by ``repro.cli report``.
 
 The tracing invariant the differential tests enforce: over a traced
 :func:`repro.mmu.simulate.replay_misses` run, the tracer's
-``replay_lines`` total equals the replay's ``cache_lines`` exactly.
+``replay_lines`` total equals the replay's ``cache_lines`` exactly, and
+an attached registry's ``walk.cache_lines`` histograms bucket-sum to the
+tracer's ``total_lines``.
 """
 
 from repro.obs.metrics import (
+    HistogramStats,
     MetricsRegistry,
     get_registry,
     reset_registry,
+)
+from repro.obs.profile import TableProfile, WalkProfile
+from repro.obs.spans import (
+    SpanRecord,
+    SpanRecorder,
+    active_recorder,
+    export_chrome_trace,
+    install_recorder,
+    record_span,
+    uninstall_recorder,
+    validate_nesting,
 )
 from repro.obs.timer import PhaseTimer, phase_timer
 from repro.obs.trace import (
@@ -39,9 +59,20 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "HistogramStats",
     "MetricsRegistry",
     "get_registry",
     "reset_registry",
+    "TableProfile",
+    "WalkProfile",
+    "SpanRecord",
+    "SpanRecorder",
+    "active_recorder",
+    "export_chrome_trace",
+    "install_recorder",
+    "record_span",
+    "uninstall_recorder",
+    "validate_nesting",
     "PhaseTimer",
     "phase_timer",
     "WalkEvent",

@@ -3,9 +3,9 @@
 One :class:`MetricsRegistry` instance per process (:func:`get_registry`)
 replaces the ad-hoc per-subsystem stat plumbing as the *queryable* view
 of what the simulator did: stream-cache hits/misses/evictions (labelled
-by reason), shootdown IPI rounds, replication fan-out writes, and
-runner phase timings all land here, and ``python -m repro metrics``
-renders the lot.
+by reason), shootdown IPI rounds, replication fan-out writes, per-walk
+cache-line distributions, and runner phase timings all land here, and
+``python -m repro metrics`` renders the lot.
 
 The per-subsystem dataclasses (``CacheStats``, ``ShootdownStats``,
 ``ReplicationStats``, ``WalkStats``) remain the *local* accounting —
@@ -18,15 +18,34 @@ Metrics are named ``subsystem.event`` and optionally labelled::
 
 Labelled series are independent; :meth:`MetricsRegistry.values` returns
 every labelled series of one name.
+
+Histograms are **bucketed**: alongside count/total/min/max, every
+observation lands in a log₂ bucket (bucket *e* covers ``(2^(e-1),
+2^e]``), which is what lets :meth:`HistogramStats.percentile` estimate
+p50/p95/p99 without retaining raw samples.  The bucket-count invariant
+``sum(buckets) + zeros == count`` is what the profiler's differential
+tests pin against the walk tracer's totals.
+
+Cross-process aggregation goes through :meth:`MetricsRegistry.state`
+(a JSON-safe dump keyed by *structured* name+label pairs) and
+:meth:`MetricsRegistry.merge_state` — never through rendered string
+keys, so label values containing ``,``, ``=``, or ``}`` survive the
+round trip.  Worker processes return a per-task ``state()`` delta that
+the parent folds in, which is how labelled counters, gauges, and walk
+histograms survive ``--jobs N``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 #: A labelled series key: (metric name, sorted (label, value) pairs).
 SeriesKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+#: One series in a :meth:`MetricsRegistry.state` dump:
+#: ``[name, {label: value}, payload]``.
+StateEntry = List[object]
 
 
 def _series_key(name: str, labels: Dict[str, object]) -> SeriesKey:
@@ -41,33 +60,165 @@ def _render_key(key: SeriesKey) -> str:
     return f"{name}{{{inner}}}"
 
 
-@dataclass
-class HistogramStats:
-    """Summary of one histogram series (count / total / min / max)."""
+def _key_to_state(key: SeriesKey) -> Tuple[str, Dict[str, str]]:
+    name, labels = key
+    return name, dict(labels)
 
-    count: int = 0
-    total: float = 0.0
-    minimum: float = field(default=float("inf"))
-    maximum: float = field(default=float("-inf"))
+
+class HistogramStats:
+    """One histogram series: summary stats plus log₂ bucket counts.
+
+    ``minimum``/``maximum`` are **safe on an empty histogram** — they
+    return 0.0 when ``count == 0`` instead of leaking the ``inf``/
+    ``-inf`` accumulator sentinels (the raw accumulators are private).
+    """
+
+    __slots__ = ("count", "total", "zeros", "buckets", "_min", "_max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        #: Observations ≤ 0 (below every power-of-two bucket).
+        self.zeros = 0
+        #: Log₂ buckets: exponent ``e`` → observations in ``(2^(e-1), 2^e]``.
+        self.buckets: Dict[int, int] = {}
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def bucket_of(value: float) -> Optional[int]:
+        """The log₂ bucket exponent of one value (None for values ≤ 0)."""
+        if value <= 0:
+            return None
+        mantissa, exponent = math.frexp(value)  # value = mantissa * 2**exponent
+        # mantissa ∈ [0.5, 1): exactly 0.5 means value == 2**(exponent-1),
+        # which belongs to the bucket it closes, (2**(e-2), 2**(e-1)].
+        return exponent - 1 if mantissa == 0.5 else exponent
 
     def observe(self, value: float) -> None:
         self.count += 1
         self.total += value
-        self.minimum = min(self.minimum, value)
-        self.maximum = max(self.maximum, value)
+        if self._min is None or value < self._min:
+            self._min = value
+        if self._max is None or value > self._max:
+            self._max = value
+        bucket = self.bucket_of(value)
+        if bucket is None:
+            self.zeros += 1
+        else:
+            self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+
+    # ------------------------------------------------------------------
+    @property
+    def minimum(self) -> float:
+        """Smallest observation (0.0 when the histogram is empty)."""
+        return self._min if self._min is not None else 0.0
+
+    @property
+    def maximum(self) -> float:
+        """Largest observation (0.0 when the histogram is empty)."""
+        return self._max if self._max is not None else 0.0
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
-    def as_dict(self) -> Dict[str, float]:
+    def percentile(self, q: float) -> float:
+        """Estimate the q-th percentile (``0 < q <= 1``) from the buckets.
+
+        Nearest-rank over the bucket counts with linear interpolation
+        inside the containing bucket, clamped to the observed
+        ``[minimum, maximum]`` range — so a single-valued histogram
+        reports that exact value at every percentile.
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"percentile fraction must be in (0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = max(1, math.ceil(q * self.count))
+        cumulative = self.zeros
+        estimate = 0.0
+        if rank > cumulative:
+            estimate = self.maximum
+            for exponent in sorted(self.buckets):
+                in_bucket = self.buckets[exponent]
+                if rank <= cumulative + in_bucket:
+                    lower, upper = 2.0 ** (exponent - 1), 2.0 ** exponent
+                    fraction = (rank - cumulative) / in_bucket
+                    estimate = lower + fraction * (upper - lower)
+                    break
+                cumulative += in_bucket
+        return min(max(estimate, self.minimum), self.maximum)
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(0.99)
+
+    # ------------------------------------------------------------------
+    def merge(self, other: Union["HistogramStats", Mapping[str, object]]) -> None:
+        """Fold another histogram (or its :meth:`as_dict` dump) into this one."""
+        if isinstance(other, Mapping):
+            other = HistogramStats.from_dict(other)
+        if other.count == 0:
+            return
+        self.count += other.count
+        self.total += other.total
+        self.zeros += other.zeros
+        for exponent, in_bucket in other.buckets.items():
+            self.buckets[exponent] = self.buckets.get(exponent, 0) + in_bucket
+        if self._min is None or other.minimum < self._min:
+            self._min = other.minimum
+        if self._max is None or other.maximum > self._max:
+            self._max = other.maximum
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-safe dump (counts are ints, summaries floats, buckets a list)."""
         return {
             "count": self.count,
             "total": self.total,
             "mean": self.mean,
-            "min": self.minimum if self.count else 0.0,
-            "max": self.maximum if self.count else 0.0,
+            "min": self.minimum,
+            "max": self.maximum,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "zeros": self.zeros,
+            "buckets": [
+                [exponent, self.buckets[exponent]]
+                for exponent in sorted(self.buckets)
+            ],
         }
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, object]) -> "HistogramStats":
+        """Rebuild from an :meth:`as_dict` dump (merge-exact, not sample-exact)."""
+        histogram = cls()
+        histogram.count = int(doc.get("count", 0))
+        histogram.total = float(doc.get("total", 0.0))
+        histogram.zeros = int(doc.get("zeros", 0))
+        histogram.buckets = {
+            int(exponent): int(in_bucket)
+            for exponent, in_bucket in doc.get("buckets", [])  # type: ignore[union-attr]
+        }
+        if histogram.count:
+            histogram._min = float(doc.get("min", 0.0))
+            histogram._max = float(doc.get("max", 0.0))
+        return histogram
+
+    def __repr__(self) -> str:
+        return (
+            f"<HistogramStats count={self.count} total={self.total} "
+            f"min={self.minimum} max={self.maximum}>"
+        )
 
 
 class MetricsRegistry:
@@ -118,6 +269,27 @@ class MetricsRegistry:
         """Summary of one histogram series (empty if never observed)."""
         return self._histograms.get(_series_key(name, labels), HistogramStats())
 
+    def histogram_handle(self, name: str, **labels: object) -> HistogramStats:
+        """The *live* histogram of one series, created if absent.
+
+        Hot loops (the NUMA replay observes per walk) resolve the series
+        key once and call ``handle.observe(...)`` directly, skipping the
+        per-observation label sort of :meth:`observe`.
+        """
+        key = _series_key(name, labels)
+        histogram = self._histograms.get(key)
+        if histogram is None:
+            histogram = self._histograms[key] = HistogramStats()
+        return histogram
+
+    def histograms_named(self, name: str) -> Dict[str, HistogramStats]:
+        """Every labelled histogram series of one name, rendered-key → stats."""
+        return {
+            _render_key(key): histogram
+            for key, histogram in self._histograms.items()
+            if key[0] == name
+        }
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
@@ -130,7 +302,11 @@ class MetricsRegistry:
         }
 
     def snapshot(self) -> Dict[str, Dict[str, object]]:
-        """JSON-ready dump of every series."""
+        """JSON-ready *display* dump of every series (rendered keys).
+
+        For merging across processes use :meth:`state` — rendered keys
+        are ambiguous once a label value contains ``,``, ``=`` or ``}``.
+        """
         return {
             "counters": {
                 _render_key(key): value
@@ -146,21 +322,73 @@ class MetricsRegistry:
             },
         }
 
-    def merge_counters(self, counters: Dict[str, int]) -> None:
-        """Accumulate a rendered-key → value counter dump (worker deltas).
+    # ------------------------------------------------------------------
+    # Cross-process aggregation (structured keys, never rendered strings)
+    # ------------------------------------------------------------------
+    def state(self) -> Dict[str, List[StateEntry]]:
+        """JSON-safe structured dump of every series, for merging.
+
+        Each section is a sorted list of ``[name, labels, payload]``
+        entries where ``labels`` is a plain dict — label values survive
+        verbatim, whatever characters they contain.
+        """
+        return {
+            "counters": [
+                [*_key_to_state(key), value]
+                for key, value in sorted(self._counters.items())
+            ],
+            "gauges": [
+                [*_key_to_state(key), value]
+                for key, value in sorted(self._gauges.items())
+            ],
+            "histograms": [
+                [*_key_to_state(key), histogram.as_dict()]
+                for key, histogram in sorted(self._histograms.items())
+            ],
+        }
+
+    def merge_state(self, state: Mapping[str, Iterable[StateEntry]]) -> None:
+        """Fold another registry's :meth:`state` dump into this one.
+
+        Counters accumulate, histograms merge bucket-by-bucket, gauges
+        take the incoming value (last writer wins — a gauge is a level,
+        not a flow).
+        """
+        for name, labels, value in state.get("counters", ()):
+            self.inc(str(name), int(value), **dict(labels))  # type: ignore[arg-type]
+        for name, labels, value in state.get("gauges", ()):
+            self.set_gauge(str(name), float(value), **dict(labels))  # type: ignore[arg-type]
+        for name, labels, payload in state.get("histograms", ()):
+            key = _series_key(str(name), dict(labels))  # type: ignore[arg-type]
+            histogram = self._histograms.get(key)
+            if histogram is None:
+                histogram = self._histograms[key] = HistogramStats()
+            histogram.merge(payload)  # type: ignore[arg-type]
+
+    def merge_counters(
+        self,
+        counters: Union[Iterable[StateEntry], Mapping[str, int]],
+    ) -> None:
+        """Accumulate a structured counter dump (worker deltas).
 
         Accepts the ``counters`` section of another registry's
-        :meth:`snapshot`; label sets are parsed back out of the rendered
-        keys so merged series stay queryable.
+        :meth:`state`.  A plain ``{name: value}`` mapping is also
+        accepted for *unlabelled* series; rendered keys with embedded
+        label text are rejected — parsing labels back out of strings is
+        exactly the corruption bug this API replaces (a label value
+        containing ``,``, ``=``, or ``}`` is unparseable).
         """
-        for rendered, value in counters.items():
-            name, _, label_text = rendered.partition("{")
-            labels: Dict[str, object] = {}
-            if label_text:
-                for pair in label_text.rstrip("}").split(","):
-                    label, _, label_value = pair.partition("=")
-                    labels[label] = label_value
-            self.inc(name, value, **labels)
+        if isinstance(counters, Mapping):
+            for name, value in counters.items():
+                if "{" in name:
+                    raise ValueError(
+                        f"rendered counter key {name!r} cannot be merged "
+                        "safely; pass MetricsRegistry.state()['counters'] "
+                        "instead"
+                    )
+                self.inc(name, int(value))
+            return
+        self.merge_state({"counters": list(counters)})
 
     def render(self) -> str:
         """Aligned text tables of every non-empty section."""
@@ -181,11 +409,11 @@ class MetricsRegistry:
             ))
         if self._histograms:
             sections.append(render_table(
-                ["histogram", "count", "total", "mean", "min", "max"],
+                ["histogram", "count", "total", "mean", "min",
+                 "p50", "p95", "p99", "max"],
                 [
-                    [_render_key(k), h.count, h.total, h.mean,
-                     h.minimum if h.count else 0.0,
-                     h.maximum if h.count else 0.0]
+                    [_render_key(k), h.count, h.total, h.mean, h.minimum,
+                     h.p50, h.p95, h.p99, h.maximum]
                     for k, h in sorted(self._histograms.items())
                 ],
                 title="Histograms", precision=4,

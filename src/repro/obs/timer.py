@@ -5,6 +5,11 @@
 registry (or a caller-supplied one) and keeps the last reading on the
 timer object, so callers can both aggregate across runs and report the
 phase they just finished.
+
+When a span recorder is installed (:mod:`repro.obs.spans`), every timer
+additionally emits a ``phase:<name>`` span over the same interval, so
+the profile timeline and the ``runner.phase_seconds`` histogram are two
+views of one measurement.
 """
 
 from __future__ import annotations
@@ -13,6 +18,7 @@ import time
 from contextlib import contextmanager
 from typing import Iterator, Optional
 
+from repro.obs import spans as _spans
 from repro.obs.metrics import MetricsRegistry, get_registry
 
 #: The histogram every phase timer observes into.
@@ -34,8 +40,14 @@ class PhaseTimer:
         self.last_seconds = 0.0
         self.total_seconds = 0.0
         self._started: Optional[float] = None
+        #: Recorder captured at entry so begin/end pair on one recorder
+        #: even if the install state changes mid-phase.
+        self._recorder = None
 
     def __enter__(self) -> "PhaseTimer":
+        self._recorder = _spans.active_recorder()
+        if self._recorder is not None:
+            self._recorder.begin(f"phase:{self.phase}", category="phase")
         self._started = time.perf_counter()
         return self
 
@@ -45,6 +57,9 @@ class PhaseTimer:
         self.total_seconds += self.last_seconds
         self._started = None
         self.registry.observe(self.metric, self.last_seconds, phase=self.phase)
+        if self._recorder is not None:
+            self._recorder.end()
+            self._recorder = None
 
 
 @contextmanager

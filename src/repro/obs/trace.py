@@ -76,9 +76,25 @@ class WalkEvent:
 
 
 class WalkTracer:
-    """Bounded ring buffer of :class:`WalkEvent` plus running totals."""
+    """Bounded ring buffer of :class:`WalkEvent` plus running totals.
 
-    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+    A tracer can additionally be *attached* to a
+    :class:`~repro.obs.metrics.MetricsRegistry` and/or a
+    :class:`~repro.obs.profile.WalkProfile` (:meth:`attach`): every
+    recorded walk then also feeds the ``walk.cache_lines{table=...}`` /
+    ``walk.probes{table=...}`` registry histograms and the per-table
+    profile from the *same* call, so the trace, the percentile
+    histograms, and the walk profile can never disagree about what was
+    walked.  Both attachments default to off, keeping the bare tracer's
+    per-event cost unchanged.
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        registry=None,
+        profile=None,
+    ):
         if capacity < 1:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.capacity = capacity
@@ -98,6 +114,27 @@ class WalkTracer:
         self.lines_by_table: Counter = Counter()
         self.lines_by_node: Counter = Counter()
         self.events_by_kind: Counter = Counter()
+        self.registry = None
+        self.profile = None
+        #: Per-table live histogram handles, resolved once per table so
+        #: the attached-registry hot path skips label rendering.
+        self._lines_handles: dict = {}
+        self._probes_handles: dict = {}
+        self.attach(registry=registry, profile=profile)
+
+    def attach(self, registry=None, profile=None) -> "WalkTracer":
+        """Attach a metrics registry and/or walk profile to this tracer.
+
+        Subsequent :meth:`record` calls feed them alongside the ring.
+        Either argument may be ``None`` to leave that attachment as-is.
+        """
+        if registry is not None:
+            self.registry = registry
+            self._lines_handles = {}
+            self._probes_handles = {}
+        if profile is not None:
+            self.profile = profile
+        return self
 
     # ------------------------------------------------------------------
     def record(
@@ -137,6 +174,20 @@ class WalkTracer:
         self.lines_by_table[table] += lines
         self.lines_by_node[node] += lines
         self.events_by_kind[kind] += 1
+        registry = self.registry
+        if registry is not None:
+            lines_handle = self._lines_handles.get(table)
+            if lines_handle is None:
+                lines_handle = self._lines_handles[table] = (
+                    registry.histogram_handle("walk.cache_lines", table=table)
+                )
+                self._probes_handles[table] = (
+                    registry.histogram_handle("walk.probes", table=table)
+                )
+            lines_handle.observe(lines)
+            self._probes_handles[table].observe(probes)
+        if self.profile is not None:
+            self.profile.record(table, vpn, kind, lines, probes, fault, node)
 
     # ------------------------------------------------------------------
     def events(self) -> List[WalkEvent]:

@@ -45,6 +45,19 @@ JOURNAL_VERSION = 1
 #: The journal file name inside a run directory.
 JOURNAL_NAME = "journal.jsonl"
 
+#: The other artefacts a run directory may hold, all written by the
+#: runner or ``repro.cli report`` (the journal is the only append-only
+#: one; the rest are atomic whole-file writes):
+#: merged metrics registry + run summary (``--run-dir``, at run end).
+METRICS_NAME = "metrics.json"
+#: per-table walk profile (written when the run was profiled).
+PROFILE_NAME = "walk_profile.json"
+#: Chrome trace-event span timeline (``--profile-out`` default name).
+TRACE_NAME = "trace.json"
+#: rendered run report and its machine-readable sidecar.
+REPORT_NAME = "report.md"
+REPORT_SIDECAR_NAME = "report.json"
+
 
 def task_digest(
     key: str,
@@ -168,3 +181,26 @@ class RunJournal:
     def completed_count(self) -> int:
         """Completed-experiment entries currently journaled."""
         return len(self.load().entries)
+
+    def summary(self) -> Dict[str, object]:
+        """One JSON-safe digest of the journal, for the run report.
+
+        Carries the header configuration, the completed experiments (in
+        journal order, with elapsed seconds and attempt counts), the
+        failure records, and the torn-line count — everything the report
+        needs without re-exposing the full result payloads.
+        """
+        state = self.load()
+        return {
+            "header": dict(state.header),
+            "completed": [
+                {
+                    "experiment": key,
+                    "elapsed": entry.get("elapsed"),
+                    "attempts": entry.get("attempts"),
+                }
+                for key, entry in state.entries.items()
+            ],
+            "failures": [dict(failure) for failure in state.failures],
+            "torn_lines": state.torn_lines,
+        }

@@ -52,9 +52,50 @@ class TestCounters:
         worker.inc("cache.hits", 7)
         main = MetricsRegistry()
         main.inc("cache.hits", 1)
-        main.merge_counters(worker.snapshot()["counters"])
+        main.merge_counters(worker.state()["counters"])
         assert main.counter("cache.hits") == 8
         assert main.counter("cache.evictions", reason="schema") == 3
+
+    def test_merge_survives_hostile_label_values(self):
+        # The regression the structured-state API exists for: rendered
+        # keys like "m{reason=a=b,c}d}" are unparseable, so a merge
+        # through snapshot() strings would corrupt or split the series.
+        hostile = "a=b,c}d"
+        worker = MetricsRegistry()
+        worker.inc("cache.evictions", 5, reason=hostile)
+        main = MetricsRegistry()
+        main.merge_state(worker.state())
+        assert main.counter("cache.evictions", reason=hostile) == 5
+        # The whole round trip is JSON-safe and lossless.
+        state = json.loads(json.dumps(main.state()))
+        again = MetricsRegistry()
+        again.merge_state(state)
+        assert again.state() == main.state()
+
+    def test_merge_counters_rejects_rendered_keys(self):
+        main = MetricsRegistry()
+        with pytest.raises(ValueError, match="rendered counter key"):
+            main.merge_counters({"cache.evictions{reason=schema}": 3})
+        # Unlabelled plain mappings remain accepted.
+        main.merge_counters({"cache.hits": 2})
+        assert main.counter("cache.hits") == 2
+
+    def test_merge_state_covers_gauges_and_histograms(self):
+        worker = MetricsRegistry()
+        worker.set_gauge("ring.fill", 0.75, ring="walks")
+        for value in (1.0, 8.0, 8.0):
+            worker.observe("walk.cache_lines", value, table="hashed")
+        main = MetricsRegistry()
+        main.set_gauge("ring.fill", 0.25, ring="walks")
+        main.observe("walk.cache_lines", 2.0, table="hashed")
+        main.merge_state(worker.state())
+        # Gauges: last writer wins (a level, not a flow).
+        assert main.gauge("ring.fill", ring="walks") == 0.75
+        merged = main.histogram("walk.cache_lines", table="hashed")
+        assert merged.count == 4
+        assert merged.total == 19.0
+        assert merged.minimum == 1.0 and merged.maximum == 8.0
+        assert sum(merged.buckets.values()) + merged.zeros == merged.count
 
 
 class TestGaugesAndHistograms:
@@ -76,6 +117,62 @@ class TestGaugesAndHistograms:
         assert h.minimum == 1.0 and h.maximum == 3.0
         assert registry.histogram("empty").count == 0
         assert HistogramStats().as_dict()["min"] == 0.0
+
+    def test_empty_histogram_never_leaks_sentinels(self):
+        empty = HistogramStats()
+        assert empty.minimum == 0.0
+        assert empty.maximum == 0.0
+        assert empty.mean == 0.0
+        assert empty.percentile(0.99) == 0.0
+        doc = empty.as_dict()
+        assert doc["min"] == 0.0 and doc["max"] == 0.0
+        assert json.loads(json.dumps(doc)) == doc  # no inf/-inf anywhere
+
+    def test_log2_bucket_boundaries(self):
+        # Bucket e covers (2^(e-1), 2^e]: exact powers of two close
+        # their bucket, values <= 0 land in the zeros counter.
+        assert HistogramStats.bucket_of(0) is None
+        assert HistogramStats.bucket_of(-3.0) is None
+        assert HistogramStats.bucket_of(1.0) == 0
+        assert HistogramStats.bucket_of(1.5) == 1
+        assert HistogramStats.bucket_of(2.0) == 1
+        assert HistogramStats.bucket_of(2.1) == 2
+        assert HistogramStats.bucket_of(16.0) == 4
+        assert HistogramStats.bucket_of(16.000001) == 5
+
+    def test_bucket_invariant_and_percentiles(self):
+        h = HistogramStats()
+        for value in (0.0, 1.0, 2.0, 2.0, 3.0, 100.0):
+            h.observe(value)
+        assert sum(h.buckets.values()) + h.zeros == h.count
+        assert h.zeros == 1
+        # Percentiles are bucket estimates clamped to [min, max].
+        assert h.minimum <= h.p50 <= h.p95 <= h.p99 <= h.maximum
+        assert h.p99 == 100.0  # rank 6 of 6 lands in the top bucket
+        single = HistogramStats()
+        single.observe(7.0)
+        assert single.p50 == single.p99 == 7.0  # clamp → exact
+
+    def test_histogram_merge_matches_combined_observations(self):
+        left, right, combined = (
+            HistogramStats(), HistogramStats(), HistogramStats()
+        )
+        for value in (1.0, 4.0, 0.0):
+            left.observe(value)
+            combined.observe(value)
+        for value in (2.0, 64.0):
+            right.observe(value)
+            combined.observe(value)
+        left.merge(right)
+        assert left.as_dict() == combined.as_dict()
+        # Merging a dict dump is equivalent to merging the object.
+        from_doc = HistogramStats()
+        from_doc.merge(combined.as_dict())
+        assert from_doc.as_dict() == combined.as_dict()
+        # Merging an empty histogram is a no-op.
+        before = left.as_dict()
+        left.merge(HistogramStats())
+        assert left.as_dict() == before
 
 
 class TestRenderAndSnapshot:

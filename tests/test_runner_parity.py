@@ -137,6 +137,52 @@ class TestRunnerParity:
         assert serial_off.cache_summary() == parallel_off.cache_summary()
         assert "disabled" in serial_off.cache_summary()
 
+    def test_registry_parity_between_serial_and_parallel(self, tmp_path):
+        """``--jobs N`` must not lose telemetry: the merged registry's
+        counters and walk histograms equal the serial run's exactly.
+
+        Time-valued histograms (phase/task seconds) are excluded — their
+        totals are wall-clock and legitimately differ between modes.
+        """
+        from repro.obs.metrics import get_registry, reset_registry
+
+        def profiled_run(jobs, cache_dir, run_dir):
+            common.clear_caches()
+            reset_registry()
+            _, metrics = runner.run_all_with_metrics(
+                TRACE_LENGTH, jobs=jobs, cache_dir=cache_dir,
+                workloads=WORKLOADS, only=("table1", "fig11d"),
+                resilience=runner.ResilienceConfig(run_dir=run_dir),
+                profile=True,
+            )
+            state = get_registry().state()
+            reset_registry()
+            return state, metrics
+
+        serial_state, serial_metrics = profiled_run(
+            1, str(tmp_path / "cold-serial"), str(tmp_path / "run-serial")
+        )
+        parallel_state, parallel_metrics = profiled_run(
+            2, str(tmp_path / "cold-parallel"), str(tmp_path / "run-parallel")
+        )
+
+        assert serial_state["counters"] == parallel_state["counters"]
+
+        def walk_histograms(state):
+            return [
+                [name, labels, payload]
+                for name, labels, payload in state["histograms"]
+                if name.startswith("walk.")
+            ]
+
+        serial_walks = walk_histograms(serial_state)
+        assert serial_walks, "profiled run recorded no walk histograms"
+        assert serial_walks == walk_histograms(parallel_state)
+
+        assert serial_metrics.walk_profile is not None
+        assert (serial_metrics.walk_profile.as_dict()
+                == parallel_metrics.walk_profile.as_dict())
+
     def test_phase_wall_seconds_are_recorded(self, tmp_path):
         _, metrics = runner.run_all_with_metrics(
             TRACE_LENGTH, jobs=1, cache_dir=str(tmp_path / "s"),
