@@ -19,11 +19,21 @@ The gate also validates run-report sidecars (``report.json``, written by
 schema downstream tooling can rely on, and a missing or malformed one
 fails the lane just like a cycles/miss regression.
 
+It further gates the batch replay engine (``BENCH_batch.json``, written
+by ``bench_batch.py``): the aggregate speedup over the Figure 11
+configurations — total scalar replay time over total batch replay time
+— must stay at or above ``--speedup-floor`` (default 10x).  The
+aggregate is gated rather than the per-config minimum because the batch
+engine's fixed kernel-compilation cost dominates tiny miss streams;
+any config where batch is *slower* than scalar is still reported as a
+note.
+
 Usage::
 
     python benchmarks/bench_gate.py --fresh BENCH_numa.json \
         [--baseline benchmarks/baselines/BENCH_numa.json] [--threshold 0.10] \
-        [--report-sidecar run-dir/report.json]
+        [--report-sidecar run-dir/report.json] \
+        [--speedup BENCH_batch.json] [--speedup-floor 10.0]
 """
 
 from __future__ import annotations
@@ -162,6 +172,42 @@ def validate_report_sidecar(document: object) -> List[str]:
     return problems
 
 
+#: Minimum aggregate batch-over-scalar speedup (``--speedup-floor``).
+DEFAULT_SPEEDUP_FLOOR = 10.0
+
+
+def _gate_speedup(path: str, floor: float) -> int:
+    """Gate one BENCH_batch.json; prints findings, returns an exit code."""
+    if not os.path.exists(path):
+        print(f"[bench gate] FAIL: speedup report {path} does not exist")
+        return 1
+    try:
+        document = _load(path)
+    except ValueError as error:
+        print(f"[bench gate] FAIL: speedup report {path} is not JSON: {error}")
+        return 1
+    aggregate = document.get("aggregate_speedup")
+    configs = document.get("configs", [])
+    if not isinstance(aggregate, (int, float)) or not configs:
+        print(f"[bench gate] FAIL: {path} has no aggregate_speedup/configs "
+              "(regenerate with bench_batch.py)")
+        return 1
+    for record in configs:
+        if float(record.get("speedup", 0.0)) < 1.0:
+            print(
+                f"[bench gate] note: batch slower than scalar on "
+                f"{record.get('workload')}/{record.get('tlb')}/"
+                f"{record.get('table')} ({record.get('speedup')}x)"
+            )
+    if aggregate < floor:
+        print(f"[bench gate] FAIL: aggregate batch speedup {aggregate}x "
+              f"below the {floor}x floor ({len(configs)} configs)")
+        return 1
+    print(f"[bench gate] batch speedup OK: {aggregate}x aggregate over "
+          f"{len(configs)} configs (floor {floor}x)")
+    return 0
+
+
 def _gate_sidecar(path: str) -> int:
     """Validate one sidecar file; prints problems, returns an exit code."""
     if not os.path.exists(path):
@@ -207,12 +253,29 @@ def main(argv=None) -> int:
         help="run-report sidecar (report.json) to schema-validate; "
         "missing or malformed fails the gate",
     )
+    parser.add_argument(
+        "--speedup", metavar="FILE", default=None,
+        help="batch-engine benchmark (BENCH_batch.json) whose aggregate "
+        "speedup must meet --speedup-floor",
+    )
+    parser.add_argument(
+        "--speedup-floor", type=float, default=DEFAULT_SPEEDUP_FLOOR,
+        metavar="X",
+        help="minimum aggregate batch-over-scalar speedup "
+        f"(default {DEFAULT_SPEEDUP_FLOOR})",
+    )
     args = parser.parse_args(argv)
-    if args.fresh is None and args.report_sidecar is None:
-        parser.error("nothing to gate: pass --fresh and/or --report-sidecar")
+    if args.fresh is None and args.report_sidecar is None and args.speedup is None:
+        parser.error(
+            "nothing to gate: pass --fresh, --report-sidecar, and/or --speedup"
+        )
     sidecar_status = 0
     if args.report_sidecar is not None:
         sidecar_status = _gate_sidecar(args.report_sidecar)
+    if args.speedup is not None:
+        sidecar_status = max(
+            sidecar_status, _gate_speedup(args.speedup, args.speedup_floor)
+        )
     if args.fresh is None:
         return sidecar_status
     fresh = _load(args.fresh)

@@ -110,6 +110,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     if exp_id == "all":
         argv: List[str] = ["--fast"] if args.fast else []
         argv += ["--jobs", str(args.jobs)]
+        argv += ["--engine", args.engine]
         if args.no_cache:
             argv.append("--no-cache")
         elif args.cache_dir:
@@ -139,6 +140,9 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         from repro.experiments.common import configure_stream_cache
 
         configure_stream_cache(args.cache_dir)
+    from repro.experiments.common import configure_engine
+
+    configure_engine(args.engine)
     producers = {
         "table1": lambda: table1.run(trace_length=trace_length),
         "fig9": lambda: fig9.run(),
@@ -381,6 +385,11 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument(
         "--no-cache", action="store_true",
         help="disable the persistent miss-stream cache",
+    )
+    experiment.add_argument(
+        "--engine", choices=("scalar", "batch"), default="scalar",
+        help="phase-2 replay engine: 'batch' vectorises whole miss "
+        "streams (exact; unsupported tables fall back to scalar)",
     )
     experiment.add_argument(
         "--only", metavar="IDS", default=None,

@@ -118,6 +118,59 @@ def policy_for(tlb_kind: str) -> Optional[DynamicPageSizePolicy]:
 
 
 # ---------------------------------------------------------------------------
+# Replay engine selection (process-wide)
+# ---------------------------------------------------------------------------
+#: Recognised phase-2 replay engines.
+ENGINES = ("scalar", "batch")
+
+#: The active engine; experiments replay through :func:`replay` so one
+#: process-wide switch covers every figure.  The runner/CLI configure
+#: this; worker processes configure their own from the same flag.
+_ENGINE = "scalar"
+
+
+def configure_engine(engine: str) -> str:
+    """Select the phase-2 replay engine (``scalar`` or ``batch``)."""
+    from repro.errors import ConfigurationError
+
+    if engine not in ENGINES:
+        raise ConfigurationError(
+            f"unknown replay engine {engine!r}; known: {ENGINES}"
+        )
+    global _ENGINE
+    _ENGINE = engine
+    return _ENGINE
+
+
+def active_engine() -> str:
+    """The currently selected replay engine."""
+    return _ENGINE
+
+
+def replay(stream: MissStream, table, complete_subblock: bool = False):
+    """Phase 2 through the active engine.
+
+    The batch engine is exact for every standard table; anything it
+    cannot compile (:class:`~repro.mmu.batch_kernels.BatchUnsupportedError`
+    — raised before any stats are touched) silently falls back to the
+    scalar replay, so ``--engine batch`` never changes results, only
+    speed.
+    """
+    from repro.mmu.simulate import replay_misses
+
+    if _ENGINE == "batch":
+        from repro.mmu.batch import BatchUnsupportedError, replay_misses_batch
+
+        try:
+            return replay_misses_batch(
+                stream, table, complete_subblock=complete_subblock
+            )
+        except BatchUnsupportedError:
+            pass
+    return replay_misses(stream, table, complete_subblock=complete_subblock)
+
+
+# ---------------------------------------------------------------------------
 # Persistent stream cache (process-wide, opt-in)
 # ---------------------------------------------------------------------------
 #: The active on-disk MissStream cache, or None (library default: off).

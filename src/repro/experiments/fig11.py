@@ -34,8 +34,8 @@ from repro.experiments.common import (
     get_miss_stream,
     get_translation_map,
     get_workload,
+    replay,
 )
-from repro.mmu.simulate import replay_misses
 from repro.workloads.suite import Workload
 
 #: Sub-experiment id → (TLB kind, page-table series).
@@ -86,12 +86,12 @@ def _lines_for(
         stream = get_miss_stream(workload, tlb_kind, LINEAR_TLB_ENTRIES)
     else:
         stream = reference
-    replay = replay_misses(
+    result = replay(
         stream, table, complete_subblock=(tlb_kind == "complete-subblock")
     )
     if reference.misses == 0:
         return 0.0
-    return replay.cache_lines / reference.misses
+    return result.cache_lines / reference.misses
 
 
 def run_subfigure(

@@ -17,8 +17,8 @@ from repro.experiments.common import (
     get_miss_stream,
     get_translation_map,
     get_workload,
+    replay,
 )
-from repro.mmu.simulate import replay_misses
 from repro.pagetables.forward import ForwardMappedPageTable
 from repro.pagetables.guarded import GuardedPageTable
 
@@ -41,8 +41,8 @@ def run(
         tmap.populate(forward, base_pages_only=True)
         tmap.populate(guarded, base_pages_only=True)
 
-        forward_lines = replay_misses(stream, forward).lines_per_miss
-        guarded_lines = replay_misses(stream, guarded).lines_per_miss
+        forward_lines = replay(stream, forward).lines_per_miss
+        guarded_lines = replay(stream, guarded).lines_per_miss
         rows.append(
             [
                 name,

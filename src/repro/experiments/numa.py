@@ -32,6 +32,7 @@ from repro.analysis.metrics import make_table
 from repro.errors import ConfigurationError
 from repro.experiments.common import (
     ExperimentResult,
+    active_engine,
     get_miss_stream,
     get_translation_map,
     get_workload,
@@ -65,6 +66,24 @@ def _fresh_table(name: str, workload, num_buckets: int):
     return table
 
 
+def _replay_numa(stream, table, **kwargs) -> NumaReplayResult:
+    """NUMA phase 2 through the active engine (batch when it applies).
+
+    The stateful ``migrate`` policy has no exact batch kernel; it raises
+    :class:`~repro.mmu.batch_kernels.BatchUnsupportedError` before any
+    stats are touched, and the scalar replay takes over.
+    """
+    if active_engine() == "batch":
+        from repro.mmu.batch_kernels import BatchUnsupportedError
+        from repro.numa.batch import replay_misses_numa_batch
+
+        try:
+            return replay_misses_numa_batch(stream, table, **kwargs)
+        except BatchUnsupportedError:
+            pass
+    return replay_misses_numa(stream, table, **kwargs)
+
+
 def run(
     workloads: Optional[Sequence[str]] = None,
     trace_length: int = 200_000,
@@ -92,7 +111,7 @@ def run(
                         # degenerate case; replay once and reuse.
                         results[policy] = next(iter(results.values()))
                         continue
-                    results[policy] = replay_misses_numa(
+                    results[policy] = _replay_numa(
                         stream,
                         _fresh_table(table_name, workload, num_buckets),
                         topology=topology,

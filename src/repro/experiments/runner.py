@@ -233,16 +233,20 @@ def _worker_init(
     cache_dir: Optional[str],
     fault_plan: Optional[FaultPlan] = None,
     profiled: bool = False,
+    engine: str = "scalar",
 ) -> None:
     """Per-worker setup: fresh memo caches, shared persistent cache.
 
-    A fault plan, when active in the parent, is re-installed here so
-    injected crashes and hangs land inside real workers.
+    The parent's replay-engine selection is re-applied here (the flag is
+    process-wide state), so ``--engine batch --jobs N`` replays batched
+    in every worker.  A fault plan, when active in the parent, is
+    re-installed so injected crashes and hangs land inside real workers.
     """
     global _WORKER_PROFILED
     _WORKER_PROFILED = bool(profiled)
     common.clear_caches()
     common.configure_stream_cache(cache_dir)
+    common.configure_engine(engine)
     from repro.resilience.faults import (
         clear_plan,
         install_plan,
@@ -506,6 +510,7 @@ class RunMetrics:
 
     jobs: int = 1
     cache_dir: Optional[str] = None
+    engine: str = "scalar"
     wall_seconds: float = 0.0
     prewarm_tasks: int = 0
     prewarm_seconds: float = 0.0
@@ -590,6 +595,7 @@ class RunMetrics:
         return {
             "jobs": self.jobs,
             "cache_dir": self.cache_dir,
+            "engine": self.engine,
             "wall_seconds": self.wall_seconds,
             "prewarm_tasks": self.prewarm_tasks,
             "prewarm_seconds": self.prewarm_seconds,
@@ -665,6 +671,7 @@ def run_all(
     metrics: Optional[RunMetrics] = None,
     resilience: Optional[ResilienceConfig] = None,
     profile: bool = False,
+    engine: str = "scalar",
 ) -> Dict[str, ExperimentResult]:
     """Regenerate every table and figure; returns results keyed by id.
 
@@ -684,6 +691,11 @@ def run_all(
     ``metrics.walk_profile``.  Worker registry deltas merge into the
     parent registry regardless of profiling, so counters never vanish
     under ``--jobs N``.
+
+    ``engine`` selects the phase-2 replay engine (``scalar`` or
+    ``batch``); the choice is re-applied inside every worker process and
+    restored in this process when the run finishes.  Batch replay is
+    exact, so results are identical either way.
     """
     keys = select_experiments(only)
     cfg = resilience if resilience is not None else ResilienceConfig()
@@ -692,6 +704,8 @@ def run_all(
     metrics.cache_dir = str(cache_dir) if cache_dir else None
     metrics.profiled = bool(profile)
     workloads = tuple(workloads) if workloads else None
+    previous_engine = common.active_engine()
+    metrics.engine = common.configure_engine(engine)
 
     recorder: Optional[_spans.SpanRecorder] = None
     owns_recorder = False
@@ -781,6 +795,7 @@ def run_all(
                 _spans.uninstall_recorder(recorder)
         if tracer is not None and owns_tracer:
             _trace.uninstall_tracer(tracer)
+        common.configure_engine(previous_engine)
     if cfg.run_dir:
         _write_run_artifacts(cfg.run_dir, metrics)
     return results
@@ -1097,7 +1112,10 @@ def _run_parallel(
         return ProcessPoolExecutor(
             max_workers=metrics.jobs,
             initializer=_worker_init,
-            initargs=(cache_dir, cfg.fault_plan, metrics.profiled),
+            initargs=(
+                cache_dir, cfg.fault_plan, metrics.profiled,
+                common.active_engine(),
+            ),
         )
 
     pool_ref: Dict[str, object] = {
@@ -1196,13 +1214,14 @@ def run_all_with_metrics(
     only: Optional[Sequence[str]] = None,
     resilience: Optional[ResilienceConfig] = None,
     profile: bool = False,
+    engine: str = "scalar",
 ) -> Tuple[Dict[str, ExperimentResult], RunMetrics]:
     """:func:`run_all` plus its instrumentation."""
     metrics = RunMetrics()
     results = run_all(
         trace_length, jobs=jobs, cache_dir=cache_dir,
         workloads=workloads, only=only, metrics=metrics,
-        resilience=resilience, profile=profile,
+        resilience=resilience, profile=profile, engine=engine,
     )
     return results, metrics
 
@@ -1232,6 +1251,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--no-cache", action="store_true",
         help="disable the persistent miss-stream cache",
+    )
+    parser.add_argument(
+        "--engine", choices=common.ENGINES, default="scalar",
+        help="phase-2 replay engine: 'batch' vectorises whole miss "
+        "streams (exact; unsupported tables fall back to scalar)",
     )
     parser.add_argument(
         "--only", metavar="IDS",
@@ -1354,6 +1378,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             metrics=metrics,
             resilience=resilience,
             profile=profile,
+            engine=args.engine,
         )
     except RunInterrupted as interrupt:
         total = len(select_experiments(

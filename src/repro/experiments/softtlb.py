@@ -20,8 +20,8 @@ from repro.experiments.common import (
     get_miss_stream,
     get_translation_map,
     get_workload,
+    replay,
 )
-from repro.mmu.simulate import replay_misses
 from repro.pagetables.software_tlb import SoftwareTLBTable
 
 BACKINGS = ("forward-mapped", "hashed", "clustered")
@@ -43,7 +43,7 @@ def run(
         for backing_name in BACKINGS:
             bare = make_table(backing_name)
             tmap.populate(bare, base_pages_only=True)
-            bare_lines = replay_misses(stream, bare).lines_per_miss
+            bare_lines = replay(stream, bare).lines_per_miss
 
             backing = make_table(backing_name)
             fronted = SoftwareTLBTable(
@@ -51,7 +51,7 @@ def run(
                 associativity=associativity, backing=backing,
             )
             tmap.populate(fronted, base_pages_only=True)
-            fronted_lines = replay_misses(stream, fronted).lines_per_miss
+            fronted_lines = replay(stream, fronted).lines_per_miss
             row.extend([round(bare_lines, 3), round(fronted_lines, 3)])
         rows.append(row)
     headers = ["workload"]

@@ -167,10 +167,14 @@ def replay_misses(
         for vpn, is_block in zip(stream.vpns.tolist(), stream.block_miss.tolist()):
             if is_block:
                 block = table.lookup_block(layout.vpbn(vpn))
+                if block.mappings[layout.boff(vpn)] is None:
+                    # The missed page has no mapping: a fault, charged no
+                    # cache lines — identical to the walk path below.  The
+                    # table's own WalkStats still record the walk's cost.
+                    faults += 1
+                    continue
                 lines += block.cache_lines
                 probes += block.probes
-                if block.mappings[layout.boff(vpn)] is None:
-                    faults += 1
                 by_kind[PTEKind.BASE] += 1
             else:
                 try:

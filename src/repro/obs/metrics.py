@@ -109,6 +109,28 @@ class HistogramStats:
         else:
             self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
 
+    def observe_many(self, value: float, count: int) -> None:
+        """Record ``count`` identical observations in O(1).
+
+        Exactly equivalent to calling :meth:`observe` ``count`` times —
+        the batch replay engine groups walks by cost and lands each group
+        here, so the registry's histograms stay bit-identical to the
+        scalar engine's.
+        """
+        if count <= 0:
+            return
+        self.count += count
+        self.total += value * count
+        if self._min is None or value < self._min:
+            self._min = value
+        if self._max is None or value > self._max:
+            self._max = value
+        bucket = self.bucket_of(value)
+        if bucket is None:
+            self.zeros += count
+        else:
+            self.buckets[bucket] = self.buckets.get(bucket, 0) + count
+
     # ------------------------------------------------------------------
     @property
     def minimum(self) -> float:

@@ -103,6 +103,37 @@ class TableProfile:
             self.lines_by_node[int(node)] += int(lines)
         self.heat[heat_cell(int(vpn))] += int(lines)
 
+    def record_group(
+        self,
+        kind: str,
+        lines: int,
+        probes: int,
+        fault: bool,
+        count: int,
+        node: Optional[int] = None,
+    ) -> None:
+        """Record ``count`` walks sharing one (kind, cost) signature.
+
+        Equivalent to ``count`` :meth:`record` calls *except* for the
+        heat row, which depends on each walk's VPN — batch callers
+        account heat separately via :meth:`add_heat`.
+        """
+        if count <= 0:
+            return
+        self.walks += count
+        if fault:
+            self.faults += count
+        self.lines[int(lines)] += count
+        self.probes[int(probes)] += count
+        self.kinds[kind] += count
+        if node is not None:
+            self.lines_by_node[int(node)] += int(lines) * count
+
+    def add_heat(self, cells) -> None:
+        """Fold a precomputed per-cell line total into the heat row."""
+        for cell, lines in enumerate(cells):
+            self.heat[cell] += int(lines)
+
     # ------------------------------------------------------------------
     @property
     def total_lines(self) -> int:

@@ -189,6 +189,57 @@ class WalkTracer:
         if self.profile is not None:
             self.profile.record(table, vpn, kind, lines, probes, fault, node)
 
+    def record_groups(
+        self,
+        table: str,
+        op: str,
+        kind: str,
+        lines: int,
+        probes: int,
+        fault: bool,
+        node: int,
+        count: int,
+    ) -> None:
+        """Record ``count`` walks sharing one signature, without the ring.
+
+        The batch replay engine cannot afford one Python event per walk,
+        so grouped walks advance every aggregate total exactly as
+        ``count`` :meth:`record` calls would, but the ring is not fed:
+        all ``count`` events are accounted as recorded *and* dropped
+        (``retained == recorded - dropped`` stays true).  Heat rows are
+        VPN-dependent and therefore fed separately by the batch engine
+        via :meth:`~repro.obs.profile.TableProfile.add_heat`.
+        """
+        if count <= 0:
+            return
+        self.recorded += count
+        self.dropped += count
+        self.total_lines += lines * count
+        if op == "block" or not fault:
+            self.replay_lines += lines * count
+        self.total_probes += probes * count
+        if fault:
+            self.faults += count
+        self.lines_by_table[table] += lines * count
+        self.lines_by_node[node] += lines * count
+        self.events_by_kind[kind] += count
+        registry = self.registry
+        if registry is not None:
+            lines_handle = self._lines_handles.get(table)
+            if lines_handle is None:
+                lines_handle = self._lines_handles[table] = (
+                    registry.histogram_handle("walk.cache_lines", table=table)
+                )
+                self._probes_handles[table] = (
+                    registry.histogram_handle("walk.probes", table=table)
+                )
+            lines_handle.observe_many(lines, count)
+            self._probes_handles[table].observe_many(probes, count)
+        if self.profile is not None:
+            self.profile.table(table).record_group(
+                kind, lines, probes, fault, count, node
+            )
+
     # ------------------------------------------------------------------
     def events(self) -> List[WalkEvent]:
         """The retained events, oldest first."""

@@ -1,0 +1,302 @@
+"""Differential oracle: the batch replay engine vs the scalar reference.
+
+The batch engine's whole claim is *exactness*: for every supported table
+it must reproduce the scalar replay bit for bit — the
+:class:`~repro.mmu.simulate.ReplayResult`, the table's
+:class:`~repro.pagetables.base.WalkStats` (including multi-table
+constituents), the tracer aggregates, the registry histograms, and the
+walk-profile heat rows.  These tests pin that contract on the paper's
+workloads in both replay modes, and then *sabotage* the kernels two ways
+(an off-by-one probe count, a dropped fault) to prove the differential
+actually has teeth: a batch engine with either classic vectorisation bug
+fails the oracle.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import make_table
+from repro.experiments import common
+from repro.experiments.common import (
+    get_miss_stream,
+    get_translation_map,
+    get_workload,
+)
+from repro.mmu import batch as batch_module
+from repro.mmu.batch import replay_misses_batch
+from repro.mmu.batch_kernels import BatchUnsupportedError, compile_kernel
+from repro.mmu.simulate import replay_misses
+from repro.obs.metrics import get_registry, reset_registry
+from repro.obs.profile import WalkProfile
+from repro.obs.trace import WalkTracer, install_tracer, uninstall_tracer
+from repro.pagetables.guarded import GuardedPageTable
+
+TRACE_LENGTH = 20_000
+
+#: The four Figure 11 organisations plus the multi-table composition.
+TABLES = ("linear-1lvl", "forward-mapped", "hashed", "clustered")
+
+#: (TLB kind, complete-subblock replay?, wide PTEs?) replay modes.
+MODES = (
+    ("single", False, False),
+    ("superpage", False, True),
+    ("complete-subblock", True, False),
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return get_workload("mp3d", TRACE_LENGTH)
+
+
+def fresh_table(name, workload, tlb_kind="single", base_pages_only=True):
+    table = make_table(name, workload.layout)
+    get_translation_map(workload, tlb_kind).populate(
+        table, base_pages_only=base_pages_only
+    )
+    return table
+
+
+def assert_replays_equal(scalar, batch):
+    assert batch.misses == scalar.misses
+    assert batch.cache_lines == scalar.cache_lines
+    assert batch.probes == scalar.probes
+    assert batch.faults == scalar.faults
+    assert dict(batch.by_kind) == dict(scalar.by_kind)
+
+
+def _constituents(table):
+    """The table plus any inner tables whose stats advance on replay."""
+    return [table] + list(getattr(table, "tables", ()))
+
+
+def assert_stats_equal(scalar_table, batch_table):
+    for left, right in zip(
+        _constituents(scalar_table), _constituents(batch_table)
+    ):
+        for field in ("lookups", "faults", "cache_lines", "probes"):
+            assert getattr(right.stats, field) == getattr(left.stats, field), (
+                left.name, field,
+            )
+
+
+def run_both(name, workload, tlb_kind="single", complete=False,
+             base_pages_only=True):
+    stream = get_miss_stream(workload, tlb_kind)
+    scalar_table = fresh_table(name, workload, tlb_kind, base_pages_only)
+    batch_table = fresh_table(name, workload, tlb_kind, base_pages_only)
+    scalar = replay_misses(stream, scalar_table, complete_subblock=complete)
+    batch = replay_misses_batch(
+        stream, batch_table, complete_subblock=complete
+    )
+    return scalar, batch, scalar_table, batch_table
+
+
+# ---------------------------------------------------------------------------
+# The oracle: every supported table, both replay modes
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("tlb_kind,complete,wide", MODES)
+@pytest.mark.parametrize("name", TABLES)
+def test_batch_matches_scalar_exactly(name, tlb_kind, complete, wide, workload):
+    if wide and name == "hashed":
+        # A grain-1 hashed table cannot hold superpage PTEs; Figure 11b
+        # uses the two-table composition there (tested below).
+        name = "hashed-multi"
+    scalar, batch, scalar_table, batch_table = run_both(
+        name, workload, tlb_kind, complete, base_pages_only=not wide
+    )
+    assert_replays_equal(scalar, batch)
+    assert_stats_equal(scalar_table, batch_table)
+
+
+def test_batch_matches_scalar_for_multi_table(workload):
+    """Constituent WalkStats must advance too, in both replay modes."""
+    for tlb_kind, complete, wide in MODES:
+        scalar, batch, scalar_table, batch_table = run_both(
+            "hashed-multi", workload, tlb_kind, complete,
+            base_pages_only=not wide,
+        )
+        assert_replays_equal(scalar, batch)
+        assert_stats_equal(scalar_table, batch_table)
+
+
+def test_batch_matches_scalar_for_guarded(workload):
+    stream = get_miss_stream(workload, "single")
+    tmap = get_translation_map(workload, "single")
+    tables = []
+    for _ in range(2):
+        table = GuardedPageTable(workload.layout)
+        tmap.populate(table, base_pages_only=True)
+        tables.append(table)
+    scalar = replay_misses(stream, tables[0])
+    batch = replay_misses_batch(stream, tables[1])
+    assert_replays_equal(scalar, batch)
+    for field in ("lookups", "faults", "cache_lines", "probes"):
+        assert getattr(tables[1].stats, field) == getattr(
+            tables[0].stats, field
+        )
+
+
+def test_batch_faults_match_scalar_on_foreign_stream(workload):
+    """A stream with unmapped VPNs: fault accounting must agree."""
+    stream = get_miss_stream(workload, "single")
+    # Append the same VPNs far outside the mapped space: every appended
+    # miss must fault identically under both engines.
+    mixed = replace(
+        stream,
+        vpns=np.concatenate([stream.vpns, stream.vpns + (1 << 40)]),
+        block_miss=np.concatenate([stream.block_miss, stream.block_miss]),
+    )
+    for name in TABLES:
+        scalar_table = fresh_table(name, workload)
+        batch_table = fresh_table(name, workload)
+        scalar = replay_misses(mixed, scalar_table)
+        batch = replay_misses_batch(mixed, batch_table)
+        assert batch.faults == scalar.faults and batch.faults > 0, name
+        assert_replays_equal(scalar, batch)
+        assert_stats_equal(scalar_table, batch_table)
+
+
+# ---------------------------------------------------------------------------
+# Observability parity: tracer aggregates, histograms, heat
+# ---------------------------------------------------------------------------
+def _traced_replay(engine_fn, stream, table, complete):
+    registry = reset_registry()
+    profile = WalkProfile()
+    tracer = install_tracer(
+        WalkTracer(capacity=64, registry=registry, profile=profile)
+    )
+    try:
+        engine_fn(stream, table, complete_subblock=complete)
+    finally:
+        uninstall_tracer(tracer)
+    aggregates = {
+        "recorded": tracer.recorded,
+        "total_lines": tracer.total_lines,
+        "replay_lines": tracer.replay_lines,
+        "total_probes": tracer.total_probes,
+        "faults": tracer.faults,
+        "lines_by_table": dict(tracer.lines_by_table),
+        "lines_by_node": dict(tracer.lines_by_node),
+        "events_by_kind": dict(tracer.events_by_kind),
+    }
+    return aggregates, registry.snapshot(), profile.as_dict()
+
+
+@pytest.mark.parametrize("complete", (False, True))
+def test_tracer_and_profile_parity(workload, complete):
+    tlb_kind = "complete-subblock" if complete else "single"
+    stream = get_miss_stream(workload, tlb_kind)
+    for name in ("hashed", "clustered"):
+        scalar = _traced_replay(
+            replay_misses, stream, fresh_table(name, workload, tlb_kind),
+            complete,
+        )
+        batch = _traced_replay(
+            replay_misses_batch, stream,
+            fresh_table(name, workload, tlb_kind), complete,
+        )
+        assert batch[0] == scalar[0], name  # tracer aggregates
+        assert batch[1] == scalar[1], name  # registry histograms
+        assert batch[2] == scalar[2], name  # walk profile incl. heat
+
+
+# ---------------------------------------------------------------------------
+# Engine dispatch and fallback
+# ---------------------------------------------------------------------------
+def test_engine_dispatch_replays_batch(workload, monkeypatch):
+    stream = get_miss_stream(workload, "single")
+    scalar = common.replay(stream, fresh_table("hashed", workload))
+    monkeypatch.setattr(common, "_ENGINE", "batch")
+    batch = common.replay(stream, fresh_table("hashed", workload))
+    assert_replays_equal(scalar, batch)
+
+
+def test_engine_dispatch_falls_back_for_unsupported_table(
+    workload, monkeypatch
+):
+    """SoftwareTLBTable has no kernel: batch engine must defer to scalar."""
+    from repro.pagetables.software_tlb import SoftwareTLBTable
+
+    def fronted():
+        table = SoftwareTLBTable(
+            workload.layout, num_sets=64, associativity=2,
+            backing=make_table("hashed", workload.layout),
+        )
+        get_translation_map(workload, "single").populate(
+            table, base_pages_only=True
+        )
+        return table
+
+    stream = get_miss_stream(workload, "single")
+    with pytest.raises(BatchUnsupportedError):
+        compile_kernel(fronted())
+    scalar = common.replay(stream, fronted())
+    monkeypatch.setattr(common, "_ENGINE", "batch")
+    fallback = common.replay(stream, fronted())
+    assert_replays_equal(scalar, fallback)
+
+
+def test_configure_engine_rejects_unknown():
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        common.configure_engine("simd")
+    assert common.active_engine() in common.ENGINES
+
+
+# ---------------------------------------------------------------------------
+# Sabotage: the oracle must catch classic vectorisation bugs
+# ---------------------------------------------------------------------------
+class _OffByOneProbes:
+    """A kernel that over-counts every walk's probes by one."""
+
+    def __init__(self, inner):
+        self._inner = inner
+
+    def walk(self, vpns):
+        lines, probes, kind = self._inner.walk(vpns)
+        return lines, probes + 1, kind
+
+    def block(self, vpbns):
+        return self._inner.block(vpbns)
+
+
+class _DroppedFault:
+    """A kernel that silently resolves every faulting walk."""
+
+    def __init__(self, inner):
+        self._inner = inner
+
+    def walk(self, vpns):
+        lines, probes, kind = self._inner.walk(vpns)
+        kind = np.where(kind < 0, 0, kind)  # faults become BASE hits
+        return lines, probes, kind
+
+    def block(self, vpbns):
+        return self._inner.block(vpbns)
+
+
+@pytest.mark.parametrize("sabotage", (_OffByOneProbes, _DroppedFault))
+def test_differential_catches_sabotaged_kernels(workload, monkeypatch, sabotage):
+    stream = get_miss_stream(workload, "single")
+    if sabotage is _DroppedFault:
+        # The dropped-fault bug only shows on a stream that faults.
+        stream = replace(
+            stream,
+            vpns=np.concatenate([stream.vpns, stream.vpns + (1 << 40)]),
+            block_miss=np.concatenate([stream.block_miss, stream.block_miss]),
+        )
+    monkeypatch.setattr(
+        batch_module, "compile_kernel",
+        lambda table: sabotage(compile_kernel(table)),
+    )
+    scalar_table = fresh_table("hashed", workload)
+    batch_table = fresh_table("hashed", workload)
+    scalar = replay_misses(stream, scalar_table)
+    batch = replay_misses_batch(stream, batch_table)
+    with pytest.raises(AssertionError):
+        assert_replays_equal(scalar, batch)
+        assert_stats_equal(scalar_table, batch_table)

@@ -1,0 +1,219 @@
+"""Property-based batch-engine tests: random streams, random spaces.
+
+Hypothesis drives the differential oracle through the state space the
+paper's workloads do not reach: arbitrary VPN mixes (mapped, unmapped,
+and adjacent), pathologically small hashed/clustered tables where every
+bucket chains many nodes, and stream orderings.  Three algebraic laws
+pin the engine's structure:
+
+- **exactness** — batch equals scalar on any stream and any table;
+- **permutation invariance** — batch totals ignore stream order (they
+  are count-weighted sums over unique VPNs);
+- **concat additivity** — replay totals over ``a + b`` equal the sum of
+  separate replays (table stats accumulate; results add field-wise).
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.addr.layout import AddressLayout
+from repro.addr.space import AddressSpace
+from repro.core.clustered import ClusteredPageTable
+from repro.mmu.batch import replay_misses_batch
+from repro.mmu.simulate import MissStream, replay_misses
+from repro.os.translation_map import TranslationMap
+from repro.pagetables.forward import ForwardMappedPageTable
+from repro.pagetables.hashed import HashedPageTable
+from repro.pagetables.linear import LinearPageTable
+
+LAYOUT = AddressLayout()
+
+#: The mapped region random spaces draw from (two blocks of 16 pages).
+MAPPED_SPAN = 64
+
+
+def build_space(mask):
+    """A snapshot mapping the pages selected by ``mask`` in [0, 32)."""
+    space = AddressSpace(LAYOUT)
+    for vpn in range(32):
+        if (mask >> vpn) & 1:
+            space.map(vpn, 100 + vpn)
+    return space
+
+
+def build_tables(tmap, num_buckets):
+    tables = {
+        "linear": LinearPageTable(LAYOUT),
+        "forward": ForwardMappedPageTable(LAYOUT),
+        "hashed": HashedPageTable(LAYOUT, num_buckets=num_buckets),
+        "clustered": ClusteredPageTable(LAYOUT, num_buckets=num_buckets),
+    }
+    for table in tables.values():
+        tmap.populate(table, base_pages_only=True)
+    return tables
+
+
+def make_stream(vpns, block_miss=None):
+    vpns = np.asarray(vpns, dtype=np.int64)
+    if block_miss is None:
+        block_miss = np.zeros(vpns.shape[0], dtype=bool)
+    return MissStream(
+        trace_name="synthetic",
+        tlb_description="property test",
+        vpns=vpns,
+        block_miss=np.asarray(block_miss, dtype=bool),
+        accesses=int(vpns.shape[0]),
+        misses=int(vpns.shape[0]),
+        tlb_block_misses=0,
+        tlb_subblock_misses=0,
+    )
+
+
+def result_tuple(result):
+    return (
+        result.misses, result.cache_lines, result.probes, result.faults,
+        tuple(sorted((int(k), v) for k, v in result.by_kind.items())),
+    )
+
+
+def stats_tuple(table):
+    return (
+        table.stats.lookups, table.stats.faults,
+        table.stats.cache_lines, table.stats.probes,
+    )
+
+
+#: Random VPNs spanning mapped pages, holes, and far-away space.
+vpn_strategy = st.one_of(
+    st.integers(min_value=0, max_value=MAPPED_SPAN - 1),
+    st.integers(min_value=0, max_value=1 << 40),
+)
+
+stream_strategy = st.lists(vpn_strategy, min_size=1, max_size=200)
+
+#: Tiny bucket counts force hash collisions and long probe chains.
+buckets_strategy = st.sampled_from((2, 4, 64))
+
+mask_strategy = st.integers(min_value=1, max_value=(1 << 32) - 1)
+
+
+@settings(max_examples=30, deadline=None)
+@given(mask=mask_strategy, vpns=stream_strategy, buckets=buckets_strategy)
+def test_batch_equals_scalar_on_random_streams(mask, vpns, buckets):
+    tmap = TranslationMap.from_space(build_space(mask))
+    stream = make_stream(vpns)
+    scalar_tables = build_tables(tmap, buckets)
+    batch_tables = build_tables(tmap, buckets)
+    for name in scalar_tables:
+        scalar = replay_misses(stream, scalar_tables[name])
+        batch = replay_misses_batch(stream, batch_tables[name])
+        assert result_tuple(batch) == result_tuple(scalar), name
+        assert stats_tuple(batch_tables[name]) == stats_tuple(
+            scalar_tables[name]
+        ), name
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    mask=mask_strategy,
+    vpns=st.lists(vpn_strategy, min_size=1, max_size=100),
+    block_bits=st.integers(min_value=0, max_value=(1 << 100) - 1),
+    buckets=buckets_strategy,
+)
+def test_batch_equals_scalar_in_complete_subblock_mode(
+    mask, vpns, block_bits, buckets
+):
+    """Block-walk replay (§4.4) under random block/subblock miss mixes."""
+    tmap = TranslationMap.from_space(build_space(mask))
+    block_miss = [(block_bits >> i) & 1 == 1 for i in range(len(vpns))]
+    stream = make_stream(vpns, block_miss)
+    scalar_tables = build_tables(tmap, buckets)
+    batch_tables = build_tables(tmap, buckets)
+    for name in scalar_tables:
+        scalar = replay_misses(
+            stream, scalar_tables[name], complete_subblock=True
+        )
+        batch = replay_misses_batch(
+            stream, batch_tables[name], complete_subblock=True
+        )
+        assert result_tuple(batch) == result_tuple(scalar), name
+        assert stats_tuple(batch_tables[name]) == stats_tuple(
+            scalar_tables[name]
+        ), name
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    mask=mask_strategy,
+    vpns=stream_strategy,
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_batch_totals_are_permutation_invariant(mask, vpns, seed):
+    tmap = TranslationMap.from_space(build_space(mask))
+    stream = make_stream(vpns)
+    shuffled_vpns = np.array(vpns, dtype=np.int64)
+    np.random.RandomState(seed).shuffle(shuffled_vpns)
+    shuffled = replace(stream, vpns=shuffled_vpns)
+    tables = build_tables(tmap, 4)
+    shuffled_tables = build_tables(tmap, 4)
+    for name in tables:
+        ordered = replay_misses_batch(stream, tables[name])
+        permuted = replay_misses_batch(shuffled, shuffled_tables[name])
+        assert result_tuple(permuted) == result_tuple(ordered), name
+        assert stats_tuple(shuffled_tables[name]) == stats_tuple(
+            tables[name]
+        ), name
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    mask=mask_strategy,
+    left=st.lists(vpn_strategy, min_size=1, max_size=100),
+    right=st.lists(vpn_strategy, min_size=1, max_size=100),
+)
+def test_batch_totals_are_concat_additive(mask, left, right):
+    """replay(a + b) == replay(a) + replay(b), field by field."""
+    tmap = TranslationMap.from_space(build_space(mask))
+    whole_tables = build_tables(tmap, 4)
+    split_tables = build_tables(tmap, 4)
+    for name in whole_tables:
+        whole = replay_misses_batch(
+            make_stream(left + right), whole_tables[name]
+        )
+        first = replay_misses_batch(make_stream(left), split_tables[name])
+        second = replay_misses_batch(make_stream(right), split_tables[name])
+        assert whole.misses == first.misses + second.misses, name
+        assert whole.cache_lines == first.cache_lines + second.cache_lines
+        assert whole.probes == first.probes + second.probes, name
+        assert whole.faults == first.faults + second.faults, name
+        combined = dict(first.by_kind)
+        for kind, count in second.by_kind.items():
+            combined[kind] = combined.get(kind, 0) + count
+        assert dict(whole.by_kind) == combined, name
+        # Two replays accumulate the same table stats as one big one.
+        assert stats_tuple(split_tables[name]) == stats_tuple(
+            whole_tables[name]
+        ), name
+
+
+@pytest.mark.parametrize("buckets", (2, 4))
+def test_tiny_tables_chain_heavily_and_still_match(buckets):
+    """Every page in one bucket-starved table: worst-case probe chains."""
+    space = build_space((1 << 32) - 1)  # all 32 pages mapped
+    tmap = TranslationMap.from_space(space)
+    stream = make_stream(list(range(40)) * 5)  # mapped + 8 holes, repeated
+    scalar_tables = build_tables(tmap, buckets)
+    batch_tables = build_tables(tmap, buckets)
+    for name in ("hashed", "clustered"):
+        scalar = replay_misses(stream, scalar_tables[name])
+        batch = replay_misses_batch(stream, batch_tables[name])
+        assert result_tuple(batch) == result_tuple(scalar), name
+    # The point of the starved hashed table: 32 PTEs over `buckets`
+    # chains means walks probe many nodes.  (Clustered collapses 16
+    # pages per node, so its chains stay short here.)
+    hashed = replay_misses(make_stream(list(range(40)) * 5),
+                           build_tables(tmap, buckets)["hashed"])
+    assert hashed.probes > hashed.misses - hashed.faults

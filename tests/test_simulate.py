@@ -178,3 +178,32 @@ def test_complete_subblock_replay_survives_faulting_lookup(layout):
 
     # Identical fault accounting on the non-block path.
     assert replay_misses(stream, table, complete_subblock=False).faults == 1
+
+
+def test_block_miss_on_unmapped_vpn_is_a_fault_not_a_walk(layout):
+    """Regression: a block miss whose missed VPN the block fetch left
+    unmapped was charged lines/probes/by_kind as if it resolved.
+
+    The block fetch itself still runs (and its cost lands in the table's
+    WalkStats), but the *replay* must count the miss as a fault and
+    charge it nothing — exactly like the single-PTE walk path does.
+    """
+    import numpy as np
+
+    from repro.core.clustered import ClusteredPageTable
+    from repro.mmu.simulate import MissStream
+
+    table = ClusteredPageTable(layout)
+    table.insert(0x100, 0x40)  # boff 0 of the block holding 0x100
+    hole = 0x105  # same block, never inserted
+    stream = MissStream(
+        trace_name="synthetic", tlb_description="complete-subblock",
+        vpns=np.array([0x100, hole], dtype=np.int64),
+        block_miss=np.array([True, True]),
+        accesses=10, misses=2, tlb_block_misses=2, tlb_subblock_misses=0,
+    )
+    replay = replay_misses(stream, table, complete_subblock=True)
+    assert replay.faults == 1
+    assert sum(replay.by_kind.values()) == 1  # only the mapped miss
+    # Both block fetches walked the table; only one resolved its VPN.
+    assert table.stats.lookups == 2
