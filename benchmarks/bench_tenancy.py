@@ -1,0 +1,264 @@
+"""Benchmark the multi-tenant sweep and emit ``BENCH_tenancy.json``.
+
+Runs the :mod:`repro.experiments.tenancy` consolidation sweep — every
+(table, tenants, churn) cell up to the 10k-tenant point — under the
+batch engine and records each cell's headline numbers: walk-cycle
+p50/p95/p99, the worst single tenant's p99, lines/miss, and the
+reclaim/refault/shootdown lifecycle counters.  The JSON carries
+``headers``/``rows`` so ``repro.cli report`` renders the percentile
+table verbatim in a run report's bench-artefacts section.
+
+The document is **deterministic**: identical for the same seed and
+sweep regardless of ``--jobs`` (wall time is printed, never embedded),
+so CI can diff the artifact across runs and the determinism test can
+assert byte-identity between ``--jobs 1`` and ``--jobs 4``.
+
+Long sweeps are resumable: ``--run-dir DIR`` journals each completed
+cell through :class:`repro.resilience.journal.RunJournal`, and
+``--resume DIR`` replays journaled cells instead of recomputing them
+(entries are digest-checked, so a changed trace length or stream-cache
+schema silently recomputes).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_tenancy.py \\
+        [--fast] [--out FILE] [--jobs N] [--run-dir DIR | --resume DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+# Self-locating: runnable as `python benchmarks/bench_tenancy.py` from
+# the repository root without the root on sys.path.
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from benchmarks.conftest import BENCH_TRACE_LENGTH
+from repro.experiments import tenancy
+
+#: Default output file (the CI artifact name).
+DEFAULT_OUT = "BENCH_tenancy.json"
+
+#: The full sweep reaches the 10k-tenant point; --fast stops at 100.
+FULL_TENANTS = tenancy.SWEEP_TENANTS
+FAST_TENANTS = (100,)
+
+ConfigKey = Tuple[str, int, float]
+
+
+def sweep_configs(
+    tables: Sequence[str], tenants: Sequence[int], churn: Sequence[float]
+) -> List[ConfigKey]:
+    """The sweep's cells in deterministic (tenants, churn, table) order."""
+    return [
+        (table_name, count, churn_fraction)
+        for count in tenants
+        for churn_fraction in churn
+        for table_name in tables
+    ]
+
+
+def config_id(key: ConfigKey) -> str:
+    table_name, count, churn_fraction = key
+    return f"{table_name}/{count}t/{tenancy.churn_tag(churn_fraction)}"
+
+
+def measure_config(key: ConfigKey, trace_length: int) -> Dict[str, object]:
+    """One cell's deterministic record (no wall time — see module doc)."""
+    from repro.experiments.common import configure_engine
+
+    configure_engine("batch")
+    table_name, count, churn_fraction = key
+    result, scheduler = tenancy.run_config(
+        table_name, count, churn_fraction, trace_length
+    )
+    resolved = result.misses - result.faults
+    stats = scheduler.arena.stats
+    return {
+        "config": config_id(key),
+        "table": table_name,
+        "tenants": count,
+        "churn": tenancy.churn_tag(churn_fraction),
+        "misses": result.misses,
+        "p50_cycles": round(result.population.p50, 3),
+        "p95_cycles": round(result.population.p95, 3),
+        "p99_cycles": round(result.population.p99, 3),
+        "worst_tenant_p99": round(result.worst_tenant_p99, 3),
+        "mean_cycles": round(result.mean_cycles, 3),
+        "lines_per_miss": round(
+            result.cache_lines / resolved if resolved else 0.0, 4
+        ),
+        "refault_misses": result.refault_misses,
+        "arrivals": result.arrivals,
+        "departures": result.departures,
+        "reclaims": result.reclaims,
+        "evicted_ptes": result.evicted_ptes,
+        "refaulted_ptes": stats.refaulted_ptes,
+        "pte_inserts": stats.pte_inserts,
+        "pte_removes": stats.pte_removes,
+        "table_bytes_created": stats.bytes_created,
+        "shootdown_entries": result.shootdown_entries,
+    }
+
+
+def _measure_remote(args: Tuple[ConfigKey, int]) -> Dict[str, object]:
+    key, trace_length = args
+    return measure_config(key, trace_length)
+
+
+def _digest(key: ConfigKey, trace_length: int) -> str:
+    from repro.resilience.journal import task_digest
+
+    return task_digest(f"tenancy-bench:{config_id(key)}", trace_length)
+
+
+def collect(
+    trace_length: int,
+    tenants: Sequence[int],
+    jobs: int = 1,
+    run_dir: Optional[str] = None,
+    resume: bool = False,
+) -> dict:
+    """The whole sweep as one JSON-ready document (plus stdout timing)."""
+    tables = tenancy.DEFAULT_TABLES
+    churn = tenancy.DEFAULT_CHURN
+    configs = sweep_configs(tables, tenants, churn)
+    journal = None
+    journaled: Dict[ConfigKey, Dict[str, object]] = {}
+    if run_dir:
+        from repro.resilience.journal import RunJournal
+
+        journal = RunJournal(run_dir)
+        os.makedirs(run_dir, exist_ok=True)
+        journal.ensure_header({
+            "benchmark": "tenancy",
+            "trace_length": trace_length,
+            "tenants": list(tenants),
+        })
+        if resume:
+            state = journal.load()
+            for key in configs:
+                cached = state.result_for(
+                    config_id(key), _digest(key, trace_length)
+                )
+                if cached is not None:
+                    journaled[key] = cached
+    pending = [key for key in configs if key not in journaled]
+    started = time.perf_counter()
+    records: Dict[ConfigKey, Dict[str, object]] = dict(journaled)
+    if jobs > 1 and len(pending) > 1:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            for key, record in zip(
+                pending,
+                pool.map(
+                    _measure_remote,
+                    [(key, trace_length) for key in pending],
+                ),
+            ):
+                records[key] = record
+                if journal is not None:
+                    journal.append_result(
+                        config_id(key), _digest(key, trace_length),
+                        record, time.perf_counter() - started,
+                    )
+    else:
+        for key in pending:
+            cell_started = time.perf_counter()
+            record = measure_config(key, trace_length)
+            records[key] = record
+            if journal is not None:
+                journal.append_result(
+                    config_id(key), _digest(key, trace_length),
+                    record, time.perf_counter() - cell_started,
+                )
+    elapsed = time.perf_counter() - started
+    # Merge in sweep order regardless of completion order or source
+    # (journal vs fresh), so the document is jobs- and resume-invariant.
+    ordered = [records[key] for key in configs]
+    rows = [
+        [
+            record["config"], record["p50_cycles"], record["p95_cycles"],
+            record["p99_cycles"], record["worst_tenant_p99"],
+            record["mean_cycles"], record["lines_per_miss"],
+            record["refault_misses"], record["evicted_ptes"],
+        ]
+        for record in ordered
+    ]
+    print(
+        f"[{len(pending)} cells computed, {len(journaled)} resumed "
+        f"in {elapsed:.1f}s with {jobs} job(s)]"
+    )
+    return {
+        "benchmark": "tenancy",
+        "trace_length": trace_length,
+        "tables": list(tables),
+        "tenants": list(tenants),
+        "churn": [tenancy.churn_tag(f) for f in churn],
+        "slots": tenancy.SLOTS,
+        "footprint": tenancy.FOOTPRINT,
+        "seed": tenancy.SEED,
+        "headers": [
+            "config", "p50 cyc", "p95 cyc", "p99 cyc",
+            "worst-tenant p99", "mean cyc", "lines/miss",
+            "refault misses", "evicted PTEs",
+        ],
+        "rows": rows,
+        "configs": ordered,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Multi-tenant consolidation benchmark -> "
+        "BENCH_tenancy.json"
+    )
+    parser.add_argument(
+        "--fast", action="store_true",
+        help="100-tenant subset at a short trace for CI smoke lanes",
+    )
+    parser.add_argument(
+        "--out", metavar="FILE", default=DEFAULT_OUT,
+        help=f"output JSON path (default {DEFAULT_OUT})",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the sweep (document is identical "
+        "for any N)",
+    )
+    parser.add_argument(
+        "--run-dir", metavar="DIR", default=None,
+        help="journal completed cells into DIR for --resume",
+    )
+    parser.add_argument(
+        "--resume", metavar="DIR", default=None,
+        help="resume a journaled sweep, skipping completed cells",
+    )
+    args = parser.parse_args(argv)
+    run_dir = args.resume or args.run_dir
+    if args.fast:
+        document = collect(
+            trace_length=20_000, tenants=FAST_TENANTS, jobs=args.jobs,
+            run_dir=run_dir, resume=bool(args.resume),
+        )
+    else:
+        document = collect(
+            trace_length=BENCH_TRACE_LENGTH, tenants=FULL_TENANTS,
+            jobs=args.jobs, run_dir=run_dir, resume=bool(args.resume),
+        )
+    from repro.util.atomic_io import atomic_write_text
+
+    atomic_write_text(
+        args.out, json.dumps(document, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"[{len(document['configs'])} cells -> {args.out}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,6 +26,19 @@ from repro.pagetables.strategies import MultiplePageTables
 #: Bucket count of the paper's base configuration.
 DEFAULT_BUCKETS = 4096
 
+
+def _three_level_bits(layout: AddressLayout) -> Sequence[int]:
+    """Split ``vpn_bits`` into three near-equal levels (top gets the rest).
+
+    The "forward-3lvl" comparison point: a shallow forward-mapped tree
+    with huge nodes (2^17–2^18 entries each at 52 VPN bits), the shape a
+    64-bit OS would pick to cap walk depth at three memory references —
+    at the cost of enormous per-tenant node footprints, which is exactly
+    what the tenancy arena study stresses.
+    """
+    third = layout.vpn_bits // 3
+    return (layout.vpn_bits - 2 * third, third, third)
+
 #: The single-page-size comparison set of Figure 9 (factory per name).
 STANDARD_TABLES: Dict[str, Callable[..., PageTable]] = {
     "linear-6lvl": lambda layout, cache, buckets: LinearPageTable(
@@ -36,6 +49,9 @@ STANDARD_TABLES: Dict[str, Callable[..., PageTable]] = {
     ),
     "forward-mapped": lambda layout, cache, buckets: ForwardMappedPageTable(
         layout, cache
+    ),
+    "forward-3lvl": lambda layout, cache, buckets: ForwardMappedPageTable(
+        layout, cache, level_bits=_three_level_bits(layout)
     ),
     "hashed": lambda layout, cache, buckets: HashedPageTable(
         layout, cache, num_buckets=buckets

@@ -135,6 +135,48 @@ def _load_json(path: Path) -> Optional[Dict[str, object]]:
     return json.loads(path.read_text(encoding="utf-8"))
 
 
+def _render_speedup_dips(doc: Dict[str, object]) -> List[str]:
+    """Markdown lines for a speedup bench doc's per-config dips.
+
+    ``benchmarks/bench_gate.py --speedup`` gates only the *aggregate*
+    batch-over-scalar speedup, so an individual configuration running
+    slower than scalar (speedup < 1x) passes the lane silently.  Any
+    bench doc shaped like ``BENCH_batch.json`` (an ``aggregate_speedup``
+    plus per-config ``speedup`` records) gets those dips surfaced here.
+    """
+    aggregate = doc.get("aggregate_speedup")
+    configs = doc.get("configs")
+    if not isinstance(aggregate, (int, float)) or not isinstance(
+        configs, list
+    ):
+        return []
+    dips = []
+    for record in configs:
+        if not isinstance(record, dict) or "speedup" not in record:
+            continue
+        if float(record.get("speedup", 0.0)) < 1.0:
+            label = record.get("config") or "/".join(
+                str(record[column])
+                for column in ("workload", "tlb", "table")
+                if column in record
+            )
+            dips.append((label or "?", float(record["speedup"])))
+    lines = [
+        f"aggregate speedup: **{aggregate}x** over {len(configs)} "
+        "config(s)"
+    ]
+    if dips:
+        lines.append("")
+        lines.append(
+            "Configs slower than scalar (pass the aggregate gate but "
+            "regressed individually):"
+        )
+        lines.append("")
+        for label, speedup in dips:
+            lines.append(f"- `{label}`: {speedup}x")
+    return lines
+
+
 def render_run_report(run_dir: os.PathLike) -> Tuple[str, Dict[str, object]]:
     """One self-contained markdown report for a run directory.
 
@@ -361,6 +403,10 @@ def render_run_report(run_dir: os.PathLike) -> Tuple[str, Dict[str, object]]:
             else:
                 lines.append(f"`{path.name}` (no tabular payload)")
             lines.append("")
+            speedup_lines = _render_speedup_dips(doc)
+            if speedup_lines:
+                lines.extend(speedup_lines)
+                lines.append("")
     if not bench_files:
         lines.append(
             "*No `BENCH_*.json` in this run directory (benchmarks write "

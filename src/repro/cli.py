@@ -12,9 +12,12 @@ Commands
     Regenerate one table/figure or extension study: ``table1``, ``fig9``,
     ``fig10``, ``fig11a``–``fig11d``, ``table2``, ``sensitivity``,
     ``softtlb``, ``multisize``, ``multiprog``, ``guarded``, ``sasos``,
-    ``cachesim``, ``pressure``, ``promotion-scan``, ``numa``, or
-    ``all``.  The ``numa`` study accepts ``--topology`` (preset name or
-    topology JSON file) and ``--replication`` (policy subset).
+    ``cachesim``, ``pressure``, ``promotion-scan``, ``numa``,
+    ``tenancy``, or ``all``.  The ``numa`` study accepts ``--topology``
+    (preset name or topology JSON file) and ``--replication`` (policy
+    subset).  The ``tenancy`` study accepts ``--tenants``
+    (comma-separated populations, e.g. ``100,1000,10000``) and
+    ``--churn`` (mode subset from ``static,churn``).
 ``topology [NAME|FILE] [--validate FILE]``
     NUMA machine models: list the presets, print one preset's (or a JSON
     file's) latency matrix, or validate a topology JSON file.
@@ -56,7 +59,7 @@ EXPERIMENT_IDS = (
     "table1", "fig9", "fig10", "fig11a", "fig11b", "fig11c", "fig11d",
     "table2", "sensitivity", "softtlb", "multisize", "multiprog",
     "guarded", "sasos", "cachesim", "pressure", "promotion-scan",
-    "numa", "claims", "all",
+    "numa", "tenancy", "claims", "all",
 )
 
 
@@ -161,6 +164,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         "pressure": lambda: pressure.run(),
         "promotion-scan": lambda: promotion_scan.run(),
         "numa": lambda: _run_numa_experiment(args, trace_length),
+        "tenancy": lambda: _run_tenancy_experiment(args, trace_length),
     }
     if exp_id == "sensitivity":
         sensitivity.main()
@@ -215,6 +219,30 @@ def _run_numa_experiment(args: argparse.Namespace, trace_length: int):
             )
         kwargs["policies"] = policies
     return numa_experiment.run(**kwargs)
+
+
+def _run_tenancy_experiment(args: argparse.Namespace, trace_length: int):
+    """The tenancy study with its --tenants / --churn restrictions."""
+    from repro.experiments import tenancy as tenancy_experiment
+
+    kwargs: dict = {"trace_length": trace_length}
+    tenants = getattr(args, "tenants", None)
+    if tenants:
+        try:
+            kwargs["tenants"] = tuple(
+                int(part) for part in tenants.split(",")
+            )
+        except ValueError:
+            raise SystemExit(
+                f"--tenants expects comma-separated integers, got {tenants!r}"
+            )
+    churn = getattr(args, "churn", None)
+    if churn:
+        try:
+            kwargs["churn_modes"] = tenancy_experiment.parse_churn(churn)
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+    return tenancy_experiment.run(**kwargs)
 
 
 def _cmd_topology(args: argparse.Namespace) -> int:
@@ -408,6 +436,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--replication", metavar="POLICIES", default=None,
         help="for 'numa': comma-separated policy subset "
         "(none,mitosis,migrate)",
+    )
+    experiment.add_argument(
+        "--tenants", metavar="LIST", default=None,
+        help="for 'tenancy': comma-separated tenant populations "
+        "(default 100,1000; the full sweep adds 10000)",
+    )
+    experiment.add_argument(
+        "--churn", metavar="MODES", default=None,
+        help="for 'tenancy': comma-separated mode subset from "
+        "{static,churn} (default both)",
     )
     experiment.add_argument(
         "--trace-out", metavar="FILE", default=None, dest="trace_out",

@@ -155,6 +155,7 @@ class ClusteredPageTable(PageTable):
         self.count_bucket_array = count_bucket_array
         self._buckets: Dict[int, List[ClusteredNode]] = {}
         self._node_count = 0
+        self._node_bytes = 0
 
     # ------------------------------------------------------------------
     # Internals
@@ -292,6 +293,7 @@ class ClusteredPageTable(PageTable):
         self.stats.op_nodes_visited += max(1, len(chain))
         chain.append(node)
         self._node_count += 1
+        self._node_bytes += node.size_bytes()
         self.stats.op_nodes_allocated += 1
 
     def _detach(self, node: ClusteredNode) -> None:
@@ -301,6 +303,7 @@ class ClusteredPageTable(PageTable):
         if not chain:
             del self._buckets[bucket]
         self._node_count -= 1
+        self._node_bytes -= node.size_bytes()
 
     def _check_not_mapped(self, vpn: int) -> None:
         for node in self._nodes_for(self.layout.vpbn(vpn)):
@@ -566,9 +569,13 @@ class ClusteredPageTable(PageTable):
         return [node for chain in self._buckets.values() for node in chain]
 
     def size_bytes(self) -> int:
-        """Table memory: per-node format sizes (Figure 7)."""
-        size = sum(node.size_bytes() for chain in self._buckets.values()
-                   for node in chain)
+        """Table memory: per-node format sizes (Figure 7).
+
+        Maintained incrementally at attach/detach (node sizes are fixed
+        at construction), so lifecycle-heavy callers — the tenancy
+        arena charges table growth on every admission — stay O(1).
+        """
+        size = self._node_bytes
         if self.count_bucket_array:
             size += self.bucket_array_bytes()
         return size

@@ -24,6 +24,9 @@ Sensitivity sweeps and prose-claim studies:
   real L2 simulator.
 - :mod:`repro.experiments.pressure` — §7 memory pressure vs placement.
 - :mod:`repro.experiments.promotion_scan` — §5 promotion-scan costs.
+- :mod:`repro.experiments.tenancy` — multi-tenant consolidation: one
+  shared arena, {100 | 1k | 10k} tenants, lifecycle churn, per-tenant
+  walk-cycle percentiles.
 
 Harness:
 

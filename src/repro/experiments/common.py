@@ -170,6 +170,37 @@ def replay(stream: MissStream, table, complete_subblock: bool = False):
     return replay_misses(stream, table, complete_subblock=complete_subblock)
 
 
+def replay_many(
+    streams: Sequence[MissStream], table, complete_subblock: bool = False
+) -> List:
+    """Phase 2 for a batch of streams against one immutable table.
+
+    Same results as ``[replay(s, table) for s in streams]``, but under
+    the batch engine the walk kernel is compiled once for the whole
+    batch instead of once per stream — the difference between O(tenants
+    × table entries) and O(table entries) of Python when the tenancy
+    scheduler replays thousands of per-tenant slices per slot.
+    """
+    from repro.mmu.simulate import replay_misses
+
+    if _ENGINE == "batch":
+        from repro.mmu.batch import (
+            BatchUnsupportedError,
+            replay_misses_batch_many,
+        )
+
+        try:
+            return replay_misses_batch_many(
+                streams, table, complete_subblock=complete_subblock
+            )
+        except BatchUnsupportedError:
+            pass
+    return [
+        replay_misses(stream, table, complete_subblock=complete_subblock)
+        for stream in streams
+    ]
+
+
 # ---------------------------------------------------------------------------
 # Persistent stream cache (process-wide, opt-in)
 # ---------------------------------------------------------------------------

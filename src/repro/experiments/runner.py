@@ -98,6 +98,7 @@ from repro.experiments import (
     softtlb,
     table1,
     table2,
+    tenancy,
 )
 from repro.experiments import common
 from repro.experiments.common import (
@@ -113,7 +114,7 @@ EXPERIMENT_ORDER: Tuple[str, ...] = (
     "table2", "sens_cacheline", "sens_subblock", "sens_buckets",
     "sens_tlb_geometry", "sens_hash_quality", "sens_shared_private",
     "softtlb", "multisize", "multiprog", "guarded", "sasos", "cachesim",
-    "pressure", "promotion_scan", "numa",
+    "pressure", "promotion_scan", "numa", "tenancy",
 )
 
 #: Experiments replaying a "single" TLB stream per traced workload.
@@ -160,6 +161,7 @@ def _producers(
         "pressure": lambda: pressure.run(),
         "promotion_scan": lambda: promotion_scan.run(**w),
         "numa": lambda: numa.run(trace_length=trace_length, **w),
+        "tenancy": lambda: tenancy.run(trace_length=trace_length, **w),
     }
 
 

@@ -85,6 +85,24 @@ class ASIDTaggedTLB(BaseTLB):
             del self._entries[key]
         return len(victims)
 
+    def flush_asids(self, asids: Iterable[int]) -> int:
+        """Drop every entry of several address spaces in one pass.
+
+        The batched form a kernel uses when one reclaim decision retires
+        several tenants at once: a single scan of the TLB, one shootdown
+        round (see ``SMPSystem.flush_asids``) rather than one per ASID.
+        Returns the total entries invalidated.
+        """
+        doomed = set(asids)
+        victims = [key for key in self._entries if key[0] in doomed]
+        for key in victims:
+            del self._entries[key]
+        return len(victims)
+
+    def entries_for(self, asid: int) -> int:
+        """How many entries one address space currently holds."""
+        return sum(1 for key in self._entries if key[0] == asid)
+
     def resident_asids(self) -> set:
         """ASIDs currently holding at least one entry."""
         return {key[0] for key in self._entries}

@@ -44,7 +44,11 @@ from repro.obs import trace as _trace
 from repro.obs.profile import HEAT_CELLS
 from repro.pagetables.pte import PTEKind
 
-__all__ = ["BatchUnsupportedError", "replay_misses_batch"]
+__all__ = [
+    "BatchUnsupportedError",
+    "replay_misses_batch",
+    "replay_misses_batch_many",
+]
 
 #: Same multiplier as ``repro.obs.profile.heat_cell``.
 _GOLDEN = 0x9E3779B97F4A7C15
@@ -123,14 +127,17 @@ def replay_misses_batch(
     stream: MissStream,
     table,
     complete_subblock: bool = False,
+    _kernel=None,
 ) -> ReplayResult:
     """Phase 2, vectorized: exact equivalent of ``replay_misses``.
 
     Raises :class:`BatchUnsupportedError` — before touching any stats —
     when the table has no exact kernel; callers fall back to the scalar
-    replay.
+    replay.  ``_kernel`` lets :func:`replay_misses_batch_many` amortise
+    one compilation over many streams; the table must not mutate between
+    the compile and the replay.
     """
-    kernel = compile_kernel(table)
+    kernel = compile_kernel(table) if _kernel is None else _kernel
     layout = table.layout
     s = layout.subblock_factor
     block_shift = s.bit_length() - 1
@@ -235,3 +242,29 @@ def replay_misses_batch(
         faults=faults,
         by_kind=by_kind,
     )
+
+
+def replay_misses_batch_many(
+    streams,
+    table,
+    complete_subblock: bool = False,
+):
+    """Replay many streams against one table, compiling the kernel once.
+
+    Kernel compilation walks every resident entry (the hashed/clustered
+    CSR build is O(table entries) of Python), so replaying thousands of
+    per-tenant streams through :func:`replay_misses_batch` would pay that
+    cost per stream.  This amortises one compile over the whole batch —
+    valid because page tables are immutable during a replay, and callers
+    only mutate between batches.
+
+    Raises :class:`BatchUnsupportedError` before touching any stats, so
+    callers can fall back to the scalar loop for the entire batch.
+    """
+    kernel = compile_kernel(table)
+    return [
+        replay_misses_batch(
+            stream, table, complete_subblock=complete_subblock, _kernel=kernel
+        )
+        for stream in streams
+    ]

@@ -83,6 +83,23 @@ class FrameAllocator:
         """Number of currently free frames."""
         return len(self._free)
 
+    def allocated_frames(self) -> int:
+        """Number of frames currently handed out."""
+        return self.total_frames - len(self._free)
+
+    def utilisation(self) -> float:
+        """Allocated fraction of physical memory, in [0, 1].
+
+        The pressure signal a consolidation host watches: a shared arena
+        reclaims tenants' page-table frames once this crosses its
+        watermark (see ``repro.tenancy.arena``).
+        """
+        return self.allocated_frames() / self.total_frames
+
+    def under_pressure(self, watermark: float) -> bool:
+        """Whether utilisation has reached ``watermark`` (a fraction)."""
+        return self.utilisation() >= watermark
+
     def node_of_frame(self, ppn: int) -> int:
         """The NUMA node holding frame ``ppn`` (0 without a topology).
 

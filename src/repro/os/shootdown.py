@@ -116,6 +116,43 @@ class SMPSystem:
             for vpn in range(base_vpn, base_vpn + npages):
                 self.unmap(vpn, initiator)
 
+    def flush_asids(self, asids, initiator: int = 0) -> int:
+        """One shootdown round retiring whole address spaces (ASID flush).
+
+        Tenant departure on a consolidation host: every CPU's TLB must
+        drop the departing tenants' entries before their frames can be
+        reused.  Like range unmaps, departures batch — one IPI round
+        covers every ASID retired by a reclaim decision.  Requires
+        ASID-tagged per-CPU TLBs (``ASIDTaggedTLB``); returns the total
+        entries invalidated, and charges dedicated ``shootdown.asid_*``
+        registry counters so departure traffic is separable from unmap
+        traffic.
+        """
+        from repro.obs.metrics import get_registry
+
+        doomed = list(asids)
+        if not doomed:
+            return 0
+        self.stats.shootdowns += 1
+        self.stats.ipis_sent += self.ncpus - 1
+        invalidated = 0
+        for mmu in self.cpus:
+            flush = getattr(mmu.tlb, "flush_asids", None)
+            if flush is not None:
+                invalidated += flush(doomed)
+            else:
+                # Untagged TLBs cannot invalidate selectively: a
+                # departure costs everyone their entries, the §7 penalty.
+                invalidated += sum(1 for _ in mmu.tlb.entries())
+                mmu.tlb.flush()
+        self.stats.entries_invalidated += invalidated
+        registry = get_registry()
+        registry.inc("shootdown.asid_rounds")
+        registry.inc("shootdown.asid_ipis_sent", self.ncpus - 1)
+        registry.inc("shootdown.asid_entries_invalidated", invalidated)
+        del initiator
+        return invalidated
+
     def protect_range(
         self, base_vpn: int, npages: int, attrs: int = DEFAULT_ATTRS,
         initiator: int = 0,

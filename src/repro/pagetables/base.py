@@ -28,7 +28,7 @@ from __future__ import annotations
 import abc
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Optional, Sequence, Tuple
+from typing import Iterable, Optional, Sequence, Tuple
 
 from repro.addr.layout import AddressLayout, DEFAULT_LAYOUT
 from repro.addr.space import DEFAULT_ATTRS, Mapping
@@ -370,6 +370,34 @@ class PageTable(abc.ABC):
         """Insert every base-page mapping of an address-space snapshot."""
         for vpn, mapping in space.items():
             self.insert(vpn, mapping.ppn, mapping.attrs)
+
+    def insert_many(
+        self, items: Iterable[Tuple[int, int]], attrs: int = DEFAULT_ATTRS
+    ) -> int:
+        """Insert ``(vpn, ppn)`` pairs in bulk; returns how many.
+
+        The tenant-admission path of a shared arena: one call per tenant
+        rather than one per page, so arena construction-cost accounting
+        has a single seam to charge (and subclasses a single hook to
+        vectorise).  Semantics are exactly a loop over :meth:`insert`.
+        """
+        count = 0
+        for vpn, ppn in items:
+            self.insert(vpn, ppn, attrs)
+            count += 1
+        return count
+
+    def remove_many(self, vpns: Iterable[int]) -> int:
+        """Remove the mappings covering ``vpns``; returns how many.
+
+        Tenant teardown counterpart of :meth:`insert_many`; raises on the
+        first absent mapping, like :meth:`remove`.
+        """
+        count = 0
+        for vpn in vpns:
+            self.remove(vpn)
+            count += 1
+        return count
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.describe()}>"

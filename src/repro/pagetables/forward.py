@@ -93,6 +93,7 @@ class ForwardMappedPageTable(ReplicatedPTEMixin, PageTable):
         self.superpage_strategy = superpage_strategy
         self._root = _TreeNode()
         self._cell_count = 0
+        self._tree_bytes = (1 << self.level_bits[0]) * PTE_BYTES
         # Pages mapped by one entry of a node at each level (root first):
         # entry at level i covers the product of fan-outs below it.
         self._entry_coverage = []
@@ -191,13 +192,14 @@ class ForwardMappedPageTable(ReplicatedPTEMixin, PageTable):
     def _leaf_for(self, vpn: int, create: bool) -> Optional[_TreeNode]:
         indices = self._indices(vpn)
         node = self._root
-        for index in indices[:-1]:
+        for level, index in enumerate(indices[:-1], start=1):
             child = node.children.get(index)
             if child is None:
                 if not create:
                     return None
                 child = _TreeNode()
                 node.children[index] = child
+                self._tree_bytes += (1 << self.level_bits[level]) * PTE_BYTES
                 self.stats.op_nodes_allocated += 1
             node = child
             self.stats.op_nodes_visited += 1
@@ -254,11 +256,14 @@ class ForwardMappedPageTable(ReplicatedPTEMixin, PageTable):
                 continue
             indices = self._indices(base_vpn)
             node = self._root
-            for index in indices[:level]:
+            for depth, index in enumerate(indices[:level], start=1):
                 child = node.children.get(index)
                 if child is None:
                     child = _TreeNode()
                     node.children[index] = child
+                    self._tree_bytes += (
+                        1 << self.level_bits[depth]
+                    ) * PTE_BYTES
                     self.stats.op_nodes_allocated += 1
                 node = child
             index = indices[level]
@@ -286,17 +291,13 @@ class ForwardMappedPageTable(ReplicatedPTEMixin, PageTable):
     # ------------------------------------------------------------------
     def size_bytes(self) -> int:
         """Sum of ``fanout × 8`` bytes over every allocated tree node —
-        the paper's Table 2 forward-mapped size formula."""
-        total = 0
+        the paper's Table 2 forward-mapped size formula.
 
-        def visit(node: _TreeNode, level: int) -> None:
-            nonlocal total
-            total += (1 << self.level_bits[level]) * PTE_BYTES
-            for child in node.children.values():
-                visit(child, level + 1)
-
-        visit(self._root, 0)
-        return total
+        Tracked incrementally at node allocation (tree nodes are never
+        pruned), so per-admission growth charging in the tenancy arena
+        does not rescan the tree.
+        """
+        return self._tree_bytes
 
     @property
     def pte_count(self) -> int:

@@ -1,0 +1,41 @@
+"""Multi-tenant consolidation: ASID churn over one shared page table.
+
+ROADMAP item 3 at production scale: does the clustered table's
+one-line-per-miss claim survive thousands of sparse 64-bit address
+spaces sharing one hashed arena?  This package models the pieces a
+consolidation host adds on top of the paper's single-process study:
+
+- :mod:`repro.tenancy.tenant` — tenants: per-tenant ASID, a sparse
+  footprint scattered in a private slice of the 52-bit VPN space, and a
+  seeded synthetic miss stream (skewed page popularity);
+- :mod:`repro.tenancy.churn` — seeded arrival/departure schedules;
+- :mod:`repro.tenancy.arena` — the shared physical arena: one page
+  table and one :class:`~repro.os.physmem.FrameAllocator` for everyone,
+  page-table create/teardown charging, watermark-triggered reclaim, and
+  evicted-PTE refault accounting;
+- :mod:`repro.tenancy.scheduler` — the slot loop interleaving every
+  active tenant's miss stream through
+  :func:`repro.experiments.common.replay_many` (one walk-kernel compile
+  per slot under the batch engine), with ASID-tagged TLB
+  flush/shootdown rounds on departure and per-tenant
+  :class:`~repro.obs.metrics.HistogramStats` of walk cycles per miss.
+
+``repro.experiments.tenancy`` drives the sweep and renders the
+p50/p95/p99 walk-cycle table (the mean is explicitly not the headline:
+tail tenants are where shared-arena interference shows).
+"""
+
+from repro.tenancy.arena import ArenaStats, SharedArena
+from repro.tenancy.churn import ChurnSchedule
+from repro.tenancy.scheduler import TenancyResult, TenantScheduler
+from repro.tenancy.tenant import Tenant, build_tenant_streams
+
+__all__ = [
+    "ArenaStats",
+    "ChurnSchedule",
+    "SharedArena",
+    "Tenant",
+    "TenancyResult",
+    "TenantScheduler",
+    "build_tenant_streams",
+]

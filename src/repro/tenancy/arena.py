@@ -1,0 +1,219 @@
+"""The shared arena: one page table + one physical allocator for everyone.
+
+On a consolidation host every tenant's PTEs live in one kernel-owned
+structure (the hashed arena / clustered node pool / forward-mapped
+tree) backed by one physical memory pool.  :class:`SharedArena` models
+the lifecycle costs the single-process experiments never see:
+
+- **Create/teardown charging.**  Admission bulk-inserts the tenant's
+  mappings (:meth:`~repro.pagetables.base.PageTable.insert_many`) and
+  charges the page-table bytes the tenant added; departure bulk-removes
+  them.  The counters make the Mitosis/numaPTE observation measurable:
+  at high churn, page-table construction traffic rivals walk traffic.
+- **Allocation pressure.**  When the backing
+  :class:`~repro.os.physmem.FrameAllocator` crosses its watermark, the
+  arena reclaims: the largest-footprint victim tenant loses the upper
+  half of its resident pages (PTEs removed, frames released).  Evicted
+  pages **refault** when next touched — the scheduler re-admits them
+  through :meth:`refault` and charges the refault penalty to that
+  tenant's walk-cycle histogram, which is how pressure reaches the p99.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Optional, Sequence, Set
+
+from repro.obs.metrics import get_registry
+from repro.os.physmem import FrameAllocator, OutOfMemoryError
+from repro.pagetables.base import PageTable
+from repro.tenancy.tenant import Tenant
+
+#: Default reclaim watermark: reclaim once 90% of frames are allocated.
+DEFAULT_WATERMARK = 0.9
+
+#: Fraction of a victim's resident pages evicted per reclaim round.
+EVICT_FRACTION = 0.5
+
+
+@dataclass
+class ArenaStats:
+    """Lifecycle accounting of one shared arena."""
+
+    admissions: int = 0
+    departures: int = 0
+    pte_inserts: int = 0
+    pte_removes: int = 0
+    #: Page-table bytes added by admissions (growth charged at create).
+    bytes_created: int = 0
+    reclaims: int = 0
+    evicted_ptes: int = 0
+    refaults: int = 0
+    refaulted_ptes: int = 0
+
+
+class SharedArena:
+    """Tenant admission, teardown, reclaim, and refault over one table."""
+
+    def __init__(
+        self,
+        table: PageTable,
+        allocator: FrameAllocator,
+        watermark: float = DEFAULT_WATERMARK,
+        on_evict: Optional[Callable[[int, Sequence[int]], None]] = None,
+        labels: Optional[Dict[str, object]] = None,
+    ):
+        if not 0.0 < watermark <= 1.0:
+            raise ValueError(f"watermark must be in (0, 1], got {watermark}")
+        self.table = table
+        self.allocator = allocator
+        self.watermark = watermark
+        #: Called with (tenant_id, evicted_vpns) after each reclaim, so
+        #: the scheduler can run the TLB shootdown round.
+        self.on_evict = on_evict
+        self.labels = dict(labels or {})
+        self.stats = ArenaStats()
+        #: tenant id -> {vpn: ppn} of currently resident pages.
+        self._resident: Dict[int, Dict[int, int]] = {}
+        #: tenant id -> vpns reclaimed and not yet refaulted.
+        self._evicted: Dict[int, Set[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def resident_pages(self, tenant_id: int) -> int:
+        """Pages of one tenant currently mapped in the shared table."""
+        return len(self._resident.get(tenant_id, ()))
+
+    def evicted_for(self, tenant_id: int) -> Set[int]:
+        """VPNs of one tenant awaiting refault (reclaim victims)."""
+        return self._evicted.get(tenant_id, set())
+
+    def mappings_for(self, tenant_id: int) -> Dict[int, int]:
+        """A copy of one tenant's resident vpn -> ppn map."""
+        return dict(self._resident.get(tenant_id, {}))
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def admit(self, tenant: Tenant) -> int:
+        """Build one tenant's page tables; returns pages mapped.
+
+        Frames come from the shared allocator (reclaiming other tenants
+        under pressure), the PTEs go in via one bulk insert, and the
+        page-table growth is charged to the creation counters.
+        """
+        if tenant.tenant_id in self._resident:
+            raise ValueError(f"tenant {tenant.tenant_id} already admitted")
+        frames: Dict[int, int] = {}
+        for vpn in tenant.vpns.tolist():
+            frames[vpn] = self._allocate(vpn, protect=tenant.tenant_id)
+        before = self.table.size_bytes()
+        inserted = self.table.insert_many(sorted(frames.items()))
+        grown = self.table.size_bytes() - before
+        self._resident[tenant.tenant_id] = frames
+        self._evicted.setdefault(tenant.tenant_id, set())
+        self.stats.admissions += 1
+        self.stats.pte_inserts += inserted
+        self.stats.bytes_created += grown
+        registry = get_registry()
+        registry.inc("tenancy.arena.admissions", **self.labels)
+        registry.inc("tenancy.arena.pte_inserts", inserted, **self.labels)
+        registry.inc("tenancy.arena.bytes_created", grown, **self.labels)
+        self._relieve_pressure(protect=tenant.tenant_id)
+        return inserted
+
+    def depart(self, tenant_id: int) -> int:
+        """Tear one tenant's page tables down; returns pages unmapped."""
+        frames = self._resident.pop(tenant_id, None)
+        if frames is None:
+            raise ValueError(f"tenant {tenant_id} is not admitted")
+        removed = self.table.remove_many(sorted(frames))
+        for vpn in sorted(frames):
+            self.allocator.release(frames[vpn])
+        self._evicted.pop(tenant_id, None)
+        self.stats.departures += 1
+        self.stats.pte_removes += removed
+        registry = get_registry()
+        registry.inc("tenancy.arena.departures", **self.labels)
+        registry.inc("tenancy.arena.pte_removes", removed, **self.labels)
+        return removed
+
+    def refault(self, tenant_id: int, vpns: Iterable[int]) -> int:
+        """Re-admit evicted pages a tenant touched again; returns count."""
+        evicted = self._evicted.get(tenant_id)
+        resident = self._resident.get(tenant_id)
+        if resident is None:
+            raise ValueError(f"tenant {tenant_id} is not admitted")
+        doomed = sorted(set(vpns) & evicted) if evicted else []
+        if not doomed:
+            return 0
+        frames: Dict[int, int] = {}
+        for vpn in doomed:
+            frames[vpn] = self._allocate(vpn, protect=tenant_id)
+            evicted.discard(vpn)
+        self.table.insert_many(sorted(frames.items()))
+        resident.update(frames)
+        count = len(doomed)
+        self.stats.refaults += 1
+        self.stats.refaulted_ptes += count
+        self.stats.pte_inserts += count
+        registry = get_registry()
+        registry.inc("tenancy.arena.refaults", **self.labels)
+        registry.inc("tenancy.arena.refaulted_ptes", count, **self.labels)
+        return count
+
+    # ------------------------------------------------------------------
+    # Pressure
+    # ------------------------------------------------------------------
+    def reclaim(self, protect: Optional[int] = None) -> int:
+        """One reclaim round; returns PTEs evicted (0 = nothing left).
+
+        Victim selection is deterministic: the tenant with the most
+        resident pages (smallest id on ties), preferring anyone over
+        ``protect`` (the tenant currently being admitted or refaulted —
+        evicting the pages being brought in would thrash).  The victim
+        loses the upper-address half of its residency: PTEs removed,
+        frames released, VPNs parked for refault.
+        """
+        candidates = [
+            tid for tid, pages in self._resident.items()
+            if pages and tid != protect
+        ]
+        if not candidates:
+            candidates = [
+                tid for tid, pages in self._resident.items() if pages
+            ]
+        if not candidates:
+            return 0
+        victim = min(
+            candidates, key=lambda tid: (-len(self._resident[tid]), tid)
+        )
+        pages = self._resident[victim]
+        doomed = sorted(pages)[-max(1, int(len(pages) * EVICT_FRACTION)):]
+        self.table.remove_many(doomed)
+        for vpn in doomed:
+            self.allocator.release(pages.pop(vpn))
+        self._evicted.setdefault(victim, set()).update(doomed)
+        self.stats.reclaims += 1
+        self.stats.evicted_ptes += len(doomed)
+        self.stats.pte_removes += len(doomed)
+        registry = get_registry()
+        registry.inc("tenancy.arena.reclaims", **self.labels)
+        registry.inc("tenancy.arena.evicted_ptes", len(doomed), **self.labels)
+        if self.on_evict is not None:
+            self.on_evict(victim, doomed)
+        return len(doomed)
+
+    def _relieve_pressure(self, protect: Optional[int] = None) -> None:
+        while self.allocator.under_pressure(self.watermark):
+            if not self.reclaim(protect=protect):
+                break
+
+    def _allocate(self, vpn: int, protect: Optional[int] = None) -> int:
+        while not self.allocator.free_frames():
+            if not self.reclaim(protect=protect):
+                raise OutOfMemoryError(
+                    "shared arena exhausted with nothing left to reclaim"
+                )
+        return self.allocator.allocate(vpn)
