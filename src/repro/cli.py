@@ -59,7 +59,7 @@ EXPERIMENT_IDS = (
     "table1", "fig9", "fig10", "fig11a", "fig11b", "fig11c", "fig11d",
     "table2", "sensitivity", "softtlb", "multisize", "multiprog",
     "guarded", "sasos", "cachesim", "pressure", "promotion-scan",
-    "numa", "tenancy", "claims", "all",
+    "numa", "tenancy", "modern", "claims", "all",
 )
 
 
@@ -165,6 +165,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         "promotion-scan": lambda: promotion_scan.run(),
         "numa": lambda: _run_numa_experiment(args, trace_length),
         "tenancy": lambda: _run_tenancy_experiment(args, trace_length),
+        "modern": lambda: _run_modern_experiment(args, trace_length),
     }
     if exp_id == "sensitivity":
         sensitivity.main()
@@ -243,6 +244,30 @@ def _run_tenancy_experiment(args: argparse.Namespace, trace_length: int):
         except ValueError as exc:
             raise SystemExit(str(exc))
     return tenancy_experiment.run(**kwargs)
+
+
+def _run_modern_experiment(args: argparse.Namespace, trace_length: int):
+    """The modern sweep with its --workloads / --footprint restrictions."""
+    from repro.experiments import modern as modern_experiment
+
+    kwargs: dict = {"trace_length": trace_length}
+    workloads = getattr(args, "workloads", None)
+    if workloads:
+        kwargs["workloads"] = tuple(
+            part.strip() for part in workloads.split(",")
+        )
+    footprint = getattr(args, "footprint", None)
+    if footprint:
+        try:
+            kwargs["footprints"] = modern_experiment.parse_footprints(
+                footprint
+            )
+        except ValueError:
+            raise SystemExit(
+                f"--footprint expects comma-separated MB values, "
+                f"got {footprint!r}"
+            )
+    return modern_experiment.run(**kwargs)
 
 
 def _cmd_topology(args: argparse.Namespace) -> int:
@@ -446,6 +471,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--churn", metavar="MODES", default=None,
         help="for 'tenancy': comma-separated mode subset from "
         "{static,churn} (default both)",
+    )
+    experiment.add_argument(
+        "--footprint", metavar="LIST", default=None,
+        help="for 'modern': comma-separated footprints in MB "
+        "(default 16,64,256; accepts fractions and TB-scale values)",
     )
     experiment.add_argument(
         "--trace-out", metavar="FILE", default=None, dest="trace_out",

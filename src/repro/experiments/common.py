@@ -269,7 +269,7 @@ def collect_misses_cached(
 # ---------------------------------------------------------------------------
 # Cached artefacts
 # ---------------------------------------------------------------------------
-_WORKLOADS: Dict[Tuple[str, int, int], Workload] = {}
+_WORKLOADS: Dict[Tuple[str, int, int, Optional[float]], Workload] = {}
 # Keyed by id(workload); each value keeps a strong reference to its
 # workload so the id can never be recycled while the cache entry lives.
 _TMAPS: Dict[Tuple[int, str], Tuple[Workload, TranslationMap]] = {}
@@ -277,13 +277,21 @@ _STREAMS: Dict[Tuple[int, str, int], Tuple[Workload, MissStream]] = {}
 
 
 def get_workload(
-    name: str, trace_length: int = 200_000, seed: int = 1234
+    name: str,
+    trace_length: int = 200_000,
+    seed: int = 1234,
+    footprint_mb: Optional[float] = None,
 ) -> Workload:
-    """Memoised workload construction."""
-    key = (name, trace_length, seed)
+    """Memoised workload construction.
+
+    ``footprint_mb`` selects a modern workload family member (see
+    :mod:`repro.workloads.modern`); paper workloads leave it ``None``.
+    """
+    key = (name, trace_length, seed, footprint_mb)
     if key not in _WORKLOADS:
         _WORKLOADS[key] = load_workload(
-            name, trace_length=trace_length, seed=seed
+            name, trace_length=trace_length, seed=seed,
+            footprint_mb=footprint_mb,
         )
     return _WORKLOADS[key]
 

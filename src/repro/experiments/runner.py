@@ -92,6 +92,7 @@ from repro.experiments import (
     multisize,
     numa,
     pressure,
+    modern,
     promotion_scan,
     sasos,
     sensitivity,
@@ -114,7 +115,7 @@ EXPERIMENT_ORDER: Tuple[str, ...] = (
     "table2", "sens_cacheline", "sens_subblock", "sens_buckets",
     "sens_tlb_geometry", "sens_hash_quality", "sens_shared_private",
     "softtlb", "multisize", "multiprog", "guarded", "sasos", "cachesim",
-    "pressure", "promotion_scan", "numa", "tenancy",
+    "pressure", "promotion_scan", "numa", "tenancy", "modern",
 )
 
 #: Experiments replaying a "single" TLB stream per traced workload.
@@ -162,6 +163,7 @@ def _producers(
         "promotion_scan": lambda: promotion_scan.run(**w),
         "numa": lambda: numa.run(trace_length=trace_length, **w),
         "tenancy": lambda: tenancy.run(trace_length=trace_length, **w),
+        "modern": lambda: modern.run(trace_length=trace_length, **w),
     }
 
 

@@ -21,6 +21,7 @@ Two allocators are provided:
 
 from __future__ import annotations
 
+import heapq
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Set
@@ -214,6 +215,11 @@ class ReservationAllocator(FrameAllocator):
             )
         #: Aligned blocks with every frame free, by base PPN.
         self._free_blocks: Set[int] = set(range(0, total_frames, s))
+        #: Min-heap over (a superset of) the free blocks, so picking the
+        #: lowest free block is O(log n) instead of a full-set scan —
+        #: entries going stale when a block is consumed are skipped
+        #: lazily at pop time.
+        self._block_heap: List[int] = list(range(0, total_frames, s))
         #: Active reservations keyed by virtual page block number, oldest
         #: first (OrderedDict preserves creation order for stealing).
         self._reservations: "OrderedDict[int, _Reservation]" = OrderedDict()
@@ -268,6 +274,11 @@ class ReservationAllocator(FrameAllocator):
             ]
             if candidates:
                 return min(candidates)
+        while self._block_heap:
+            base = self._block_heap[0]
+            if base in self._free_blocks:
+                return base
+            heapq.heappop(self._block_heap)
         return min(self._free_blocks)
 
     def _steal_frame(self) -> int:
@@ -304,6 +315,7 @@ class ReservationAllocator(FrameAllocator):
                     base = reservation.base_ppn
                     if all(base + i in self._free for i in range(s)):
                         self._free_blocks.add(base)
+                        heapq.heappush(self._block_heap, base)
 
     # ------------------------------------------------------------------
     def reservation_for(self, vpbn: int) -> Optional[int]:

@@ -32,6 +32,10 @@ Sites (see :data:`SITES`):
     Inside :meth:`~repro.obs.trace.WalkTracer.record`; the ``overflow``
     action forces a ring drop so overflow accounting is exercised at any
     capacity.
+``io.save_trace`` / ``io.save_space``
+    Entry of the workload trace/snapshot serialisers
+    (:mod:`repro.workloads.io`); exception actions verify the atomic
+    write path never leaves a torn or half-written artefact behind.
 
 Exception actions are raised out of the site; behavioural actions
 (``skip-replica``, ``overflow``) are *returned* to the site, which
@@ -65,6 +69,8 @@ SITES = (
     "cache.artifact_stored",
     "numa.replica_divergence",
     "trace.ring_overflow",
+    "io.save_trace",
+    "io.save_space",
 )
 
 #: Actions that raise out of the site.
@@ -85,6 +91,8 @@ SITE_ACTIONS: Dict[str, Tuple[str, ...]] = {
     "cache.artifact_stored": ("corrupt",),
     "numa.replica_divergence": ("skip-replica",),
     "trace.ring_overflow": ("overflow",),
+    "io.save_trace": EXCEPTION_ACTIONS,
+    "io.save_space": EXCEPTION_ACTIONS,
 }
 
 

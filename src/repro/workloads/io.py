@@ -17,6 +17,8 @@ import numpy as np
 from repro.addr.layout import AddressLayout
 from repro.addr.space import AddressSpace, Segment
 from repro.errors import ConfigurationError
+from repro.resilience.faults import fault_point
+from repro.util.atomic_io import atomic_writer
 from repro.workloads.trace import Trace
 
 #: Format tag written into every file for forward compatibility.
@@ -24,22 +26,39 @@ TRACE_FORMAT = 1
 SPACE_FORMAT = 1
 
 
-def save_trace(trace: Trace, path: str) -> Path:
-    """Write a trace (VPNs, switch points, owners) to ``.npz``."""
+def trace_target(path: str) -> Path:
+    """The path :func:`save_trace` will actually write for ``path``.
+
+    Follows numpy's naming convention — ``.npz`` is appended unless the
+    name already ends in it — but resolves the name *before* writing, so
+    the returned path never depends on what happens to sit on disk.
+    """
     target = Path(path)
-    np.savez_compressed(
-        target,
-        format=np.int64(TRACE_FORMAT),
-        vpns=trace.vpns,
-        switch_points=np.asarray(trace.switch_points, dtype=np.int64),
-        segment_owners=np.asarray(trace.segment_owners, dtype=np.int64),
-        subblock_factor=np.int64(trace.subblock_factor),
-        name=np.bytes_(trace.name.encode()),
-    )
-    # numpy appends .npz when absent; normalise the returned path.
-    return target if target.exists() else target.with_suffix(
-        target.suffix + ".npz"
-    )
+    if target.suffix != ".npz":
+        target = target.with_suffix(target.suffix + ".npz")
+    return target
+
+
+def save_trace(trace: Trace, path: str) -> Path:
+    """Write a trace (VPNs, switch points, owners) to ``.npz``.
+
+    The archive is serialised into an already-open atomic writer (temp
+    file + fsync + rename), so a crash mid-write leaves either the old
+    file or the new one — never a torn archive.
+    """
+    target = trace_target(path)
+    fault_point("io.save_trace", key=str(target))
+    with atomic_writer(target, "wb") as handle:
+        np.savez_compressed(
+            handle,
+            format=np.int64(TRACE_FORMAT),
+            vpns=trace.vpns,
+            switch_points=np.asarray(trace.switch_points, dtype=np.int64),
+            segment_owners=np.asarray(trace.segment_owners, dtype=np.int64),
+            subblock_factor=np.int64(trace.subblock_factor),
+            name=np.bytes_(trace.name.encode()),
+        )
+    return target
 
 
 def load_trace(path: str) -> Trace:
@@ -81,7 +100,9 @@ def save_space(space: AddressSpace, path: str) -> Path:
         ),
     }
     target = Path(path)
-    target.write_text(json.dumps(document))
+    fault_point("io.save_space", key=str(target))
+    with atomic_writer(target) as handle:
+        handle.write(json.dumps(document))
     return target
 
 

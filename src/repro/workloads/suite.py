@@ -419,17 +419,34 @@ def load_workload(
     trace_length: int = DEFAULT_TRACE_LENGTH,
     seed: int = 1234,
     with_trace: bool = True,
+    footprint_mb: Optional[float] = None,
 ) -> Workload:
     """Build one calibrated workload: address space(s) and trace.
 
     ``kernel`` has no trace (it only appears in the size figures); pass
     ``with_trace=False`` to skip trace generation for any workload.
+
+    ``name`` may be a paper workload (Table 1) or a modern production
+    model from :mod:`repro.workloads.modern`; ``footprint_mb`` selects
+    the footprint of a modern family member (the paper workloads are
+    pinned to their Table 1 footprints, so it is rejected for them).
     """
     spec = PAPER_WORKLOADS.get(name)
-    if spec is None:
+    if spec is not None and footprint_mb is not None:
         raise ConfigurationError(
-            f"unknown workload {name!r}; known: {sorted(PAPER_WORKLOADS)}"
+            f"workload {name!r} is calibrated to its Table 1 footprint; "
+            "footprint_mb applies only to modern workloads"
         )
+    if spec is None:
+        from repro.workloads.modern import MODERN_WORKLOADS
+
+        family = MODERN_WORKLOADS.get(name)
+        if family is None:
+            raise ConfigurationError(
+                f"unknown workload {name!r}; known: "
+                f"{sorted(PAPER_WORKLOADS) + sorted(MODERN_WORKLOADS)}"
+            )
+        spec = family.spec_for(footprint_mb)
     spaces: List[AddressSpace] = []
     for process in range(spec.processes):
         if spec.processes > 1:

@@ -77,18 +77,21 @@ def _region_vpns(
         return all_vpns
     keep = max(1, int(round(spec.npages * spec.fill)))
     if spec.clustered_fill:
-        # Bursty: keep a contiguous run within each page block, run length
-        # drawn so the average matches the fill fraction.
-        chosen: List[int] = []
+        # Bursty: keep a contiguous run within each page block.  Run
+        # lengths come from one multivariate-hypergeometric draw over the
+        # block capacities, so they sum to ``keep`` exactly and no block
+        # is favoured by address order (a binomial draw per block can
+        # overshoot, and truncating the overshoot would silently drop
+        # whole tail blocks).
         s = subblock_factor
-        for block_start in range(spec.base_vpn, spec.base_vpn + spec.npages, s):
-            block_len = min(s, spec.base_vpn + spec.npages - block_start)
-            run = int(np.clip(rng.binomial(block_len, spec.fill), 0, block_len))
-            chosen.extend(range(block_start, block_start + run))
-        if not chosen:
-            chosen = [spec.base_vpn]
-        return np.asarray(chosen[: max(keep, 1)] if len(chosen) > keep else chosen,
-                          dtype=np.int64)
+        starts = np.arange(spec.base_vpn, spec.base_vpn + spec.npages, s,
+                           dtype=np.int64)
+        capacities = np.minimum(s, spec.base_vpn + spec.npages - starts)
+        runs = rng.multivariate_hypergeometric(capacities, keep)
+        chosen: List[int] = []
+        for block_start, run in zip(starts, runs):
+            chosen.extend(range(int(block_start), int(block_start) + int(run)))
+        return np.asarray(chosen, dtype=np.int64)
     picked = rng.choice(spec.npages, size=keep, replace=False)
     picked.sort()
     return all_vpns[picked]

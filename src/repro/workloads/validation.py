@@ -14,7 +14,19 @@ the generators that drifts a workload away from the paper is caught by
   measured *region-level* density (pages mapped per populated 512-page
   region).  The paper's "sparse" means address-space scatter — what makes
   linear tables blow up in Figure 9 — not per-block emptiness: compress's
-  blocks are quite full while its regions are nearly empty.
+  blocks are quite full while its regions are nearly empty.  Every label
+  is checked: dense above :data:`DENSE_REGION_DENSITY`, sparse below
+  :data:`SPARSE_REGION_DENSITY`, and bursty inside
+  :data:`BURSTY_REGION_DENSITY_BAND` — so no workload escapes the audit
+  by sitting in the dense/sparse overlap.
+
+The modern production models (:mod:`repro.workloads.modern`) are audited
+with the same machinery: their footprint target is the planned page
+count the family encodes into the ``table1`` hashed-KB slot, and their
+miss-intensity target is the family's own ``miss_band`` (misses per 1000
+references, footprint-saturated) instead of a Table 1 column.  Audits of
+modern workloads run at the family's calibration (default) footprint
+unless ``footprint_mb`` says otherwise.
 """
 
 from __future__ import annotations
@@ -34,6 +46,9 @@ MISS_RATIO_BAND = (0.5, 2.0)
 #: scatter few pages per region.
 DENSE_REGION_DENSITY = 0.35
 SPARSE_REGION_DENSITY = 0.25
+#: Bursty spaces sit between scatter and full: above the sparse line,
+#: but with enough holes that they never look fully dense.
+BURSTY_REGION_DENSITY_BAND = (SPARSE_REGION_DENSITY, 0.90)
 
 #: Mirrors repro.experiments.table1's time model.
 MISS_PENALTY_CYCLES = 40
@@ -68,11 +83,27 @@ def check_workload(
     name: str,
     trace_length: int = 100_000,
     workload: Optional[Workload] = None,
+    footprint_mb: Optional[float] = None,
 ) -> CalibrationCheck:
-    """Audit one workload against its Table 1 targets."""
-    spec = PAPER_WORKLOADS[name]
+    """Audit one workload against its calibration targets.
+
+    Paper workloads audit against Table 1; modern workloads
+    (:mod:`repro.workloads.modern`) against their family's planned
+    footprint and miss band, at ``footprint_mb`` (default: the family's
+    calibration footprint).
+    """
+    spec = PAPER_WORKLOADS.get(name)
+    family = None
+    if spec is None:
+        from repro.workloads.modern import MODERN_WORKLOADS
+
+        family = MODERN_WORKLOADS[name]
+        spec = family.spec_for(footprint_mb)
     if workload is None:
-        workload = load_workload(name, trace_length=trace_length)
+        workload = load_workload(
+            name, trace_length=trace_length,
+            footprint_mb=footprint_mb if family is not None else None,
+        )
     problems: List[str] = []
 
     target_pages = spec.table1[4] * 1024 / 24.0
@@ -83,8 +114,12 @@ def check_workload(
         )
 
     measured_mr: Optional[float] = None
-    target_mr = implied_miss_ratio(spec.table1[3])
-    if workload.trace is not None and target_mr is not None:
+    target_mr = (
+        implied_miss_ratio(spec.table1[3]) if family is None else None
+    )
+    if workload.trace is not None and (
+        target_mr is not None or family is not None
+    ):
         from repro.mmu.simulate import collect_misses
         from repro.mmu.tlb import FullyAssociativeTLB
         from repro.os.translation_map import TranslationMap
@@ -94,11 +129,20 @@ def check_workload(
             workload.trace, FullyAssociativeTLB(64), tmap
         )
         measured_mr = stream.miss_ratio
-        ratio = measured_mr / target_mr
-        if not MISS_RATIO_BAND[0] <= ratio <= MISS_RATIO_BAND[1]:
-            problems.append(
-                f"miss intensity {ratio:.2f}x the Table 1 target"
-            )
+        if family is not None:
+            per_kref = 1000.0 * measured_mr
+            low, high = family.miss_band
+            if not low <= per_kref <= high:
+                problems.append(
+                    f"miss intensity {per_kref:.0f}/1k outside the "
+                    f"calibration band [{low:g}, {high:g}]"
+                )
+        else:
+            ratio = measured_mr / target_mr
+            if not MISS_RATIO_BAND[0] <= ratio <= MISS_RATIO_BAND[1]:
+                problems.append(
+                    f"miss intensity {ratio:.2f}x the Table 1 target"
+                )
 
     densities = [space.density(512) for space in workload.spaces]
     region_density = sum(densities) / len(densities)
@@ -109,6 +153,14 @@ def check_workload(
     if spec.density == "sparse" and region_density >= SPARSE_REGION_DENSITY:
         problems.append(
             f"labelled sparse but region density is {region_density:.2f}"
+        )
+    if spec.density == "bursty" and not (
+        BURSTY_REGION_DENSITY_BAND[0]
+        <= region_density
+        < BURSTY_REGION_DENSITY_BAND[1]
+    ):
+        problems.append(
+            f"labelled bursty but region density is {region_density:.2f}"
         )
 
     return CalibrationCheck(
@@ -127,10 +179,14 @@ def audit(
     names: Optional[Sequence[str]] = None,
     trace_length: int = 100_000,
 ) -> Dict[str, CalibrationCheck]:
-    """Audit every (or the named) workload."""
+    """Audit every (or the named) workload, paper and modern alike."""
+    if names is None:
+        from repro.workloads.modern import MODERN_WORKLOADS
+
+        names = list(PAPER_WORKLOADS) + list(MODERN_WORKLOADS)
     return {
         name: check_workload(name, trace_length)
-        for name in (names or PAPER_WORKLOADS)
+        for name in names
     }
 
 
@@ -158,7 +214,9 @@ def report(checks: Dict[str, CalibrationCheck]) -> ExperimentResult:
             "misses/1k (target)", "region density", "class", "verdict",
         ],
         rows=rows,
-        notes="Targets derive from Table 1 per DESIGN.md §2; tolerances: "
+        notes="Targets derive from Table 1 per DESIGN.md §2 (modern "
+        "workloads: from their family's planned footprint and miss "
+        f"band, DESIGN.md §5h); tolerances: "
         f"±{int(100 * FOOTPRINT_TOLERANCE)}% footprint, "
         f"{MISS_RATIO_BAND[0]}-{MISS_RATIO_BAND[1]}x miss intensity.",
     )

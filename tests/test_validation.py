@@ -47,6 +47,31 @@ class TestAudit:
         assert {row[0] for row in result.rows} == {"mp3d", "gcc"}
         assert all(row[-1] == "ok" for row in result.rows)
 
+    def test_bursty_workloads_sit_inside_the_band(self):
+        # spice and pthor are the paper's bursty spaces; before the band
+        # existed they could drift anywhere in the dense/sparse overlap
+        # without the audit noticing.
+        for name in ("spice", "pthor"):
+            check = check_workload(name, trace_length=20_000)
+            assert check.density_class == "bursty"
+            assert 0.25 <= check.region_density < 0.90, name
+
+    def test_detects_densified_bursty_workload(self):
+        # Fill every populated 512-page region of spice completely: still
+        # "bursty" by label, fully dense in fact — the audit must object.
+        from repro.workloads.suite import load_workload
+
+        workload = load_workload("spice", with_trace=False)
+        for space in workload.spaces:
+            regions = {vpn // 512 for vpn in space}
+            for region in regions:
+                for vpn in range(region * 512, (region + 1) * 512):
+                    if not space.is_mapped(vpn):
+                        space.map(vpn, vpn)
+        check = check_workload("spice", workload=workload)
+        assert not check.ok
+        assert any("bursty" in problem for problem in check.problems)
+
     def test_detects_footprint_drift(self):
         # Manufacture a drifted check via an undersized fake workload.
         from repro.workloads.suite import load_workload

@@ -5,7 +5,10 @@ import pytest
 
 from repro.addr.layout import AddressLayout
 from repro.errors import ConfigurationError
-from repro.workloads.io import load_space, load_trace, save_space, save_trace
+from repro.resilience.faults import FaultPlan, FaultRule, inject
+from repro.workloads.io import (
+    load_space, load_trace, save_space, save_trace, trace_target,
+)
 from repro.workloads.suite import load_workload
 from repro.workloads.trace import Trace
 
@@ -36,6 +39,54 @@ class TestTraceIO:
         np.savez(target, format=np.int64(99), vpns=np.arange(3))
         with pytest.raises(ConfigurationError):
             load_trace(str(target))
+
+    def test_suffixless_path_roundtrip(self, tmp_path):
+        trace = Trace([7, 8, 9], name="bare")
+        path = save_trace(trace, str(tmp_path / "bare"))
+        assert path.name == "bare.npz"
+        assert path.exists()
+        assert np.array_equal(load_trace(str(path)).vpns, trace.vpns)
+
+    def test_stale_file_does_not_hijack_returned_path(self, tmp_path):
+        # Regression: a leftover file at the bare path used to make the
+        # `target.exists()` probe return the stale bare path instead of
+        # the `.npz` the archive actually went to.
+        stale = tmp_path / "t"
+        stale.write_bytes(b"leftover from an older run")
+        trace = Trace([1, 2, 3], name="fresh")
+        path = save_trace(trace, str(stale))
+        assert path.name == "t.npz"
+        assert np.array_equal(load_trace(str(path)).vpns, trace.vpns)
+        assert stale.read_bytes() == b"leftover from an older run"
+
+    def test_default_segment_owners_roundtrip(self, tmp_path):
+        # No switch points: a single implicit owner must survive the
+        # `.tolist() or None` deserialisation path unchanged.
+        trace = Trace([4, 5, 6], name="solo")
+        loaded = load_trace(str(save_trace(trace, str(tmp_path / "solo"))))
+        assert loaded.segment_owners == trace.segment_owners
+        assert loaded.switch_points == ()
+
+    def test_trace_target_is_pure(self, tmp_path):
+        assert trace_target("x").name == "x.npz"
+        assert trace_target("x.npz").name == "x.npz"
+        assert trace_target("x.v2").name == "x.v2.npz"
+
+    def test_interrupted_save_leaves_previous_archive_intact(self, tmp_path):
+        original = Trace([10, 11], name="orig")
+        path = save_trace(original, str(tmp_path / "t"))
+        plan = FaultPlan((FaultRule("io.save_trace", "raise-enospc"),))
+        with inject(plan):
+            with pytest.raises(OSError):
+                save_trace(Trace([99], name="new"), str(tmp_path / "t"))
+        assert np.array_equal(load_trace(str(path)).vpns, original.vpns)
+
+    def test_interrupted_save_leaves_no_partial_file(self, tmp_path):
+        plan = FaultPlan((FaultRule("io.save_trace", "raise-eio"),))
+        with inject(plan):
+            with pytest.raises(OSError):
+                save_trace(Trace([1], name="t"), str(tmp_path / "t"))
+        assert list(tmp_path.iterdir()) == []
 
 
 class TestSpaceIO:
@@ -77,3 +128,24 @@ class TestSpaceIO:
         a = save_space(dense_space, str(tmp_path / "a.json")).read_text()
         b = save_space(dense_space, str(tmp_path / "b.json")).read_text()
         assert a == b
+
+    def test_interrupted_save_leaves_previous_snapshot_intact(
+        self, tmp_path, dense_space
+    ):
+        path = save_space(dense_space, str(tmp_path / "s.json"))
+        before = path.read_text()
+        plan = FaultPlan((FaultRule("io.save_space", "raise-enospc"),))
+        with inject(plan):
+            with pytest.raises(OSError):
+                save_space(dense_space, str(path))
+        assert path.read_text() == before
+        assert len(load_space(str(path))) == len(dense_space)
+
+    def test_interrupted_save_leaves_no_partial_file(
+        self, tmp_path, dense_space
+    ):
+        plan = FaultPlan((FaultRule("io.save_space", "raise-oserror"),))
+        with inject(plan):
+            with pytest.raises(OSError):
+                save_space(dense_space, str(tmp_path / "s.json"))
+        assert list(tmp_path.iterdir()) == []

@@ -54,6 +54,27 @@ class TestBuildAddressSpace:
         # expectation for the same fill.
         assert space.mean_block_population() > 4
 
+    @pytest.mark.parametrize("seed", [0, 3, 11, 42])
+    def test_clustered_fill_realizes_exact_fraction(self, layout, seed):
+        # Regression: the old per-block binomial draws over/undershot the
+        # target and the overshoot was truncated as `chosen[:keep]`,
+        # silently dropping entire tail blocks.
+        spec = RegionSpec("r", 0x100, 3200, fill=0.5)
+        space = build_address_space([spec], layout, seed=seed)
+        assert len(space) == round(3200 * 0.5)
+
+    @pytest.mark.parametrize("seed", [0, 3, 11, 42])
+    def test_clustered_fill_has_no_low_address_bias(self, layout, seed):
+        # Regression: truncation concentrated the mapped subset at low
+        # addresses; both halves of the region must carry their share.
+        spec = RegionSpec("r", 0x100, 3200, fill=0.5)
+        space = build_address_space([spec], layout, seed=seed)
+        vpns = np.asarray(space.vpns())
+        midpoint = 0x100 + 1600
+        low, high = (vpns < midpoint).sum(), (vpns >= midpoint).sum()
+        assert high > 0.35 * len(vpns)
+        assert abs(int(low) - int(high)) < 0.2 * len(vpns)
+
     def test_uniform_fill_is_sparser(self, layout):
         bursty = build_address_space(
             [RegionSpec("r", 0x100, 1600, fill=0.3)], layout, seed=3
