@@ -1,5 +1,8 @@
-"""Bench-regression gate: fresh ``BENCH_numa.json`` vs the committed baseline.
+"""Bench-regression gate: fresh bench documents vs history and baselines.
 
+Two gating modes share this script:
+
+**Legacy single-baseline mode** (``--fresh``): the original NUMA gate.
 The NUMA sweep is fully deterministic (synthetic traces, fixed seeds,
 simulated latencies), so its per-config cycles-per-miss numbers are a
 *behavioural* signature, not a wall-clock one: any drift means the walk
@@ -8,25 +11,37 @@ CI runs ``bench_numa.py --fast`` and this gate fails the lane when any
 ``... cyc/miss`` column regresses (grows) by more than the threshold
 against ``benchmarks/baselines/BENCH_numa.json``.
 
-Improvements (numbers shrinking) never fail the gate, but are reported
-so an intentional change prompts a baseline refresh::
+**Ledger mode** (``--family FAMILY=FILE`` with ``--ledger``): every
+bench family — numa, batch, tenancy, modern — gated against *noise
+bands* derived from the cross-run ledger (:mod:`repro.obs.ledger`):
+median ± k·MAD over the last N comparable entries per (config, metric).
+Deterministic metrics collapse to near-exact bands; wall-clock ones
+widen to their measured noise.  While a key's history is thinner than
+``--min-history`` entries, the gate falls back to the committed
+single baseline in ``--baseline-dir`` with the flat ``--threshold``.
+``--record`` appends the fresh document's rows to the ledger after a
+passing gate, so green runs grow the very history that tightens future
+gates.
 
-    PYTHONPATH=src python benchmarks/bench_numa.py --fast \
-        --out benchmarks/baselines/BENCH_numa.json
+Improvements are **events, not just notes**: a metric that improves
+beyond its band (or, in baseline fallback, beyond the threshold) is
+recorded to the ledger as an ``improvement`` event, which resets band
+derivation for that key — an intentional speedup refreshes expectations
+instead of silently widening tolerated drift forever.
 
 The gate also validates run-report sidecars (``report.json``, written by
 ``repro.cli report``): a profiled CI run must produce a sidecar whose
 schema downstream tooling can rely on, and a missing or malformed one
 fails the lane just like a cycles/miss regression.
 
-It further gates the batch replay engine (``BENCH_batch.json``, written
-by ``bench_batch.py``): the aggregate speedup over the Figure 11
-configurations — total scalar replay time over total batch replay time
-— must stay at or above ``--speedup-floor`` (default 10x).  The
-aggregate is gated rather than the per-config minimum because the batch
-engine's fixed kernel-compilation cost dominates tiny miss streams;
-any config where batch is *slower* than scalar is still reported as a
-note.
+It further gates the batch replay engine (``BENCH_batch.json``, via
+``--speedup`` or ``--family batch=...``): the aggregate speedup over the
+Figure 11 configurations — total scalar replay time over total batch
+replay time — must stay at or above ``--speedup-floor`` (default 10x).
+The aggregate is gated rather than the per-config minimum because the
+batch engine's fixed kernel-compilation cost dominates tiny miss
+streams; any config where batch is *slower* than scalar is still
+reported as a note.
 
 Usage::
 
@@ -34,6 +49,11 @@ Usage::
         [--baseline benchmarks/baselines/BENCH_numa.json] [--threshold 0.10] \
         [--report-sidecar run-dir/report.json] \
         [--speedup BENCH_batch.json] [--speedup-floor 10.0]
+
+    python benchmarks/bench_gate.py \
+        --family numa=BENCH_numa.json --family batch=BENCH_batch.json \
+        --ledger ledger.jsonl --record [--band-k 4.0] [--band-window 20] \
+        [--min-history 3] [--baseline-dir benchmarks/baselines]
 """
 
 from __future__ import annotations
@@ -42,7 +62,7 @@ import argparse
 import json
 import os
 import sys
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 #: The regression-gated metric columns of each config record.
 GATED_COLUMNS = ("none cyc/miss", "mitosis cyc/miss", "migrate cyc/miss")
@@ -50,10 +70,25 @@ GATED_COLUMNS = ("none cyc/miss", "mitosis cyc/miss", "migrate cyc/miss")
 #: Config identity: one sweep row per (workload/table, node count).
 _KEY_COLUMNS = ("workload/table", "nodes")
 
-DEFAULT_BASELINE = os.path.join(
-    os.path.dirname(os.path.abspath(__file__)), "baselines", "BENCH_numa.json"
+_BASELINE_DIR = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "baselines"
 )
+DEFAULT_BASELINE = os.path.join(_BASELINE_DIR, "BENCH_numa.json")
 DEFAULT_THRESHOLD = 0.10
+
+
+def _obs_ledger():
+    """Import :mod:`repro.obs.ledger`, adding ``src/`` when uninstalled."""
+    try:
+        from repro.obs import ledger
+    except ImportError:
+        src = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+        )
+        if src not in sys.path:
+            sys.path.insert(0, src)
+        from repro.obs import ledger
+    return ledger
 
 
 def _load(path: str) -> dict:
@@ -72,18 +107,18 @@ def _index(document: dict) -> Dict[Tuple, dict]:
     return configs
 
 
-def compare(
-    fresh: dict, baseline: dict, threshold: float = DEFAULT_THRESHOLD
-) -> Tuple[List[str], List[str]]:
-    """(regressions, notes) between two benchmark documents.
+def _compare_full(
+    fresh: dict, baseline: dict, threshold: float
+) -> Tuple[List[str], List[str], List[Tuple[Tuple, str, float, float]]]:
+    """(regressions, notes, improvements) between two benchmark documents.
 
-    A regression is a gated column growing by more than ``threshold``
-    (relative) on a config present in both documents.  Configs present
-    on only one side are notes, not failures — the config matrix is
-    allowed to grow.
+    Improvements come back structured — ``(config_key, column, old,
+    new)`` — so ledger mode can record them as band-resetting events
+    instead of losing them in the notes (the old asymmetry).
     """
     regressions: List[str] = []
     notes: List[str] = []
+    improvements: List[Tuple[Tuple, str, float, float]] = []
     fresh_configs = _index(fresh)
     base_configs = _index(baseline)
     for key in sorted(base_configs.keys() - fresh_configs.keys()):
@@ -111,6 +146,21 @@ def compare(
                     f"{key} {column}: improved {old:.3f} -> {new:.3f} "
                     f"({100 * change:.1f}%); consider refreshing the baseline"
                 )
+                improvements.append((key, column, old, new))
+    return regressions, notes, improvements
+
+
+def compare(
+    fresh: dict, baseline: dict, threshold: float = DEFAULT_THRESHOLD
+) -> Tuple[List[str], List[str]]:
+    """(regressions, notes) between two benchmark documents.
+
+    A regression is a gated column growing by more than ``threshold``
+    (relative) on a config present in both documents.  Configs present
+    on only one side are notes, not failures — the config matrix is
+    allowed to grow.
+    """
+    regressions, notes, _ = _compare_full(fresh, baseline, threshold)
     return regressions, notes
 
 
@@ -230,15 +280,168 @@ def _gate_sidecar(path: str) -> int:
     return 0
 
 
+# ---------------------------------------------------------------------------
+# Ledger mode: every family, noise bands, baseline fallback
+# ---------------------------------------------------------------------------
+def _baseline_values(
+    obs, family: str, baseline_dir: str, trace_length
+) -> Tuple[Dict[Tuple[str, str], float], List[str]]:
+    """(config, metric) → value from the committed family baseline.
+
+    An absent baseline or a trace-length mismatch yields an empty map
+    plus a note — affected metrics stay ungated rather than mis-gated
+    against incomparable numbers.
+    """
+    path = os.path.join(baseline_dir, f"BENCH_{family}.json")
+    if not os.path.exists(path):
+        return {}, [f"{family}: no committed baseline at {path}"]
+    try:
+        document = _load(path)
+    except ValueError as error:
+        return {}, [f"{family}: baseline {path} is not JSON: {error}"]
+    if trace_length is not None and document.get("trace_length") != trace_length:
+        return {}, [
+            f"{family}: baseline trace_length "
+            f"{document.get('trace_length')} != fresh {trace_length}; "
+            "baseline fallback disabled"
+        ]
+    values = {
+        (row.config, row.metric): row.value
+        for row in obs.rows_from_bench(document, source=path)
+    }
+    return values, []
+
+
+def _gate_family(
+    family: str,
+    path: str,
+    ledger,
+    obs,
+    threshold: float,
+    band_k: float,
+    band_window: int,
+    min_history: int,
+    baseline_dir: str,
+    speedup_floor: float,
+) -> Tuple[int, list, list]:
+    """Gate one family document; returns (exit_code, rows, improvements)."""
+    if not os.path.exists(path):
+        print(f"[bench gate] FAIL: {family}: {path} does not exist")
+        return 1, [], []
+    try:
+        document = _load(path)
+    except ValueError as error:
+        print(f"[bench gate] FAIL: {family}: {path} is not JSON: {error}")
+        return 1, [], []
+    if document.get("benchmark") != family:
+        print(
+            f"[bench gate] FAIL: {path} is a "
+            f"{document.get('benchmark')!r} document, expected {family!r}"
+        )
+        return 1, [], []
+    gated_metrics = obs.GATED_METRICS.get(family, {})
+    rows = obs.rows_from_bench(document, source=path, stamp=obs.current_stamp())
+    state = ledger.load() if ledger is not None else None
+    trace_length = document.get("trace_length")
+    baseline, baseline_notes = _baseline_values(
+        obs, family, baseline_dir, trace_length
+    )
+    for note in baseline_notes:
+        print(f"[bench gate] note: {note}")
+
+    regressions: List[str] = []
+    improvements = []
+    by_band = by_baseline = ungated = 0
+    for row in rows:
+        direction = gated_metrics.get(row.metric)
+        if direction is None:
+            continue
+        band = None
+        if state is not None:
+            band = state.band_for(
+                family, row.config, row.metric,
+                last=band_window, trace_length=row.trace_length,
+                min_history=min_history, k=band_k,
+            )
+        if band is not None:
+            by_band += 1
+            verdict = band.classify(row.value, direction)
+            if verdict == "regression":
+                regressions.append(
+                    f"{family} {row.config} {row.metric}: {row.value:.4g} "
+                    f"outside band [{band.lo:.4g}, {band.hi:.4g}] "
+                    f"(median {band.median:.4g} over {band.count} runs)"
+                )
+            elif verdict == "improvement":
+                improvements.append((row, band.median, "band"))
+            continue
+        base = baseline.get((row.config, row.metric))
+        if base is None or base == 0:
+            ungated += 1
+            continue
+        by_baseline += 1
+        change = (row.value - base) / abs(base)
+        if direction == "higher":
+            change = -change
+        if change > threshold:
+            regressions.append(
+                f"{family} {row.config} {row.metric}: {base:.4g} -> "
+                f"{row.value:.4g} (worse by {100 * abs(change):.1f}% > "
+                f"{100 * threshold:.0f}%)"
+            )
+        elif change < -threshold:
+            improvements.append((row, base, "baseline"))
+
+    floor_status = 0
+    if family == "batch":
+        floor_status = _gate_speedup(path, speedup_floor)
+
+    for row, old, basis in improvements:
+        print(
+            f"[bench gate] improvement: {family} {row.config} "
+            f"{row.metric}: {old:.4g} -> {row.value:.4g} ({basis})"
+        )
+    if ungated:
+        print(
+            f"[bench gate] note: {family}: {ungated} gated metric value(s) "
+            "have neither ledger history nor a comparable baseline"
+        )
+    if regressions:
+        for line in regressions:
+            print(f"[bench gate] REGRESSION: {line}")
+        print(
+            f"[bench gate] FAIL: {family}: {len(regressions)} regression(s) "
+            f"({by_band} band-gated, {by_baseline} baseline-gated)"
+        )
+        return 1, rows, improvements
+    print(
+        f"[bench gate] {family} OK: {by_band} band-gated, "
+        f"{by_baseline} baseline-gated, {ungated} ungated"
+    )
+    return floor_status, rows, improvements
+
+
+def _record_improvements(ledger, obs, family: str, improvements) -> None:
+    """Append band-resetting improvement events for one family's gate."""
+    for row, old, basis in improvements:
+        ledger.append_event(obs.LedgerEvent(
+            kind="improvement", family=family, config=row.config,
+            metric=row.metric, old=float(old), new=float(row.value),
+            note=f"gate improvement vs {basis}", git_sha=row.git_sha,
+            recorded_at=row.recorded_at,
+        ))
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
-        description="Fail when a fresh NUMA benchmark regresses cycles/miss "
-        "against the committed baseline, or a run-report sidecar is "
-        "missing or malformed."
+        description="Fail when a fresh benchmark document regresses against "
+        "ledger noise bands or the committed baseline, or a run-report "
+        "sidecar is missing or malformed."
     )
     parser.add_argument(
         "--fresh", metavar="FILE", default=None,
-        help="freshly generated BENCH_numa.json",
+        help="freshly generated BENCH_numa.json (legacy single-baseline "
+        "mode)",
     )
     parser.add_argument(
         "--baseline", metavar="FILE", default=DEFAULT_BASELINE,
@@ -264,20 +467,98 @@ def main(argv=None) -> int:
         help="minimum aggregate batch-over-scalar speedup "
         f"(default {DEFAULT_SPEEDUP_FLOOR})",
     )
+    parser.add_argument(
+        "--family", metavar="FAMILY=FILE", action="append", default=[],
+        help="gate one bench family (numa|batch|tenancy|modern) from FILE "
+        "against ledger noise bands, falling back to the committed "
+        "baseline while history is thin; repeatable",
+    )
+    parser.add_argument(
+        "--ledger", metavar="FILE", default=None,
+        help="cross-run benchmark ledger (JSONL) supplying noise-band "
+        "history for --family gates and receiving improvement events",
+    )
+    parser.add_argument(
+        "--record", action="store_true",
+        help="append the fresh rows of passing --family gates to --ledger",
+    )
+    parser.add_argument(
+        "--band-k", type=float, default=None, metavar="K",
+        help="noise-band half-width in MADs (default 4.0)",
+    )
+    parser.add_argument(
+        "--band-window", type=int, default=None, metavar="N",
+        help="ledger entries per key feeding a band (default 20)",
+    )
+    parser.add_argument(
+        "--min-history", type=int, default=None, metavar="N",
+        help="entries required before bands replace the baseline "
+        "fallback (default 3)",
+    )
+    parser.add_argument(
+        "--baseline-dir", metavar="DIR", default=_BASELINE_DIR,
+        help="directory of committed BENCH_<family>.json baselines "
+        f"(default {_BASELINE_DIR})",
+    )
     args = parser.parse_args(argv)
-    if args.fresh is None and args.report_sidecar is None and args.speedup is None:
+    if (
+        args.fresh is None and args.report_sidecar is None
+        and args.speedup is None and not args.family
+    ):
         parser.error(
-            "nothing to gate: pass --fresh, --report-sidecar, and/or --speedup"
+            "nothing to gate: pass --fresh, --family, --report-sidecar, "
+            "and/or --speedup"
         )
-    sidecar_status = 0
+    if args.record and args.ledger is None:
+        parser.error("--record needs --ledger")
+    status = 0
     if args.report_sidecar is not None:
-        sidecar_status = _gate_sidecar(args.report_sidecar)
+        status = _gate_sidecar(args.report_sidecar)
     if args.speedup is not None:
-        sidecar_status = max(
-            sidecar_status, _gate_speedup(args.speedup, args.speedup_floor)
+        status = max(status, _gate_speedup(args.speedup, args.speedup_floor))
+
+    obs = _obs_ledger() if (args.family or args.ledger) else None
+    ledger = (
+        obs.BenchLedger(args.ledger)
+        if obs is not None and args.ledger is not None else None
+    )
+    band_k = args.band_k if args.band_k is not None else (
+        obs.DEFAULT_BAND_K if obs else 4.0
+    )
+    band_window = args.band_window if args.band_window is not None else (
+        obs.DEFAULT_BAND_WINDOW if obs else 20
+    )
+    min_history = args.min_history if args.min_history is not None else (
+        obs.DEFAULT_MIN_HISTORY if obs else 3
+    )
+
+    for spec in args.family:
+        family, _, path = spec.partition("=")
+        if not path:
+            parser.error(f"--family wants FAMILY=FILE, got {spec!r}")
+        if family not in obs.GATED_METRICS:
+            parser.error(
+                f"unknown family {family!r}; "
+                f"known: {', '.join(sorted(obs.GATED_METRICS))}"
+            )
+        family_status, rows, improvements = _gate_family(
+            family, path, ledger, obs, args.threshold, band_k,
+            band_window, min_history, args.baseline_dir, args.speedup_floor,
         )
+        if ledger is not None and improvements:
+            _record_improvements(ledger, obs, family, improvements)
+        if family_status == 0 and args.record and ledger is not None and rows:
+            written = ledger.append_rows(rows)
+            print(
+                f"[bench gate] recorded {written} {family} row(s) to "
+                f"{args.ledger}" if written else
+                f"[bench gate] note: {family} rows already in {args.ledger} "
+                "(duplicate run_id)"
+            )
+        status = max(status, family_status)
+
     if args.fresh is None:
-        return sidecar_status
+        return status
     fresh = _load(args.fresh)
     baseline = _load(args.baseline)
     if fresh.get("trace_length") != baseline.get("trace_length"):
@@ -287,9 +568,22 @@ def main(argv=None) -> int:
             f"{baseline.get('trace_length')}); numbers are not comparable"
         )
         return 2
-    regressions, notes = compare(fresh, baseline, args.threshold)
+    regressions, notes, improvements = _compare_full(
+        fresh, baseline, args.threshold
+    )
     for note in notes:
         print(f"[bench gate] note: {note}")
+    if ledger is not None and improvements:
+        # The old asymmetry: improvements were notes only.  Now they
+        # reset the numa bands like any other family's improvements.
+        for key, column, old, new in improvements:
+            config = f"{key[0]}/{key[1]}n"
+            ledger.append_event(obs.LedgerEvent(
+                kind="improvement", family="numa", config=config,
+                metric=column, old=old, new=new,
+                note="legacy gate improvement vs baseline",
+                git_sha=obs.git_sha(),
+            ))
     gated = len(_index(fresh).keys() & _index(baseline).keys())
     if regressions:
         for line in regressions:
@@ -299,7 +593,7 @@ def main(argv=None) -> int:
         return 1
     print(f"[bench gate] OK: {gated} config(s) within "
           f"{100 * args.threshold:.0f}% of baseline")
-    return sidecar_status
+    return status
 
 
 if __name__ == "__main__":

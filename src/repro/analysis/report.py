@@ -135,6 +135,153 @@ def _load_json(path: Path) -> Optional[Dict[str, object]]:
     return json.loads(path.read_text(encoding="utf-8"))
 
 
+def _spark(values: Sequence[float]) -> str:
+    """Min-max normalised sparkline over a metric's history.
+
+    Uses the non-blank glyphs only, so every present value renders
+    visibly; a flat series renders as a mid-height line.
+    """
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    top = len(_HEAT_GLYPHS) - 1
+    if hi <= lo:
+        return _HEAT_GLYPHS[top // 2] * len(values)
+    return "".join(
+        _HEAT_GLYPHS[max(1, round((value - lo) / (hi - lo) * top))]
+        for value in values
+    )
+
+
+# ---------------------------------------------------------------------------
+# Cross-run renderers (repro trend / repro compare RUN_A RUN_B)
+# ---------------------------------------------------------------------------
+def render_ledger_trend(
+    state,
+    last: int = 20,
+    families: Optional[Sequence[str]] = None,
+    gated_only: bool = True,
+) -> str:
+    """Per-metric sparklines over a loaded ledger (``repro trend``).
+
+    ``state`` is a :class:`repro.obs.ledger.LedgerState`.  By default
+    only regression-gated metrics (plus the run family's wall seconds)
+    are shown; ``gated_only=False`` trends every key the ledger holds.
+    Band derivation rules apply: history restarts after the latest
+    improvement event for a key.
+    """
+    from repro.obs.ledger import GATED_METRICS
+
+    def wanted(family: str, metric: str) -> bool:
+        if families and family not in families:
+            return False
+        if not gated_only:
+            return True
+        if family == "run":
+            return metric == "wall_seconds"
+        return metric in GATED_METRICS.get(family, {})
+
+    rows = []
+    for family, config, metric in state.keys():
+        if not wanted(family, metric):
+            continue
+        values = state.history(family, config, metric, last=last)
+        if not values:
+            continue
+        rows.append([
+            family, config, metric, len(values),
+            _spark(values), values[-1],
+        ])
+    if not rows:
+        return (
+            "ledger trend: no matching history — ingest bench documents "
+            "with `bench_gate.py --record` first"
+        )
+    return render_table(
+        ["family", "config", "metric", "n", f"last {last}", "latest"],
+        rows, title="Cross-run trend (oldest → newest)", precision=4,
+    )
+
+
+def render_run_delta(
+    rows_a: Sequence, rows_b: Sequence, label_a: str, label_b: str
+) -> str:
+    """Delta table between two runs' ledger rows (``repro compare A B``).
+
+    ``rows_a``/``rows_b`` are :class:`repro.obs.ledger.LedgerRow` lists
+    (from :func:`repro.obs.ledger.rows_from_run_dir`); rows join on
+    ``(family, config, metric)``.  Keys present on only one side are
+    summarised, not dropped silently.
+    """
+    index_a = {row.key: row.value for row in rows_a}
+    index_b = {row.key: row.value for row in rows_b}
+    shared = sorted(index_a.keys() & index_b.keys())
+    rows = []
+    for key in shared:
+        family, config, metric = key
+        a, b = index_a[key], index_b[key]
+        if a != 0:
+            delta = f"{100.0 * (b - a) / abs(a):+.1f}%"
+        else:
+            delta = "-" if b == 0 else "new"
+        rows.append([family, config, metric, a, b, delta])
+    lines = []
+    if rows:
+        lines.append(render_table(
+            ["family", "config", "metric", label_a, label_b, "delta"],
+            rows, title=f"Run comparison: {label_a} vs {label_b}",
+            precision=4,
+        ))
+    else:
+        lines.append(
+            f"run comparison: no shared (family, config, metric) keys "
+            f"between {label_a} and {label_b}"
+        )
+    only_a = len(index_a.keys() - index_b.keys())
+    only_b = len(index_b.keys() - index_a.keys())
+    if only_a or only_b:
+        lines.append("")
+        lines.append(
+            f"[{only_a} metric(s) only in {label_a}, "
+            f"{only_b} only in {label_b}]"
+        )
+    return "\n".join(lines)
+
+
+#: Most trajectory rows a run report shows before truncating.
+_TRAJECTORY_LIMIT = 24
+
+
+def _trajectory_keys(root: Path) -> List[Tuple[str, str, str]]:
+    """The headline (family, config, metric) keys of one run directory.
+
+    Every regression-gated metric of every ``BENCH_*.json`` present,
+    plus the run's wall clock.  Order is deterministic: families in
+    file order, configs and metrics sorted.
+    """
+    from repro.obs.ledger import GATED_METRICS, rows_from_bench
+    from repro.resilience.journal import METRICS_NAME
+
+    keys: List[Tuple[str, str, str]] = []
+    for path in sorted(root.glob("BENCH_*.json")):
+        doc = _load_json(path)
+        if not isinstance(doc, dict) or not doc.get("benchmark"):
+            continue
+        family = str(doc["benchmark"])
+        gated = GATED_METRICS.get(family, {})
+        try:
+            rows = rows_from_bench(doc, source=path.name)
+        except ValueError:
+            continue
+        for row in sorted(rows, key=lambda r: (r.config, r.metric)):
+            if row.metric in gated:
+                keys.append(row.key)
+    if (root / METRICS_NAME).exists():
+        keys.append(("run", "*", "wall_seconds"))
+    return keys
+
+
+
 def _render_speedup_dips(doc: Dict[str, object]) -> List[str]:
     """Markdown lines for a speedup bench doc's per-config dips.
 
@@ -177,7 +324,9 @@ def _render_speedup_dips(doc: Dict[str, object]) -> List[str]:
     return lines
 
 
-def render_run_report(run_dir: os.PathLike) -> Tuple[str, Dict[str, object]]:
+def render_run_report(
+    run_dir: os.PathLike, ledger_path: Optional[os.PathLike] = None
+) -> Tuple[str, Dict[str, object]]:
     """One self-contained markdown report for a run directory.
 
     Reads every artefact the runner leaves behind — ``journal.jsonl``,
@@ -186,6 +335,11 @@ def render_run_report(run_dir: os.PathLike) -> Tuple[str, Dict[str, object]]:
     report and its machine-readable JSON sidecar (schema gated by
     ``benchmarks/bench_gate.py``).  Absent artefacts degrade to an
     explicit note, never silently.
+
+    ``ledger_path`` (or the resolvable default — ``$REPRO_LEDGER``, then
+    an existing ``ledger.jsonl`` beside the run) adds a **trajectory**
+    section: a last-5-runs sparkline per headline metric from the
+    cross-run ledger, with missing history called out explicitly.
     """
     from repro.obs.metrics import MetricsRegistry
     from repro.obs.profile import WalkProfile
@@ -414,6 +568,60 @@ def render_run_report(run_dir: os.PathLike) -> Tuple[str, Dict[str, object]]:
         )
         lines.append("")
 
+    # -- trajectory --------------------------------------------------------
+    from repro.obs.ledger import BenchLedger, default_ledger_path
+
+    resolved_ledger = (
+        Path(ledger_path) if ledger_path is not None
+        else default_ledger_path(root)
+    )
+    trajectory: List[Dict[str, object]] = []
+    lines.append("## Trajectory")
+    lines.append("")
+    if resolved_ledger is None or not Path(resolved_ledger).exists():
+        lines.append(
+            "*No ledger — pass `--ledger FILE` (or set `REPRO_LEDGER`) "
+            "to trend this run's headline metrics across runs.*"
+        )
+    else:
+        state = BenchLedger(resolved_ledger).load()
+        keys = _trajectory_keys(root)
+        shown = keys[:_TRAJECTORY_LIMIT]
+        rows = []
+        for family, config, metric in shown:
+            values = state.history(family, config, metric, last=5)
+            rows.append([
+                family, config, metric, len(values),
+                _spark(values) if values else "(no history)",
+                values[-1] if values else None,
+            ])
+            trajectory.append({
+                "family": family, "config": config, "metric": metric,
+                "history": values,
+            })
+        if rows:
+            lines.append(f"Ledger: `{resolved_ledger}` — last 5 runs per "
+                         "headline metric (oldest → newest):")
+            lines.append("")
+            lines.append("```text")
+            lines.append(render_table(
+                ["family", "config", "metric", "n", "last 5", "latest"],
+                rows, precision=4,
+            ))
+            lines.append("```")
+            if len(keys) > len(shown):
+                lines.append("")
+                lines.append(
+                    f"*(+{len(keys) - len(shown)} more metric(s) — "
+                    "see `repro trend` for the full set.)*"
+                )
+        else:
+            lines.append(
+                "*No headline metrics in this run directory (no "
+                "`BENCH_*.json` or `metrics.json`).*"
+            )
+    lines.append("")
+
     markdown = "\n".join(lines).rstrip() + "\n"
     sidecar: Dict[str, object] = {
         "report_version": REPORT_VERSION,
@@ -436,6 +644,7 @@ def render_run_report(run_dir: os.PathLike) -> Tuple[str, Dict[str, object]]:
         "journal": journal_summary,
         "trace": trace_info,
         "bench": bench,
+        "trajectory": trajectory,
     }
     return markdown, sidecar
 

@@ -21,17 +21,28 @@ Commands
 ``topology [NAME|FILE] [--validate FILE]``
     NUMA machine models: list the presets, print one preset's (or a JSON
     file's) latency matrix, or validate a topology JSON file.
-``compare WORKLOAD``
-    Quick both-metrics shoot-out for one workload.
+``compare WORKLOAD`` / ``compare RUN_A RUN_B``
+    With one workload name: quick both-metrics shoot-out.  With two run
+    directories: a cross-run delta table over every (family, config,
+    metric) the two runs share (metrics.json, report.json walk profile,
+    and any ``BENCH_*.json``).
+``trend [--ledger FILE] [--family F] [--last N] [--all]``
+    Per-metric sparklines over the cross-run benchmark ledger (gated
+    metrics by default; ``--all`` trends every key).
+``watch RUN_DIR [--once] [--stall-timeout S] [--interval S]``
+    Tail a run directory's heartbeat + journal: progress bar, phase,
+    ETA (from ledger history when available), and loud stall detection.
+    Exit codes: 0 finished, 1 interrupted/failed, 2 missing, 3 stalled.
 ``metrics [ID] [--fast] [--json] [--from DIR]``
     Dump a metrics registry: either run one experiment (default
     ``table1``) and dump the live process-wide registry, or — with
     ``--from DIR`` — load a finished run's persisted ``metrics.json``
     from its run directory and dump that instead.
-``report RUN_DIR``
+``report RUN_DIR [--ledger FILE]``
     Render one self-contained markdown report for a run directory
     (metrics block, phase/span summary, walk-cost percentiles per table,
-    failure manifest, bench artefacts); writes ``report.md`` plus a JSON
+    failure manifest, bench artefacts, cross-run trajectory sparklines
+    when a ledger is available); writes ``report.md`` plus a JSON
     sidecar ``report.json`` into the run directory and prints the
     markdown.
 ``validate``
@@ -358,7 +369,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
     run_dir = Path(args.run_dir)
     try:
-        markdown, sidecar = render_run_report(run_dir)
+        markdown, sidecar = render_run_report(
+            run_dir, ledger_path=getattr(args, "ledger", None)
+        )
     except FileNotFoundError as exc:
         print(str(exc))
         return 1
@@ -382,6 +395,10 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
+    import os
+
+    if os.path.isdir(args.workload) or getattr(args, "run_b", None):
+        return _cmd_compare_runs(args)
     from repro.mmu.simulate import collect_misses, replay_misses
     from repro.mmu.tlb import FullyAssociativeTLB
     from repro.os.translation_map import TranslationMap
@@ -405,6 +422,89 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         ),
     ))
     return 0
+
+
+def _cmd_compare_runs(args: argparse.Namespace) -> int:
+    """``compare RUN_A RUN_B``: cross-run delta over ledger rows."""
+    from pathlib import Path
+
+    from repro.analysis.report import render_run_delta
+    from repro.obs.ledger import rows_from_run_dir
+
+    run_a, run_b = args.workload, getattr(args, "run_b", None)
+    if run_b is None:
+        print(
+            f"compare: {run_a} is a run directory — pass a second run "
+            "directory to diff against (compare RUN_A RUN_B)"
+        )
+        return 1
+    try:
+        rows_a = rows_from_run_dir(run_a)
+        rows_b = rows_from_run_dir(run_b)
+    except FileNotFoundError as exc:
+        print(str(exc))
+        return 1
+    print(render_run_delta(
+        rows_a, rows_b, Path(run_a).name or str(run_a),
+        Path(run_b).name or str(run_b),
+    ))
+    return 0
+
+
+def _cmd_trend(args: argparse.Namespace) -> int:
+    """``trend``: per-metric sparklines over the cross-run ledger."""
+    from pathlib import Path
+
+    from repro.analysis.report import render_ledger_trend
+    from repro.obs.ledger import BenchLedger, default_ledger_path
+
+    path = Path(args.ledger) if args.ledger else default_ledger_path()
+    if path is None or not path.exists():
+        print(
+            "trend: no ledger found — pass --ledger FILE or set "
+            "REPRO_LEDGER (bench_gate.py --record creates one)"
+        )
+        return 1
+    state = BenchLedger(path).load()
+    families = args.family.split(",") if args.family else None
+    print(render_ledger_trend(
+        state, last=args.last, families=families,
+        gated_only=not args.all,
+    ))
+    if state.torn_lines or state.incompatible:
+        print(
+            f"[ledger: {state.torn_lines} torn line(s), "
+            f"{state.incompatible} incompatible row(s) skipped]"
+        )
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    """``watch RUN_DIR``: tail heartbeat + journal with stall detection."""
+    from repro.obs.watch import watch
+
+    return watch(
+        args.run_dir,
+        ledger_path=args.ledger,
+        stall_timeout=args.stall_timeout,
+        interval=args.interval,
+        once=args.once,
+    )
+
+
+def _compare_target(value: str):
+    """A ``compare`` positional: a paper workload or a run directory."""
+    import os
+
+    if value in sorted(set(PAPER_WORKLOADS) - {"kernel"}):
+        return value
+    if os.path.isdir(value):
+        return value
+    raise argparse.ArgumentTypeError(
+        f"{value!r} is neither a comparable workload "
+        f"({', '.join(sorted(set(PAPER_WORKLOADS) - {'kernel'}))}) "
+        "nor an existing run directory"
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -549,6 +649,11 @@ def build_parser() -> argparse.ArgumentParser:
         "run_dir", metavar="RUN_DIR",
         help="a --run-dir directory (journal.jsonl, metrics.json, ...)",
     )
+    report.add_argument(
+        "--ledger", metavar="FILE", default=None,
+        help="cross-run benchmark ledger feeding the trajectory "
+        "sparklines (default: $REPRO_LEDGER, then RUN_DIR/ledger.jsonl)",
+    )
 
     topology = sub.add_parser(
         "topology", help="list/inspect/validate NUMA machine models"
@@ -563,10 +668,64 @@ def build_parser() -> argparse.ArgumentParser:
         help="check a topology JSON file and exit non-zero on errors",
     )
 
-    compare = sub.add_parser("compare", help="quick page-table shoot-out")
+    compare = sub.add_parser(
+        "compare",
+        help="page-table shoot-out for a workload, or a cross-run delta "
+        "between two run directories",
+    )
     compare.add_argument(
-        "workload",
-        choices=sorted(set(PAPER_WORKLOADS) - {"kernel"}),
+        "workload", metavar="WORKLOAD|RUN_A", type=_compare_target,
+        help="a paper workload name, or a run directory to diff",
+    )
+    compare.add_argument(
+        "run_b", metavar="RUN_B", nargs="?", default=None,
+        help="second run directory (cross-run delta mode)",
+    )
+
+    trend = sub.add_parser(
+        "trend", help="sparkline the cross-run benchmark ledger"
+    )
+    trend.add_argument(
+        "--ledger", metavar="FILE", default=None,
+        help="ledger file (default: $REPRO_LEDGER, then ./ledger.jsonl)",
+    )
+    trend.add_argument(
+        "--family", metavar="FAMILIES", default=None,
+        help="comma-separated family filter (numa,batch,tenancy,modern,"
+        "run,profile)",
+    )
+    trend.add_argument(
+        "--last", type=int, default=20, metavar="N",
+        help="history window per metric (default 20)",
+    )
+    trend.add_argument(
+        "--all", action="store_true",
+        help="trend every ledger key, not only regression-gated metrics",
+    )
+
+    watch = sub.add_parser(
+        "watch", help="tail a run directory's progress with stall detection"
+    )
+    watch.add_argument(
+        "run_dir", metavar="RUN_DIR",
+        help="a --run-dir directory being written by a live run",
+    )
+    watch.add_argument(
+        "--once", action="store_true",
+        help="print one snapshot and exit (scriptable)",
+    )
+    watch.add_argument(
+        "--stall-timeout", type=float, default=60.0, metavar="SECONDS",
+        help="declare a stall when neither heartbeat nor journal moved "
+        "for this long (default 60)",
+    )
+    watch.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="poll interval while tailing (default 2)",
+    )
+    watch.add_argument(
+        "--ledger", metavar="FILE", default=None,
+        help="ledger supplying historical per-task durations for the ETA",
     )
 
     validate = sub.add_parser(
@@ -586,6 +745,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiment": _cmd_experiment,
         "topology": _cmd_topology,
         "compare": _cmd_compare,
+        "trend": _cmd_trend,
+        "watch": _cmd_watch,
         "metrics": _cmd_metrics,
         "report": _cmd_report,
         "validate": _cmd_validate,

@@ -66,6 +66,7 @@ from repro.obs.metrics import get_registry, reset_registry
 from repro.obs.profile import WalkProfile
 from repro.obs.spans import SpanRecord, record_span
 from repro.obs.timer import PhaseTimer
+from repro.obs.watch import DEFAULT_HEARTBEAT_INTERVAL, ProgressTracker
 from repro.resilience.faults import (
     FaultPlan,
     active_plan_seed,
@@ -767,28 +768,49 @@ def run_all(
                         registry.inc("runner.resumed_skips", experiment=key)
         pending = tuple(key for key in keys if key not in resumed)
 
+        # Heartbeat progress (progress.json) for `repro watch`: only when
+        # the run has a directory to put it in.  The tracker is silent on
+        # stdout and swallows its own I/O errors — monitoring never kills
+        # the run it monitors.
+        tracker: Optional[ProgressTracker] = None
+        if cfg.run_dir:
+            tracker = ProgressTracker(cfg.run_dir, keys)
+            for key in resumed:
+                tracker.skip(key)
+
         fault_scope = (
             inject(cfg.fault_plan) if cfg.fault_plan else nullcontext()
         )
-        with fault_scope:
-            if not pending:
-                fresh: Dict[str, ExperimentResult] = {}
-            elif metrics.jobs == 1:
-                fresh = _run_serial(
-                    pending, trace_length, cache_dir, workloads, metrics,
-                    cfg, journal,
-                )
-            else:
-                fresh = _run_parallel(
-                    pending, trace_length, cache_dir, workloads, metrics,
-                    cfg, journal,
-                )
+        try:
+            with fault_scope:
+                if not pending:
+                    fresh: Dict[str, ExperimentResult] = {}
+                elif metrics.jobs == 1:
+                    fresh = _run_serial(
+                        pending, trace_length, cache_dir, workloads, metrics,
+                        cfg, journal, tracker,
+                    )
+                else:
+                    fresh = _run_parallel(
+                        pending, trace_length, cache_dir, workloads, metrics,
+                        cfg, journal, tracker,
+                    )
+        except RunInterrupted:
+            if tracker is not None:
+                tracker.finish(interrupted=True)
+            raise
+        except BaseException as exc:
+            if tracker is not None:
+                tracker.abandon(f"{type(exc).__name__}: {exc}")
+            raise
         results = {
             key: resumed[key] if key in resumed else fresh[key]
             for key in keys
             if key in resumed or key in fresh
         }
         metrics.wall_seconds = time.perf_counter() - started
+        if tracker is not None:
+            tracker.finish()
     finally:
         # The run span closes *after* wall_seconds is measured, so the
         # root span always covers the full measured wall time.
@@ -813,6 +835,7 @@ def _run_serial(
     metrics: RunMetrics,
     cfg: ResilienceConfig,
     journal: Optional[RunJournal],
+    tracker: Optional[ProgressTracker] = None,
 ) -> Dict[str, ExperimentResult]:
     """The one-process path, structured exactly like the parallel one.
 
@@ -839,7 +862,10 @@ def _run_serial(
         results: Dict[str, ExperimentResult] = {}
         if cache is not None:
             with PhaseTimer("prewarm") as prewarm_timer:
-                for task in stream_prewarm_plan(keys, workloads):
+                prewarm_plan = stream_prewarm_plan(keys, workloads)
+                if tracker is not None:
+                    tracker.begin_phase("prewarm", len(prewarm_plan))
+                for task in prewarm_plan:
                     label = _prewarm_label(task)
 
                     def run_prewarm(attempt, task=task, label=label):
@@ -878,8 +904,12 @@ def _run_serial(
                     registry.observe(
                         "runner.task_seconds", elapsed, stage="prewarm"
                     )
+                    if tracker is not None:
+                        tracker.task_done(label, elapsed, phase="prewarm")
             metrics.prewarm_wall_seconds = prewarm_timer.last_seconds
         with PhaseTimer("experiments") as experiments_timer:
+            if tracker is not None:
+                tracker.begin_phase("experiments", len(keys))
             for key in keys:
                 attempts_used = [1]
 
@@ -919,6 +949,8 @@ def _run_serial(
                         key, task_digest(key, trace_length, workloads),
                         _result_to_dict(result), elapsed, attempts_used[0],
                     )
+                if tracker is not None:
+                    tracker.task_done(key, elapsed, phase="experiments")
         metrics.experiments_wall_seconds = experiments_timer.last_seconds
         return results
     finally:
@@ -964,6 +996,7 @@ def _drain(
     cfg: ResilienceConfig,
     metrics: RunMetrics,
     journal: Optional[RunJournal],
+    tracker: Optional[ProgressTracker] = None,
 ) -> None:
     """Run one stage's tasks to completion under the resilience policy.
 
@@ -1053,9 +1086,18 @@ def _drain(
         wait_timeout = (
             max(0.0, min(horizons) - time.monotonic()) if horizons else None
         )
+        if tracker is not None:
+            # Cap the wait so the heartbeat keeps proving liveness even
+            # while every in-flight task is long-running.
+            wait_timeout = (
+                DEFAULT_HEARTBEAT_INTERVAL if wait_timeout is None
+                else min(wait_timeout, DEFAULT_HEARTBEAT_INTERVAL)
+            )
         done, _ = wait(
             list(running), timeout=wait_timeout, return_when=FIRST_COMPLETED
         )
+        if tracker is not None:
+            tracker.heartbeat()
         abort: Optional[BaseException] = None
         for future in done:
             task, _ = running.pop(future)
@@ -1111,6 +1153,7 @@ def _run_parallel(
     metrics: RunMetrics,
     cfg: ResilienceConfig,
     journal: Optional[RunJournal],
+    tracker: Optional[ProgressTracker] = None,
 ) -> Dict[str, ExperimentResult]:
     def pool_factory() -> ProcessPoolExecutor:
         return ProcessPoolExecutor(
@@ -1139,6 +1182,8 @@ def _run_parallel(
                     )
                     for task in stream_prewarm_plan(keys, workloads)
                 ]
+                if tracker is not None:
+                    tracker.begin_phase("prewarm", len(prewarm_tasks))
 
                 def submit_prewarm(pool, task):
                     return pool.submit(
@@ -1154,10 +1199,14 @@ def _run_parallel(
                     get_registry().observe(
                         "runner.task_seconds", elapsed, stage="prewarm"
                     )
+                    if tracker is not None:
+                        tracker.task_done(
+                            task.label, elapsed, phase="prewarm"
+                        )
 
                 _drain(
                     pool_ref, prewarm_tasks, submit_prewarm, prewarm_done,
-                    cfg, metrics, journal,
+                    cfg, metrics, journal, tracker,
                 )
             metrics.prewarm_wall_seconds = prewarm_timer.last_seconds
 
@@ -1167,6 +1216,8 @@ def _run_parallel(
                 _Task("experiment", key, key, task_rng(cfg.retry, key))
                 for key in keys
             ]
+            if tracker is not None:
+                tracker.begin_phase("experiments", len(experiment_tasks))
 
             def submit_experiment(pool, task):
                 return pool.submit(
@@ -1189,10 +1240,12 @@ def _run_parallel(
                         key, task_digest(key, trace_length, workloads),
                         _result_to_dict(result), elapsed, task.attempts,
                     )
+                if tracker is not None:
+                    tracker.task_done(key, elapsed, phase="experiments")
 
             _drain(
                 pool_ref, experiment_tasks, submit_experiment,
-                experiment_done, cfg, metrics, journal,
+                experiment_done, cfg, metrics, journal, tracker,
             )
             # Deterministic merge: paper order, not completion order.
             order = {key: index for index, key in enumerate(EXPERIMENT_ORDER)}

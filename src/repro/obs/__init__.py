@@ -23,6 +23,14 @@ Three small, dependency-light building blocks that let the simulator
 - :mod:`repro.obs.profile` — per-table walk profiles (exact cache-line
   and probe distributions, PTE-kind mix, hash heat rows) aggregated from
   the tracer stream and rendered by ``repro.cli report``.
+- :mod:`repro.obs.ledger` — the cross-*run* layer: an append-only
+  benchmark ledger ingesting every ``BENCH_*.json`` and run-dir artefact
+  into ``(family, config, metric)`` rows, with noise bands (median ±
+  k·MAD) that ``benchmarks/bench_gate.py --ledger`` gates against.
+- :mod:`repro.obs.watch` — live monitoring: the runner's atomic
+  ``progress.json`` heartbeat (:class:`~repro.obs.watch.ProgressTracker`)
+  and the ``repro watch`` snapshot/tail loop with ledger-derived ETA and
+  loud stall detection.
 
 The tracing invariant the differential tests enforce: over a traced
 :func:`repro.mmu.simulate.replay_misses` run, the tracer's
@@ -31,6 +39,17 @@ an attached registry's ``walk.cache_lines`` histograms bucket-sum to the
 tracer's ``total_lines``.
 """
 
+from repro.obs.ledger import (
+    BenchLedger,
+    LedgerEvent,
+    LedgerRow,
+    NoiseBand,
+    Stamp,
+    current_stamp,
+    noise_band,
+    rows_from_bench,
+    rows_from_run_dir,
+)
 from repro.obs.metrics import (
     HistogramStats,
     MetricsRegistry,
@@ -58,7 +77,22 @@ from repro.obs.trace import (
     uninstall_tracer,
 )
 
+from repro.obs.watch import ProgressTracker, WatchSnapshot, snapshot, watch
+
 __all__ = [
+    "BenchLedger",
+    "LedgerEvent",
+    "LedgerRow",
+    "NoiseBand",
+    "Stamp",
+    "current_stamp",
+    "noise_band",
+    "rows_from_bench",
+    "rows_from_run_dir",
+    "ProgressTracker",
+    "WatchSnapshot",
+    "snapshot",
+    "watch",
     "HistogramStats",
     "MetricsRegistry",
     "get_registry",
